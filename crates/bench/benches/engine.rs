@@ -1,0 +1,51 @@
+//! End-to-end engine benchmarks: the paper's scenario at small scale,
+//! per algorithm — the microscale version of Table I.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sde_bench::paper_scenario;
+use sde_core::{run, Algorithm, Scenario};
+use sde_net::Topology;
+use sde_os::apps::hello::{self, HelloConfig};
+
+fn bench_paper_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/grid_collect");
+    group.sample_size(10);
+    for side in [3u16, 4] {
+        let scenario = paper_scenario(side).with_sample_every(10_000);
+        for alg in Algorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), side * side),
+                &(scenario.clone(), alg),
+                |b, (scenario, alg)| {
+                    b.iter(|| {
+                        let r = run(scenario, *alg);
+                        black_box(r.total_states)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_failure_free(c: &mut Criterion) {
+    // No symbolic input at all: pure simulation cost (the mapping
+    // algorithms should all be cheap and equal here).
+    let mut group = c.benchmark_group("engine/hello_ring");
+    let topology = Topology::ring(16);
+    let programs = hello::programs(&topology, &HelloConfig::default());
+    let scenario = Scenario::new(topology, programs).with_sample_every(10_000);
+    for alg in Algorithm::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alg.name()),
+            &(scenario.clone(), alg),
+            |b, (scenario, alg)| {
+                b.iter(|| black_box(run(scenario, *alg).packets))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_grid, bench_failure_free);
+criterion_main!(benches);

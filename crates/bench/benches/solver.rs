@@ -1,0 +1,88 @@
+//! Solver microbenchmarks: branch-feasibility queries dominate SDE time
+//! (every symbolic branch of every state consults the solver).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sde_symbolic::{Expr, ExprRef, PathCondition, Solver, SymbolTable, Width};
+
+/// A path condition shaped like the grid workload's: many independent
+/// boolean drop decisions plus a few byte-range constraints.
+fn workload_pc(bools: usize, bytes: usize) -> (PathCondition, SymbolTable) {
+    let mut t = SymbolTable::new();
+    let mut pc = PathCondition::new();
+    for i in 0..bools {
+        let d = Expr::sym(t.fresh("drop", Width::BOOL));
+        pc = pc.with(if i % 2 == 0 { d } else { Expr::not(d) });
+    }
+    for _ in 0..bytes {
+        let x = Expr::sym(t.fresh("hdr", Width::W8));
+        pc = pc
+            .with(Expr::ult(x.clone(), Expr::const_(200, Width::W8)))
+            .with(Expr::ne(x, Expr::const_(0, Width::W8)));
+    }
+    (pc, t)
+}
+
+fn bench_feasibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/feasibility");
+    for (bools, bytes) in [(4usize, 1usize), (16, 2), (64, 4)] {
+        let (pc, mut table) = workload_pc(bools, bytes);
+        let probe = Expr::sym(table.fresh("probe", Width::BOOL));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{bools}b{bytes}B")),
+            &(pc, probe),
+            |b, (pc, probe)| {
+                b.iter(|| {
+                    // Fresh solver each iteration: measure uncached cost.
+                    let solver = Solver::new();
+                    black_box(solver.may_be_true(pc, probe))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/cache");
+    let (pc, _t) = workload_pc(32, 4);
+    group.bench_function("repeat_query_cached", |b| {
+        let solver = Solver::new();
+        let _ = solver.check(&pc); // warm
+        b.iter(|| black_box(solver.check(&pc).is_sat()))
+    });
+    group.bench_function("repeat_query_uncached", |b| {
+        let solver = Solver::new();
+        solver.set_caching(false);
+        b.iter(|| black_box(solver.check(&pc).is_sat()))
+    });
+    group.finish();
+}
+
+fn bench_linked_constraints(c: &mut Criterion) {
+    // One dependent cluster the independence partitioner cannot split.
+    let mut group = c.benchmark_group("solver/linked");
+    for n in [2usize, 3, 4] {
+        let mut t = SymbolTable::new();
+        let vars: Vec<ExprRef> = (0..n)
+            .map(|i| Expr::sym(t.fresh(&format!("v{i}"), Width::W8)))
+            .collect();
+        let mut pc = PathCondition::new();
+        for w in vars.windows(2) {
+            pc = pc.with(Expr::eq(
+                Expr::add(w[0].clone(), Expr::const_(1, Width::W8)),
+                w[1].clone(),
+            ));
+        }
+        pc = pc.with(Expr::ult(vars[0].clone(), Expr::const_(16, Width::W8)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pc, |b, pc| {
+            b.iter(|| {
+                let solver = Solver::new();
+                black_box(solver.model(pc).is_some())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feasibility, bench_cache, bench_linked_constraints);
+criterion_main!(benches);

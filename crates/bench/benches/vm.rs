@@ -1,0 +1,113 @@
+//! Symbolic VM microbenchmarks: step throughput, fork cost, state clone
+//! cost (the quantities the engine multiplies by millions of states).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sde_symbolic::{BinOp, Solver, SymbolTable, Width};
+use sde_vm::{run_to_completion, ProgramBuilder, VmCtx, VmState};
+
+/// A concrete counting loop: pure interpreter throughput.
+fn loop_program(iterations: u64) -> sde_vm::Program {
+    let mut pb = ProgramBuilder::new();
+    pb.function("main", 0, move |f| {
+        let i = f.reg();
+        f.const_(i, 0, Width::W64);
+        let limit = f.imm(iterations, Width::W64);
+        let one = f.imm(1, Width::W64);
+        let (top, out) = (f.label(), f.label());
+        f.place(top);
+        let done = f.reg();
+        f.bin(BinOp::Ule, done, limit, i);
+        let body = f.label();
+        f.br(done, out, body);
+        f.place(body);
+        f.bin(BinOp::Add, i, i, one);
+        f.jmp(top);
+        f.place(out);
+        f.ret(None);
+    });
+    pb.build().unwrap()
+}
+
+/// A program forking into 2^depth leaves.
+fn fork_program(depth: u16) -> sde_vm::Program {
+    let mut pb = ProgramBuilder::new();
+    pb.function("main", 0, move |f| {
+        for i in 0..depth {
+            let b = f.reg();
+            f.make_symbolic(b, &format!("b{i}"), Width::BOOL);
+            let (yes, no) = (f.label(), f.label());
+            f.br(b, yes, no);
+            f.place(yes);
+            f.nop();
+            f.jmp(no);
+            f.place(no);
+        }
+        f.ret(None);
+    });
+    pb.build().unwrap()
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm");
+    let program = loop_program(1000);
+    group.bench_function("concrete_loop_1k_iters", |b| {
+        b.iter(|| {
+            let solver = Solver::new();
+            let mut symbols = SymbolTable::new();
+            let mut ctx = VmCtx::new(&solver, &mut symbols);
+            let state = VmState::fresh(&program);
+            let out = run_to_completion(
+                &program,
+                state.prepared(&program, "main", &[]).unwrap(),
+                &mut ctx,
+            );
+            black_box(out.finished.len())
+        })
+    });
+
+    let forky = fork_program(6);
+    group.bench_function("fork_64_leaves", |b| {
+        b.iter(|| {
+            let solver = Solver::new();
+            let mut symbols = SymbolTable::new();
+            let mut ctx = VmCtx::new(&solver, &mut symbols);
+            let state = VmState::fresh(&forky);
+            let out = run_to_completion(
+                &forky,
+                state.prepared(&forky, "main", &[]).unwrap(),
+                &mut ctx,
+            );
+            assert_eq!(out.finished.len(), 64);
+            black_box(out.finished.len())
+        })
+    });
+
+    // Clone cost of a state with populated memory — the fork primitive.
+    let mut pb = ProgramBuilder::new();
+    pb.function("main", 0, |f| {
+        for i in 0..512u64 {
+            let a = f.imm(i * 2, Width::W32);
+            let v = f.imm(i, Width::W16);
+            f.store(a, v);
+        }
+        f.ret(None);
+    });
+    let writer = pb.build().unwrap();
+    let solver = Solver::new();
+    let mut symbols = SymbolTable::new();
+    let mut ctx = VmCtx::new(&solver, &mut symbols);
+    let state = VmState::fresh(&writer);
+    let out = run_to_completion(
+        &writer,
+        state.prepared(&writer, "main", &[]).unwrap(),
+        &mut ctx,
+    );
+    let heavy = out.finished.into_iter().next().unwrap().0;
+    group.bench_function("clone_state_1KiB_memory", |b| {
+        b.iter(|| black_box(heavy.clone()).memory_footprint())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Regenerates **Figure 10 (a)–(f)**: state growth and memory growth
+//! over time for the 25-, 49- and 100-node scenarios under COB, COW and
+//! SDS (paper §IV-B, Fig. 10).
+//!
+//! For each scenario size and algorithm the run emits a CSV time series
+//! (`wall_ms, virtual_ms, live_states, total_states, bytes, groups`)
+//! under `bench_out/` — one file per curve of the figure — plus an
+//! end-of-run summary table. Plot `wall_ms` vs `total_states` for the
+//! (a)/(c)/(e) panels and `wall_ms` vs `bytes` for (b)/(d)/(f).
+//!
+//! ```sh
+//! cargo run -p sde-bench --release --bin fig10                   # 25 + 49 nodes
+//! cargo run -p sde-bench --release --bin fig10 -- --nodes 100    # one size
+//! cargo run -p sde-bench --release --bin fig10 -- --all          # 25 + 49 + 100
+//! ```
+
+use sde_bench::{paper_scenario, run_with_limits, write_series_csv, Args, RunLimits};
+use sde_core::{human_bytes, Algorithm};
+use std::path::PathBuf;
+
+fn side_for(nodes: u16) -> u16 {
+    match nodes {
+        25 => 5,
+        49 => 7,
+        100 => 10,
+        other => {
+            let side = (f64::from(other)).sqrt() as u16;
+            assert_eq!(side * side, other, "--nodes must be a square number");
+            side
+        }
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let sizes: Vec<u16> = if let Some(n) = args.get::<u16>("nodes") {
+        vec![n]
+    } else if args.flag("all") {
+        vec![25, 49, 100]
+    } else {
+        vec![25, 49]
+    };
+    let cap_cob: usize = args.get("cap-cob").unwrap_or(120_000);
+    let cap: usize = args.get("cap").unwrap_or(1_000_000);
+    let out_dir = PathBuf::from(
+        args.get::<String>("out").unwrap_or_else(|| "bench_out".to_string()),
+    );
+
+    for nodes in sizes {
+        let side = side_for(nodes);
+        let scenario = paper_scenario(side);
+        println!("== Figure 10, {nodes}-node scenario ({side}x{side}) ==");
+        println!(
+            "{:<4} | {:>12} | {:>10} | {:>12} | {:>8} | series file",
+            "alg", "runtime", "states", "RAM (est.)", "groups"
+        );
+        for alg in Algorithm::ALL {
+            let state_cap = if alg == Algorithm::Cob { cap_cob } else { cap };
+            let report = run_with_limits(
+                &scenario,
+                alg,
+                RunLimits { state_cap, sample_every: 256 },
+            );
+            let file = out_dir.join(format!(
+                "fig10_{nodes}nodes_{}.csv",
+                report.algorithm.to_lowercase()
+            ));
+            write_series_csv(&report, &file).expect("write series");
+            println!(
+                "{:<4} | {:>12} | {:>10} | {:>12} | {:>8} | {}{}",
+                report.algorithm,
+                format!("{:.2?}", report.wall),
+                report.total_states,
+                human_bytes(report.final_bytes),
+                report.groups,
+                file.display(),
+                if report.aborted { "  (aborted at cap)" } else { "" },
+            );
+        }
+        println!();
+    }
+    println!("plot: x = wall_ms (log), y = total_states (log) → panels (a)(c)(e)");
+    println!("      x = wall_ms (log), y = bytes (log)        → panels (b)(d)(f)");
+}

@@ -1,0 +1,159 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Experiment index (see DESIGN.md §4 and EXPERIMENTS.md):
+//!
+//! * **Table I** — `cargo run -p sde-bench --release --bin table1`
+//! * **Figure 10 (a–f)** — `cargo run -p sde-bench --release --bin fig10`
+//! * microbenchmarks & ablations — `cargo bench -p sde-bench`
+//!
+//! The harness reproduces the *shape* of the paper's results (who wins,
+//! by what rough factor, where COB must be aborted), not the absolute
+//! numbers of the authors' 2011 Xeon testbed; see DESIGN.md for the
+//! substitutions.
+
+use sde_core::{run, Algorithm, RunReport, Scenario};
+use sde_net::{FailureConfig, Topology};
+use sde_os::apps::collect::{self, CollectConfig};
+
+/// The paper's §IV-A scenario for a `side × side` grid: corner-to-corner
+/// static route, one packet per second for ten seconds, symbolic drop of
+/// one packet at every route node and route neighbor.
+pub fn paper_scenario(side: u16) -> Scenario {
+    let topology = Topology::grid(side, side);
+    let cfg = CollectConfig::paper_grid(side, side);
+    let failures = FailureConfig::new().drops_on_route_and_neighbors(
+        &topology,
+        cfg.source,
+        cfg.sink,
+        1,
+    );
+    let programs = collect::programs(&topology, &cfg);
+    Scenario::new(topology, programs)
+        .with_failures(failures)
+        .with_duration_ms(10_000)
+}
+
+/// Per-algorithm run parameters for one experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits {
+    /// Abort cap on total created states (the paper's 40 GB analogue).
+    pub state_cap: usize,
+    /// Sampling period in processed events.
+    pub sample_every: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits { state_cap: 120_000, sample_every: 256 }
+    }
+}
+
+/// Runs `scenario` under `algorithm` with the given limits.
+pub fn run_with_limits(scenario: &Scenario, algorithm: Algorithm, limits: RunLimits) -> RunReport {
+    let s = scenario
+        .clone()
+        .with_state_cap(limits.state_cap)
+        .with_sample_every(limits.sample_every);
+    run(&s, algorithm)
+}
+
+/// Formats the Table I header.
+pub fn table_header() -> String {
+    format!(
+        "{:<4} | {:>12} | {:>10} | {:>12} |",
+        "alg", "runtime", "states", "RAM (est.)"
+    )
+}
+
+/// Writes a report's Fig. 10 series as CSV to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing the file.
+pub fn write_series_csv(report: &RunReport, path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, report.series.to_csv())
+}
+
+/// Parses `--key value`-style arguments (tiny, dependency-free).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn from_env() -> Args {
+        let mut args = Args::default();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match iter.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        args.pairs.push((key.to_string(), iter.next().expect("peeked")));
+                    }
+                    _ => args.flags.push(key.to_string()),
+                }
+            }
+        }
+        args
+    }
+
+    /// The value of `--key`, parsed. `None` when the flag is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message when the flag is present but its value
+    /// does not parse — a typo'd `--side banana` must not silently fall
+    /// back to a default and launch the wrong (possibly much heavier)
+    /// experiment.
+    pub fn get<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| {
+            v.parse().unwrap_or_else(|_| {
+                panic!("invalid value {v:?} for --{key}")
+            })
+        })
+    }
+
+    /// Whether the bare flag `--key` was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_shape() {
+        let s = paper_scenario(5);
+        assert_eq!(s.node_count(), 25);
+        assert_eq!(s.duration_ms, 10_000);
+        assert!(!s.failures.is_empty());
+    }
+
+    #[test]
+    fn limits_apply() {
+        let s = paper_scenario(3);
+        let r = run_with_limits(&s, Algorithm::Cob, RunLimits { state_cap: 50, sample_every: 8 });
+        assert!(r.aborted, "a 50-state cap must abort COB");
+        assert!(r.total_states >= 50);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let s = paper_scenario(3);
+        let r = run_with_limits(&s, Algorithm::Sds, RunLimits::default());
+        let dir = std::env::temp_dir().join("sde-bench-test");
+        let path = dir.join("series.csv");
+        write_series_csv(&r, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("wall_ms,"));
+        assert!(content.lines().count() > 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

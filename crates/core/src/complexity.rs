@@ -1,0 +1,183 @@
+//! The §III-E worst-case complexity model, evaluated exactly.
+//!
+//! For a network of `k` nodes and a worst-case program in which every
+//! instruction branches, the paper derives (executing states with COB in
+//! the order that reaches instruction `u` last):
+//!
+//! * an `N`-step (advancing one `ℓ`-complete dscenario to all its
+//!   `(ℓ+1)`-complete successors) executes `2^k − 1` instructions and
+//!   yields `2^k` successors;
+//! * the dscenario tree is a complete `2^k`-ary tree of height `u`, so
+//!   level `i` holds `(2^k)^i` dscenarios;
+//! * total dscenarios `D(u) = (2^{k(u+1)} − 1) / (2^k − 1)`;
+//! * total executed instructions `I(u) = 2^{k·u}`;
+//! * space for the lowest level: `k · 2^{k·u}` states.
+//!
+//! These are astronomically large for the paper's scenarios (hence exact
+//! big-integer arithmetic) and they upper-bound *all three* algorithms —
+//! the evaluation shows how far below the bound COW and SDS stay.
+
+use crate::bignum::BigUint;
+
+/// The §III-E worst-case model for a `k`-node network.
+///
+/// # Examples
+///
+/// ```
+/// use sde_core::complexity::WorstCase;
+///
+/// let model = WorstCase::new(2);
+/// // D(1) = (2^{2·2} − 1) / (2^2 − 1) = 15 / 3 = 5 : the root plus its
+/// // four 1-complete successors.
+/// assert_eq!(model.dscenarios_through(1).to_string(), "5");
+/// assert_eq!(model.instructions(1).to_string(), "4"); // 2^{2·1}
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorstCase {
+    k: u32,
+}
+
+impl WorstCase {
+    /// A model for `k` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero.
+    pub fn new(k: u32) -> WorstCase {
+        assert!(k > 0, "a network needs at least one node");
+        WorstCase { k }
+    }
+
+    /// The network size `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Instructions executed per `N`-step: `2^k − 1`.
+    pub fn instructions_per_nstep(&self) -> BigUint {
+        two_pow(u64::from(self.k)).sub(&BigUint::one())
+    }
+
+    /// Successor dscenarios per `N`-step: `2^k`.
+    pub fn successors_per_nstep(&self) -> BigUint {
+        two_pow(u64::from(self.k))
+    }
+
+    /// Number of `u`-complete dscenarios (tree level `u`): `(2^k)^u`.
+    pub fn dscenarios_at_level(&self, u: u64) -> BigUint {
+        two_pow(u64::from(self.k) * u)
+    }
+
+    /// `D(u) = Σ_{i=0}^{u} (2^k)^i = (2^{k(u+1)} − 1)/(2^k − 1)` — all
+    /// dscenarios created through level `u`.
+    pub fn dscenarios_through(&self, u: u64) -> BigUint {
+        let numerator = two_pow(u64::from(self.k) * (u + 1)).sub(&BigUint::one());
+        let denominator = two_pow(u64::from(self.k)).sub(&BigUint::one());
+        // The division is exact; denominator may exceed u64 for k > 64,
+        // so divide by repeated geometric summation instead when needed.
+        if let Some(d) = denominator.to_u128() {
+            if d <= u128::from(u64::MAX) {
+                let (q, r) = numerator.div_rem_small(d as u64);
+                debug_assert_eq!(r, 0, "geometric sum divides exactly");
+                return q;
+            }
+        }
+        // Fallback: direct summation (k large, u small in practice).
+        let mut acc = BigUint::zero();
+        let step = two_pow(u64::from(self.k));
+        let mut term = BigUint::one();
+        for _ in 0..=u {
+            acc = acc.add(&term);
+            term = term.mul(&step);
+        }
+        acc
+    }
+
+    /// `I(u) = D(u − 1) · (2^k − 1) + 1 = 2^{k·u}` — total instructions
+    /// executed before the bug at instruction `u` is reached.
+    pub fn instructions(&self, u: u64) -> BigUint {
+        two_pow(u64::from(self.k) * u)
+    }
+
+    /// Space bound for level `u`: `k · 2^{k·u}` execution states.
+    pub fn states_at_level(&self, u: u64) -> BigUint {
+        self.dscenarios_at_level(u).mul(&BigUint::from(u64::from(self.k)))
+    }
+
+    /// Checks the paper's identity `I(u) = D(u−1)·(2^k − 1) + 1` for a
+    /// given `u ≥ 1` (used by tests; both sides computed independently).
+    pub fn identity_holds(&self, u: u64) -> bool {
+        assert!(u >= 1);
+        let lhs = self.instructions(u);
+        let rhs = self
+            .dscenarios_through(u - 1)
+            .mul(&self.instructions_per_nstep())
+            .add(&BigUint::one());
+        lhs == rhs
+    }
+}
+
+fn two_pow(exp: u64) -> BigUint {
+    BigUint::from(2u64).pow(exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_network_by_hand() {
+        // k = 1: an N-step executes 1 instruction and yields 2 successors.
+        let m = WorstCase::new(1);
+        assert_eq!(m.instructions_per_nstep().to_u128(), Some(1));
+        assert_eq!(m.successors_per_nstep().to_u128(), Some(2));
+        // D(u) = 2^{u+1} − 1.
+        assert_eq!(m.dscenarios_through(3).to_u128(), Some(15));
+        assert_eq!(m.instructions(3).to_u128(), Some(8));
+        assert_eq!(m.states_at_level(3).to_u128(), Some(8));
+    }
+
+    #[test]
+    fn identity_matches_paper() {
+        for k in [1u32, 2, 3, 5, 10] {
+            let m = WorstCase::new(k);
+            for u in 1..=5u64 {
+                assert!(m.identity_holds(u), "I(u) identity failed for k={k}, u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn hundred_node_bound_is_astronomical() {
+        // The paper's largest scenario: k = 100. Even u = 10 exceeds any
+        // machine resource: 2^1000 instructions.
+        let m = WorstCase::new(100);
+        let i = m.instructions(10);
+        assert_eq!(i.bits(), 1001); // 2^1000
+        assert!(i.to_u128().is_none());
+        assert_eq!(i.to_string().len(), 302);
+        // D(u) sum dominated by the last level.
+        let d = m.dscenarios_through(10);
+        assert!(d > m.dscenarios_at_level(10));
+        assert!(d < m.dscenarios_at_level(11));
+    }
+
+    #[test]
+    fn growth_is_monotone_in_k_and_u() {
+        let m3 = WorstCase::new(3);
+        let m4 = WorstCase::new(4);
+        assert!(m4.instructions(5) > m3.instructions(5));
+        assert!(m3.instructions(6) > m3.instructions(5));
+        assert!(m4.states_at_level(5) > m3.states_at_level(5));
+    }
+
+    #[test]
+    fn large_k_fallback_summation() {
+        // k = 70 → 2^k − 1 > u64::MAX, exercising the fallback path.
+        let m = WorstCase::new(70);
+        let d1 = m.dscenarios_through(1);
+        // D(1) = 1 + 2^70.
+        let expected = BigUint::from(2u64).pow(70).add(&BigUint::one());
+        assert_eq!(d1, expected);
+    }
+}

@@ -1,0 +1,566 @@
+//! The SDE engine: KleeNet's execution model.
+//!
+//! "KleeNet simulates a complete distributed system in a single process.
+//! It starts with k states representing the nodes in the network. As in
+//! any simulation, in each step KleeNet executes an event of a node and
+//! advances the time to the next event in the queue. If the symbolic
+//! execution of an event handler produces new states, they're simply
+//! added to the state set." (§IV)
+//!
+//! The engine owns the states, the virtual-time event queue, the solver
+//! and the symbol table; the pluggable [`StateMapper`] decides packet
+//! receivers and the forking they require. Symbolic failures (packet
+//! drop / duplication / node reboot) are injected at delivery time as
+//! local forks — the network itself is ideal (paper footnote 2).
+
+use crate::history::HistoryEvent;
+use crate::mapping::{Algorithm, StateMapper, StateStore};
+use crate::scenario::Scenario;
+use crate::state::{SdeState, StateId};
+use crate::stats::{BugFound, RunReport, Sample, TimeSeries};
+use sde_net::{EventQueue, NodeId, Packet, PacketId};
+use sde_os::handlers;
+use sde_symbolic::{Expr, ExprRef, Solver, SymbolTable, Width};
+use sde_vm::{step, Status, StepResult, Syscall, VmCtx, VmState};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// An event a node state reacts to.
+#[derive(Debug, Clone)]
+pub enum NodeEvent {
+    /// Network boot: run `on_boot`.
+    Boot,
+    /// A timer armed by `SetTimer` fired: run `on_timer(id)`.
+    Timer(u16),
+    /// A packet mapped to this state arrives: run `on_recv(src, ...)`.
+    Deliver(Packet),
+}
+
+/// The engine's state table plus event queue — the [`StateStore`] the
+/// mappers fork through.
+#[derive(Debug)]
+struct Store {
+    states: HashMap<StateId, SdeState>,
+    events: EventQueue<(StateId, NodeEvent)>,
+    next_state: u64,
+    total_states: usize,
+}
+
+impl Store {
+    fn allocate_id(&mut self) -> StateId {
+        let id = StateId(self.next_state);
+        self.next_state += 1;
+        self.total_states += 1;
+        id
+    }
+
+    /// Copies every pending event of `from` for `to` (same times).
+    fn duplicate_events(&mut self, from: StateId, to: StateId) {
+        let pending: Vec<(u64, NodeEvent)> = self
+            .events
+            .iter()
+            .filter(|e| e.payload.0 == from)
+            .map(|e| (e.time, e.payload.1.clone()))
+            .collect();
+        for (time, kind) in pending {
+            self.events.push(time, (to, kind));
+        }
+    }
+
+    /// Clears every pending event of `state` (used on reboot).
+    fn clear_events(&mut self, state: StateId) {
+        self.events.retain(|e| e.payload.0 != state);
+    }
+}
+
+impl StateStore for Store {
+    fn fork(&mut self, original: StateId) -> StateId {
+        let id = self.allocate_id();
+        let copy = self
+            .states
+            .get(&original)
+            .unwrap_or_else(|| panic!("fork of non-resident state {original}"))
+            .fork_as(id);
+        self.states.insert(id, copy);
+        self.duplicate_events(original, id);
+        id
+    }
+
+    fn node_of(&self, state: StateId) -> NodeId {
+        self.states[&state].node
+    }
+}
+
+/// The symbolic distributed execution engine. Construct with
+/// [`Engine::new`], drive with [`Engine::run`] — or use the [`run`]
+/// convenience function.
+#[derive(Debug)]
+pub struct Engine {
+    scenario: Scenario,
+    mapper: Box<dyn StateMapper>,
+    solver: Solver,
+    symbols: SymbolTable,
+    store: Store,
+    now: u64,
+    next_packet: u64,
+    events_processed: u64,
+    packets_sent: u64,
+    instructions: u64,
+    bugs: Vec<BugFound>,
+    series: TimeSeries,
+    aborted: bool,
+    started: Instant,
+    preset: Option<sde_vm::Preset>,
+}
+
+impl Engine {
+    /// Creates an engine for `scenario` using `algorithm` for state
+    /// mapping.
+    pub fn new(scenario: Scenario, algorithm: Algorithm) -> Engine {
+        Engine {
+            scenario,
+            mapper: algorithm.new_mapper(),
+            solver: Solver::new(),
+            symbols: SymbolTable::new(),
+            store: Store {
+                states: HashMap::new(),
+                events: EventQueue::new(),
+                next_state: 0,
+                total_states: 0,
+            },
+            now: 0,
+            next_packet: 0,
+            events_processed: 0,
+            packets_sent: 0,
+            instructions: 0,
+            bugs: Vec::new(),
+            series: TimeSeries::new(),
+            aborted: false,
+            started: Instant::now(),
+            preset: None,
+        }
+    }
+
+    /// Runs the scenario to completion (event queue drained, virtual
+    /// duration reached, or state cap hit) and reports.
+    pub fn run(mut self) -> RunReport {
+        self.run_in_place();
+        self.into_report()
+    }
+
+    /// Like [`Engine::run`] but keeps the engine alive so the final state
+    /// set can be inspected (test-case generation, invariant checks).
+    pub fn run_in_place(&mut self) {
+        self.started = Instant::now();
+        self.boot();
+        self.sample();
+
+        loop {
+            if self.store.total_states > self.scenario.state_cap {
+                self.aborted = true;
+                break;
+            }
+            let Some(event) = self.store.events.pop() else { break };
+            if event.time > self.scenario.duration_ms {
+                break;
+            }
+            self.now = event.time;
+            let (state_id, kind) = event.payload;
+            self.dispatch(state_id, kind);
+            self.events_processed += 1;
+            if self.events_processed.is_multiple_of(self.scenario.sample_every) {
+                self.sample();
+            }
+        }
+
+        self.sample();
+    }
+
+    /// Access to the mapper (for invariant checks and test generation).
+    pub fn mapper(&self) -> &dyn StateMapper {
+        self.mapper.as_ref()
+    }
+
+    /// The states currently resident, in unspecified order.
+    pub fn states(&self) -> impl Iterator<Item = &SdeState> {
+        self.store.states.values()
+    }
+
+    /// Looks up one resident state.
+    pub fn state(&self, id: StateId) -> Option<&SdeState> {
+        self.store.states.get(&id)
+    }
+
+    /// The engine's solver (shared query cache).
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// The symbol table naming every symbolic input minted so far.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Replays with every symbolic input pinned to the values in
+    /// `preset` (keyed run-independently by `(node, name, occurrence)`):
+    /// branches stop forking and the run follows the single concrete
+    /// dscenario the preset describes. Build presets with
+    /// [`sde_vm::Preset::from_model`] or
+    /// [`testgen::preset_for`](crate::testgen::preset_for).
+    #[must_use]
+    pub fn with_preset(mut self, preset: sde_vm::Preset) -> Engine {
+        self.preset = Some(preset);
+        self
+    }
+
+    /// Runs only the boot phase (for tests that then inspect the engine).
+    pub fn boot(&mut self) {
+        assert!(self.store.states.is_empty(), "boot runs once");
+        let mut registry = Vec::new();
+        for node in self.scenario.topology.nodes() {
+            let id = self.store.allocate_id();
+            let vm = VmState::fresh(self.scenario.program(node));
+            let state = SdeState::boot(
+                id,
+                node,
+                vm,
+                &self.scenario.failures,
+                self.scenario.track_history,
+            );
+            self.store.states.insert(id, state);
+            registry.push((id, node));
+            self.store.events.push(0, (id, NodeEvent::Boot));
+        }
+        self.mapper.on_boot(&registry);
+    }
+
+    // ----- event dispatch ---------------------------------------------------
+
+    fn dispatch(&mut self, state_id: StateId, kind: NodeEvent) {
+        // Terminated or mid-handler states silently drop events.
+        if !self.store.states.get(&state_id).is_some_and(SdeState::is_idle) {
+            return;
+        }
+        match kind {
+            NodeEvent::Boot => self.run_handler(state_id, handlers::ON_BOOT, &[]),
+            NodeEvent::Timer(t) => {
+                let args = [Expr::const_(u64::from(t), Width::W16)];
+                self.run_handler(state_id, handlers::ON_TIMER, &args);
+            }
+            NodeEvent::Deliver(packet) => self.deliver(state_id, packet),
+        }
+    }
+
+    /// Packet delivery: apply the symbolic failure models (each a local
+    /// fork registered with the mapper), then run `on_recv` on every
+    /// branch that keeps the packet.
+    fn deliver(&mut self, state_id: StateId, packet: Packet) {
+        // --- symbolic packet drop ------------------------------------------
+        let receiving = state_id;
+        if self.store.states[&state_id].drop_budget > 0 {
+            let node = self.store.states[&state_id].node;
+            let occurrence = {
+                let s = self.store.states.get_mut(&state_id).expect("resident");
+                s.drop_budget -= 1;
+                s.vm.next_input_occurrence("drop")
+            };
+            let var = self
+                .symbols
+                .fresh_keyed("drop", Width::BOOL, node.0, occurrence);
+            if let Some(preset) = &self.preset {
+                // Replay: the preset decides; no fork.
+                let _ = var;
+                if preset.get(node.0, "drop", occurrence).unwrap_or(0) == 1 {
+                    return; // dropped
+                }
+            } else {
+                let dropped_id = self.fork_local(state_id, &Expr::sym(var.clone()), 1, occurrence);
+                // The original receives: constrain ¬drop. The budget was
+                // spent before forking, covering both branches (one
+                // symbolic drop = one fork opportunity).
+                let s = self.store.states.get_mut(&state_id).expect("resident");
+                s.vm.constrain(Expr::not(Expr::sym(var)));
+                let _ = dropped_id; // dropped branch never runs on_recv
+            }
+        }
+
+        // --- symbolic packet duplication ------------------------------------
+        let mut deliveries = 1u32;
+        if self.store.states[&receiving].dup_budget > 0 {
+            let node = self.store.states[&receiving].node;
+            let occurrence = {
+                let s = self.store.states.get_mut(&receiving).expect("resident");
+                s.dup_budget -= 1;
+                s.vm.next_input_occurrence("dup")
+            };
+            let var = self
+                .symbols
+                .fresh_keyed("dup", Width::BOOL, node.0, occurrence);
+            if let Some(preset) = &self.preset {
+                let _ = var;
+                if preset.get(node.0, "dup", occurrence).unwrap_or(0) == 1 {
+                    deliveries = 2;
+                }
+            } else {
+                let dup_id = self.fork_local(receiving, &Expr::sym(var.clone()), 2, occurrence);
+                {
+                    let s = self.store.states.get_mut(&receiving).expect("resident");
+                    s.vm.constrain(Expr::not(Expr::sym(var)));
+                }
+                // The duplicated branch receives the packet twice, now.
+                self.run_recv(dup_id, &packet, 2);
+            }
+        }
+
+        // --- symbolic node reboot -------------------------------------------
+        if self.store.states[&receiving].reboot_budget > 0 {
+            let node = self.store.states[&receiving].node;
+            let occurrence = {
+                let s = self.store.states.get_mut(&receiving).expect("resident");
+                s.reboot_budget -= 1;
+                s.vm.next_input_occurrence("reboot")
+            };
+            let var = self
+                .symbols
+                .fresh_keyed("reboot", Width::BOOL, node.0, occurrence);
+            if let Some(preset) = &self.preset {
+                let _ = var;
+                if preset.get(node.0, "reboot", occurrence).unwrap_or(0) == 1 {
+                    let s = self.store.states.get_mut(&receiving).expect("resident");
+                    s.vm = s.vm.rebooted();
+                    self.store.clear_events(receiving);
+                    self.run_handler(receiving, handlers::ON_BOOT, &[]);
+                    return; // the rebooting node misses the packet
+                }
+            } else {
+                let reboot_id = self.fork_local(receiving, &Expr::sym(var.clone()), 3, occurrence);
+                {
+                    let s = self.store.states.get_mut(&receiving).expect("resident");
+                    s.vm.constrain(Expr::not(Expr::sym(var)));
+                }
+                {
+                    let d = self.store.states.get_mut(&reboot_id).expect("resident");
+                    d.vm = d.vm.rebooted();
+                }
+                self.store.clear_events(reboot_id);
+                self.run_handler(reboot_id, handlers::ON_BOOT, &[]);
+            }
+        }
+
+        self.run_recv(receiving, &packet, deliveries);
+    }
+
+    /// Runs `on_recv` on `state` `times` times in a row.
+    fn run_recv(&mut self, state: StateId, packet: &Packet, times: u32) {
+        let mut args: Vec<ExprRef> = Vec::with_capacity(1 + packet.payload.len());
+        args.push(Expr::const_(u64::from(packet.src.0), Width::W16));
+        args.extend(packet.payload.iter().cloned());
+        for _ in 0..times {
+            self.run_handler(state, handlers::ON_RECV, &args);
+        }
+    }
+
+    /// Forks `parent` into a sibling constrained with `cond`, records the
+    /// environment-level branch in both path digests, registers the
+    /// branch with the mapper, and returns the sibling's id. Used by the
+    /// failure models (`kind`: 1 = drop, 2 = duplicate, 3 = reboot).
+    fn fork_local(&mut self, parent: StateId, cond: &ExprRef, kind: u32, occurrence: u32) -> StateId {
+        let node = self.store.states[&parent].node;
+        let child = self.store.fork(parent);
+        {
+            let c = self.store.states.get_mut(&child).expect("resident");
+            c.vm.constrain(cond.clone());
+            c.vm.record_external_branch(kind, occurrence, true);
+        }
+        {
+            let p = self.store.states.get_mut(&parent).expect("resident");
+            p.vm.record_external_branch(kind, occurrence, false);
+        }
+        self.mapper.on_branch(parent, child, node, &mut self.store);
+        child
+    }
+
+    // ----- handler execution ------------------------------------------------
+
+    /// Runs one handler on `state_id` to completion, including every
+    /// state forked along the way; transmissions trigger state mapping
+    /// mid-flight.
+    fn run_handler(&mut self, state_id: StateId, handler: &str, args: &[ExprRef]) {
+        let Some(resident) = self.store.states.remove(&state_id) else {
+            return;
+        };
+        if !resident.is_idle() {
+            self.store.states.insert(state_id, resident);
+            return;
+        }
+        let node = resident.node;
+        let program = self.scenario.program(node).clone();
+        let Some(prepared_vm) = resident.vm.prepared(&program, handler, args) else {
+            panic!(
+                "node {node} program has no handler `{handler}` with arity {}",
+                args.len()
+            );
+        };
+        let mut first = resident;
+        first.vm = prepared_vm;
+
+        let mut running: Vec<SdeState> = vec![first];
+        while let Some(mut st) = running.pop() {
+            loop {
+                self.instructions += 1;
+                let result = {
+                    let mut ctx = VmCtx::new(&self.solver, &mut self.symbols);
+                    ctx.now = self.now;
+                    ctx.node_id = st.node.0;
+                    ctx.preset = self.preset.as_ref();
+                    step(&program, &mut st.vm, &mut ctx)
+                };
+                match result {
+                    StepResult::Continue => {}
+                    StepResult::Forked(sibling_vm) => {
+                        let sib_id = self.store.allocate_id();
+                        let mut sibling = st.fork_as(sib_id);
+                        sibling.vm = sibling_vm;
+                        self.store.duplicate_events(st.id, sib_id);
+                        let bugged = matches!(sibling.vm.status(), Status::Bugged(_));
+                        if bugged {
+                            if let Status::Bugged(report) = sibling.vm.status().clone() {
+                                self.bugs.push(BugFound {
+                                    node: sibling.node,
+                                    state: sib_id,
+                                    report,
+                                });
+                            }
+                        }
+                        self.store.states.insert(sib_id, sibling);
+                        self.mapper.on_branch(st.id, sib_id, st.node, &mut self.store);
+                        if !bugged {
+                            let sibling = self
+                                .store
+                                .states
+                                .remove(&sib_id)
+                                .expect("sibling just inserted");
+                            running.push(sibling);
+                        }
+                    }
+                    StepResult::Syscall(Syscall::Send { dest, payload }) => {
+                        self.transmit(&mut st, NodeId(dest), payload);
+                    }
+                    StepResult::Syscall(Syscall::SetTimer { delay, timer }) => {
+                        self.store
+                            .events
+                            .push(self.now + delay, (st.id, NodeEvent::Timer(timer)));
+                    }
+                    StepResult::HandlerDone(_) | StepResult::Halted | StepResult::Infeasible => {
+                        self.store.states.insert(st.id, st);
+                        break;
+                    }
+                    StepResult::Bug(report) => {
+                        self.bugs.push(BugFound { node: st.node, state: st.id, report });
+                        self.store.states.insert(st.id, st);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One transmission: mint a packet id, run the state mapping, update
+    /// communication histories, and schedule delivery events.
+    fn transmit(&mut self, sender: &mut SdeState, dest: NodeId, payload: Vec<ExprRef>) {
+        assert!(
+            self.scenario.topology.are_neighbors(sender.node, dest),
+            "{} sent to non-neighbor {dest}",
+            sender.node
+        );
+        let pid = PacketId(self.next_packet);
+        self.next_packet += 1;
+        self.packets_sent += 1;
+
+        let delivery = self
+            .mapper
+            .map_send(sender.id, sender.node, dest, &mut self.store);
+
+        sender.history.record(HistoryEvent::Sent { id: pid, peer: dest });
+        let packet = Packet { id: pid, src: sender.node, dest, payload };
+        let deliver_at = self.now + self.scenario.link_latency_ms;
+        for receiver in delivery.receivers {
+            let r = self
+                .store
+                .states
+                .get_mut(&receiver)
+                .unwrap_or_else(|| panic!("receiver {receiver} not resident"));
+            r.history.record(HistoryEvent::Received { id: pid, peer: packet.src });
+            self.store
+                .events
+                .push(deliver_at, (receiver, NodeEvent::Deliver(packet.clone())));
+        }
+    }
+
+    // ----- reporting ----------------------------------------------------------
+
+    fn sample(&mut self) {
+        let bytes: usize = self.store.states.values().map(SdeState::approx_bytes).sum();
+        let live = self.store.states.values().filter(|s| s.is_live()).count();
+        self.series.push(Sample {
+            wall_ms: self.started.elapsed().as_millis() as u64,
+            virtual_ms: self.now,
+            live_states: live,
+            total_states: self.store.total_states,
+            bytes,
+            groups: self.mapper.group_count(),
+        });
+    }
+
+    /// Consumes the engine into its final report.
+    pub fn into_report(self) -> RunReport {
+        let live = self.store.states.values().filter(|s| s.is_live()).count();
+        let final_bytes: usize = self.store.states.values().map(SdeState::approx_bytes).sum();
+        // Duplicate detection over resident states.
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut duplicates = 0usize;
+        for s in self.store.states.values() {
+            if !seen.insert(s.config_digest()) {
+                duplicates += 1;
+            }
+        }
+        RunReport {
+            algorithm: self.mapper.name(),
+            wall: self.started.elapsed(),
+            virtual_ms: self.now,
+            total_states: self.store.total_states,
+            live_states: live,
+            final_bytes,
+            peak_bytes: self.series.peak_bytes().max(final_bytes),
+            instructions: self.instructions,
+            events: self.events_processed,
+            packets: self.packets_sent,
+            aborted: self.aborted,
+            groups: self.mapper.group_count(),
+            mapper: self.mapper.stats(),
+            solver: self.solver.stats(),
+            duplicate_states: duplicates,
+            bugs: self.bugs,
+            series: self.series,
+        }
+    }
+}
+
+/// Runs `scenario` under `algorithm` and reports.
+///
+/// # Examples
+///
+/// ```
+/// use sde_core::{run, Algorithm, Scenario};
+/// use sde_net::Topology;
+/// use sde_os::apps::hello::{self, HelloConfig};
+///
+/// let topology = Topology::line(3);
+/// let programs = hello::programs(&topology, &HelloConfig::default());
+/// let report = run(&Scenario::new(topology, programs), Algorithm::Sds);
+/// assert_eq!(report.algorithm, "SDS");
+/// assert!(report.packets > 0);
+/// ```
+pub fn run(scenario: &Scenario, algorithm: Algorithm) -> RunReport {
+    Engine::new(scenario.clone(), algorithm).run()
+}

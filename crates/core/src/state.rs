@@ -1,0 +1,139 @@
+//! Distributed execution states: a VM state plus its network identity.
+
+use crate::history::CommHistory;
+use sde_net::{FailureConfig, FailureKind, NodeId};
+use sde_vm::{Status, VmState};
+use std::fmt;
+
+/// Globally unique identifier of one execution state within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u64);
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One execution state of the distributed system: a node id (`node(s)` in
+/// the paper), the underlying VM state, the communication history, and
+/// the per-state failure budgets.
+#[derive(Debug, Clone)]
+pub struct SdeState {
+    /// Unique identity.
+    pub id: StateId,
+    /// The node this state belongs to.
+    pub node: NodeId,
+    /// The symbolic VM state (memory, frames, path condition).
+    pub vm: VmState,
+    /// Packets sent/received by this state.
+    pub history: CommHistory,
+    /// Remaining symbolic-drop opportunities.
+    pub drop_budget: u32,
+    /// Remaining symbolic-duplication opportunities.
+    pub dup_budget: u32,
+    /// Remaining symbolic-reboot opportunities.
+    pub reboot_budget: u32,
+}
+
+impl SdeState {
+    /// Creates the boot-time state of `node`.
+    pub fn boot(
+        id: StateId,
+        node: NodeId,
+        vm: VmState,
+        failures: &FailureConfig,
+        track_history: bool,
+    ) -> SdeState {
+        SdeState {
+            id,
+            node,
+            vm,
+            history: CommHistory::new(track_history),
+            drop_budget: failures.budget(node, FailureKind::PacketDrop),
+            dup_budget: failures.budget(node, FailureKind::PacketDuplicate),
+            reboot_budget: failures.budget(node, FailureKind::NodeReboot),
+        }
+    }
+
+    /// An exact copy under a fresh identity.
+    pub fn fork_as(&self, id: StateId) -> SdeState {
+        SdeState { id, ..self.clone() }
+    }
+
+    /// Returns `true` while the state can still execute handlers.
+    pub fn is_live(&self) -> bool {
+        self.vm.status().is_live()
+    }
+
+    /// Returns `true` when the state is between handlers and can accept an
+    /// event.
+    pub fn is_idle(&self) -> bool {
+        *self.vm.status() == Status::Idle
+    }
+
+    /// Configuration digest *including* the communication history — the
+    /// paper's duplicate criterion covers "heap, stack, program counter,
+    /// path constraints, and the communication history" (§III-A).
+    pub fn config_digest(&self) -> u64 {
+        self.vm.config_digest() ^ self.history.digest().rotate_left(17)
+            ^ u64::from(self.node.0).rotate_left(41)
+    }
+
+    /// Deterministic approximation of this state's memory footprint.
+    pub fn approx_bytes(&self) -> usize {
+        self.vm.approx_bytes() + 48 + self.history.len() as usize * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryEvent;
+    use sde_net::PacketId;
+    use sde_vm::ProgramBuilder;
+
+    fn vm() -> VmState {
+        let mut pb = ProgramBuilder::new();
+        pb.function("on_boot", 0, |f| f.ret(None));
+        VmState::fresh(&pb.build().unwrap())
+    }
+
+    #[test]
+    fn boot_budgets_come_from_config() {
+        let failures = FailureConfig::new().with_drops([NodeId(3)], 2);
+        let s = SdeState::boot(StateId(0), NodeId(3), vm(), &failures, false);
+        assert_eq!(s.drop_budget, 2);
+        assert_eq!(s.dup_budget, 0);
+        let t = SdeState::boot(StateId(1), NodeId(4), vm(), &failures, false);
+        assert_eq!(t.drop_budget, 0);
+    }
+
+    #[test]
+    fn fork_changes_only_identity() {
+        let failures = FailureConfig::new();
+        let s = SdeState::boot(StateId(0), NodeId(1), vm(), &failures, false);
+        let t = s.fork_as(StateId(9));
+        assert_eq!(t.id, StateId(9));
+        assert_eq!(t.node, s.node);
+        assert_eq!(t.config_digest(), s.config_digest());
+    }
+
+    #[test]
+    fn history_differentiates_duplicates() {
+        let failures = FailureConfig::new();
+        let a = SdeState::boot(StateId(0), NodeId(1), vm(), &failures, false);
+        let mut b = a.fork_as(StateId(1));
+        assert_eq!(a.config_digest(), b.config_digest());
+        b.history.record(HistoryEvent::Sent { id: PacketId(1), peer: NodeId(2) });
+        assert_ne!(a.config_digest(), b.config_digest());
+    }
+
+    #[test]
+    fn same_vm_on_different_nodes_is_not_a_duplicate() {
+        let failures = FailureConfig::new();
+        let a = SdeState::boot(StateId(0), NodeId(1), vm(), &failures, false);
+        let b = SdeState::boot(StateId(1), NodeId(2), vm(), &failures, false);
+        assert_ne!(a.config_digest(), b.config_digest());
+    }
+}

@@ -1,0 +1,186 @@
+//! Run statistics: the quantities Table I and Figure 10 report.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One point of the state/memory-over-time curves (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Wall-clock milliseconds since the run started.
+    pub wall_ms: u64,
+    /// Virtual time in milliseconds.
+    pub virtual_ms: u64,
+    /// Execution states currently alive.
+    pub live_states: usize,
+    /// Execution states created so far (monotone).
+    pub total_states: usize,
+    /// Deterministic memory estimate in bytes (see DESIGN.md for the
+    /// substitution of RSS measurements).
+    pub bytes: usize,
+    /// dscenarios (COB) or dstates (COW/SDS) currently represented.
+    pub groups: usize,
+}
+
+/// The time series collected during one run.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// All samples, in collection order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The peak memory estimate across the run.
+    pub fn peak_bytes(&self) -> usize {
+        self.samples.iter().map(|s| s.bytes).max().unwrap_or(0)
+    }
+
+    /// The peak state count across the run.
+    pub fn peak_states(&self) -> usize {
+        self.samples.iter().map(|s| s.total_states).max().unwrap_or(0)
+    }
+
+    /// Writes the series as CSV (`wall_ms,virtual_ms,live,total,bytes,groups`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("wall_ms,virtual_ms,live_states,total_states,bytes,groups\n");
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                s.wall_ms, s.virtual_ms, s.live_states, s.total_states, s.bytes, s.groups
+            ));
+        }
+        out
+    }
+}
+
+/// A bug discovered during a run, with its provenance.
+#[derive(Debug, Clone)]
+pub struct BugFound {
+    /// The node whose program hit the bug.
+    pub node: sde_net::NodeId,
+    /// The state that hit it.
+    pub state: crate::state::StateId,
+    /// The VM-level report (kind, location, witness model).
+    pub report: sde_vm::BugReport,
+}
+
+impl fmt::Display for BugFound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}", self.node, self.state, self.report)
+    }
+}
+
+/// Everything a completed run reports — the row of Table I plus the
+/// curves of Figure 10.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Algorithm name ("COB", "COW", "SDS").
+    pub algorithm: &'static str,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Virtual time reached.
+    pub virtual_ms: u64,
+    /// Execution states created in total (the paper's "States" column).
+    pub total_states: usize,
+    /// States alive at the end.
+    pub live_states: usize,
+    /// Final memory estimate in bytes (the paper's "RAM" column).
+    pub final_bytes: usize,
+    /// Peak memory estimate in bytes.
+    pub peak_bytes: usize,
+    /// Total VM instructions executed.
+    pub instructions: u64,
+    /// Events processed.
+    pub events: u64,
+    /// Packets transmitted.
+    pub packets: u64,
+    /// `true` when the state cap aborted the run (the paper aborted COB
+    /// on the 100-node scenario at the machine's memory limit).
+    pub aborted: bool,
+    /// dscenarios/dstates represented at the end.
+    pub groups: usize,
+    /// Mapper work counters.
+    pub mapper: crate::mapping::MapperStats,
+    /// Constraint-solver work counters (queries, cache hits, search
+    /// nodes).
+    pub solver: sde_symbolic::SolverStats,
+    /// States whose configuration digest collides with another live
+    /// state's — the duplicate count the paper's §III-D theorem says must
+    /// be zero for SDS.
+    pub duplicate_states: usize,
+    /// Bugs found (deduplicated by kind/location).
+    pub bugs: Vec<BugFound>,
+    /// The Fig. 10 curves.
+    pub series: TimeSeries,
+}
+
+impl RunReport {
+    /// Formats the Table I row: algorithm, wall time, states, memory.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<4} | {:>12} | {:>10} | {:>12} | {}",
+            self.algorithm,
+            format!("{:.2?}", self.wall),
+            self.total_states,
+            human_bytes(self.final_bytes),
+            if self.aborted { "(aborted)" } else { "" }
+        )
+    }
+}
+
+/// Human-readable byte count.
+pub fn human_bytes(b: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = b as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{b} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_and_peaks() {
+        let mut ts = TimeSeries::new();
+        assert_eq!(ts.peak_bytes(), 0);
+        ts.push(Sample { wall_ms: 0, virtual_ms: 0, live_states: 3, total_states: 3, bytes: 100, groups: 1 });
+        ts.push(Sample { wall_ms: 5, virtual_ms: 1000, live_states: 7, total_states: 9, bytes: 900, groups: 2 });
+        ts.push(Sample { wall_ms: 9, virtual_ms: 2000, live_states: 6, total_states: 11, bytes: 700, groups: 2 });
+        assert_eq!(ts.peak_bytes(), 900);
+        assert_eq!(ts.peak_states(), 11);
+        let csv = ts.to_csv();
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.starts_with("wall_ms,"));
+        assert!(csv.contains("5,1000,7,9,900,2"));
+    }
+
+    #[test]
+    fn human_bytes_formatting() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0 MiB");
+        assert_eq!(human_bytes(5_368_709_120), "5.0 GiB");
+    }
+}

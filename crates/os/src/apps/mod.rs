@@ -1,0 +1,7 @@
+//! Bundled node applications (the workloads of the paper's evaluation).
+
+pub mod collect;
+pub mod fig1;
+pub mod flood;
+pub mod hello;
+pub mod pingpong;

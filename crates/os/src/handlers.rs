@@ -1,0 +1,33 @@
+//! The engine ⇄ program handler contract.
+
+/// Name of the boot handler: `fn on_boot()`, run once per node when the
+/// network boots (and again after a symbolic reboot).
+pub const ON_BOOT: &str = "on_boot";
+
+/// Name of the timer handler: `fn on_timer(timer_id: i16)`.
+pub const ON_TIMER: &str = "on_timer";
+
+/// Name of the reception handler: `fn on_recv(src: i16, payload...)`.
+/// The arity of a node's `on_recv` determines how many payload words the
+/// engine passes (packets with a different payload width are an error).
+pub const ON_RECV: &str = "on_recv";
+
+/// Well-known timer ids used by the bundled applications.
+pub mod timers {
+    /// Periodic data transmission (collect source).
+    pub const SEND: u16 = 1;
+    /// One-shot startup delay (hello).
+    pub const STARTUP: u16 = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(ON_BOOT, ON_TIMER);
+        assert_ne!(ON_TIMER, ON_RECV);
+        assert_ne!(timers::SEND, timers::STARTUP);
+    }
+}

@@ -1,0 +1,36 @@
+//! A Contiki-like node runtime and Rime-style communication programs.
+//!
+//! The paper evaluates SDE on unmodified Contiki OS firmware using the
+//! Rime stack. Neither exists in this reproduction, so this crate is the
+//! documented substitution (see DESIGN.md): node applications expressed
+//! in the `sde-vm` instruction set that generate the *same communication
+//! patterns* the paper's scenarios generate:
+//!
+//! * [`apps::collect`] — the evaluation workload (§IV-A): a source in one
+//!   grid corner broadcasts a data packet every second; the node on the
+//!   preconfigured static route re-broadcasts it hop by hop towards the
+//!   sink in the opposite corner; every transmission is perceived by all
+//!   neighbors of the transmitter.
+//! * [`apps::flood`] — the §IV-C adversarial workload: every received
+//!   packet is re-broadcast once (network flooding / dissemination),
+//!   where SDS's advantage collapses by design.
+//! * [`apps::hello`] — a one-shot neighbor-discovery round (each node
+//!   broadcasts a HELLO and counts answers), a third, milder workload.
+//! * [`apps::fig1`] — the paper's Figure 1 single-node branching program
+//!   (used by the quickstart example).
+//!
+//! # Engine contract
+//!
+//! Node programs interact with the engine through three handler names
+//! (see [`handlers`]): `on_boot()`, `on_timer(timer_id)`, and
+//! `on_recv(src, payload...)`. A node's `on_recv` arity fixes its
+//! expected payload width; all apps in this crate use the layouts in
+//! [`layout`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod handlers;
+pub mod layout;
+pub mod rime;

@@ -1,0 +1,37 @@
+//! Persistent (immutable, structurally shared) data structures.
+//!
+//! Symbolic execution forks states at every feasible symbolic branch, so an
+//! execution state must be cheap to clone. The classic trick (used by KLEE
+//! and its descendants) is structural sharing: a fork copies an `Arc`
+//! pointer, and only the path that is actually mutated is re-allocated.
+//!
+//! This crate provides the three shapes the rest of the workspace needs:
+//!
+//! * [`PMap`] — a hash array mapped trie (HAMT); used for VM heaps and
+//!   register/object tables. `O(log32 n)` read/update, `O(1)` clone.
+//! * [`PVec`] — a 32-way branching persistent vector with a tail buffer;
+//!   used for register files and append-mostly logs.
+//! * [`PList`] — a cons list; used for path conditions (append-front,
+//!   shared suffixes between sibling states).
+//!
+//! # Examples
+//!
+//! ```
+//! use sde_pds::PMap;
+//!
+//! let a: PMap<&str, i32> = PMap::new().insert("x", 1);
+//! let b = a.insert("x", 2); // `a` is untouched
+//! assert_eq!(a.get(&"x"), Some(&1));
+//! assert_eq!(b.get(&"x"), Some(&2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plist;
+mod pmap;
+mod pvec;
+
+pub use plist::PList;
+pub use pmap::PMap;
+pub use pvec::PVec;

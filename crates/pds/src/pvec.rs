@@ -1,0 +1,369 @@
+//! A persistent vector (32-way branching trie with a tail buffer).
+
+use std::fmt;
+use std::sync::Arc;
+
+const BITS: usize = 5;
+const WIDTH: usize = 1 << BITS; // 32
+const MASK: usize = WIDTH - 1;
+
+enum Node<T> {
+    Branch(Vec<Arc<Node<T>>>),
+    Leaf(Vec<T>),
+}
+
+impl<T: Clone> Clone for Node<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Node::Branch(c) => Node::Branch(c.clone()),
+            Node::Leaf(v) => Node::Leaf(v.clone()),
+        }
+    }
+}
+
+/// A persistent vector with `O(1)` clone, amortized `O(1)` push and
+/// `O(log32 n)` random access/update.
+///
+/// # Examples
+///
+/// ```
+/// use sde_pds::PVec;
+///
+/// let v: PVec<i32> = (0..100).collect();
+/// let w = v.set(3, -3);
+/// assert_eq!(v.get(3), Some(&3));
+/// assert_eq!(w.get(3), Some(&-3));
+/// ```
+pub struct PVec<T> {
+    /// Elements in the trie (`len - tail.len()`), always a multiple of 32.
+    trie_len: usize,
+    shift: usize,
+    root: Option<Arc<Node<T>>>,
+    tail: Arc<Vec<T>>,
+}
+
+impl<T> Clone for PVec<T> {
+    fn clone(&self) -> Self {
+        PVec {
+            trie_len: self.trie_len,
+            shift: self.shift,
+            root: self.root.clone(),
+            tail: self.tail.clone(),
+        }
+    }
+}
+
+impl<T> Default for PVec<T> {
+    fn default() -> Self {
+        PVec { trie_len: 0, shift: 0, root: None, tail: Arc::new(Vec::new()) }
+    }
+}
+
+impl<T> PVec<T> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.trie_len + self.tail.len()
+    }
+
+    /// Returns `true` when the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Clone> PVec<T> {
+    /// Returns the element at `index`, or `None` when out of bounds.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len() {
+            return None;
+        }
+        if index >= self.trie_len {
+            return Some(&self.tail[index - self.trie_len]);
+        }
+        let mut node = self.root.as_deref().expect("trie_len > 0 implies root");
+        let mut shift = self.shift;
+        loop {
+            match node {
+                Node::Branch(children) => {
+                    node = &children[(index >> shift) & MASK];
+                    shift -= BITS;
+                }
+                Node::Leaf(values) => return Some(&values[index & MASK]),
+            }
+        }
+    }
+
+    /// Returns a new vector with `value` appended.
+    #[must_use]
+    pub fn push(&self, value: T) -> Self {
+        if self.tail.len() < WIDTH {
+            let mut tail = (*self.tail).clone();
+            tail.push(value);
+            return PVec {
+                trie_len: self.trie_len,
+                shift: self.shift,
+                root: self.root.clone(),
+                tail: Arc::new(tail),
+            };
+        }
+        // Tail full: push it into the trie, start a fresh tail.
+        let leaf = Arc::new(Node::Leaf((*self.tail).clone()));
+        let (root, shift) = match &self.root {
+            None => (leaf, 0),
+            Some(root) => {
+                if self.trie_len == WIDTH << self.shift {
+                    // Root overflow: new root one level up.
+                    let path = Self::new_path(self.shift, leaf);
+                    (
+                        Arc::new(Node::Branch(vec![root.clone(), path])),
+                        self.shift + BITS,
+                    )
+                } else {
+                    (Self::push_leaf(root, self.shift, self.trie_len, leaf), self.shift)
+                }
+            }
+        };
+        PVec {
+            trie_len: self.trie_len + WIDTH,
+            shift,
+            root: Some(root),
+            tail: Arc::new(vec![value]),
+        }
+    }
+
+    fn new_path(levels: usize, node: Arc<Node<T>>) -> Arc<Node<T>> {
+        if levels == 0 {
+            node
+        } else {
+            Arc::new(Node::Branch(vec![Self::new_path(levels - BITS, node)]))
+        }
+    }
+
+    fn push_leaf(node: &Arc<Node<T>>, shift: usize, index: usize, leaf: Arc<Node<T>>) -> Arc<Node<T>> {
+        match node.as_ref() {
+            Node::Branch(children) => {
+                let sub = (index >> shift) & MASK;
+                let mut children = children.clone();
+                if sub < children.len() {
+                    children[sub] = Self::push_leaf(&children[sub], shift - BITS, index, leaf);
+                } else {
+                    debug_assert_eq!(sub, children.len());
+                    children.push(Self::new_path(shift - BITS, leaf));
+                }
+                Arc::new(Node::Branch(children))
+            }
+            Node::Leaf(_) => unreachable!("push_leaf never reaches an existing leaf"),
+        }
+    }
+
+    /// Returns a new vector with `index` replaced by `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn set(&self, index: usize, value: T) -> Self {
+        assert!(index < self.len(), "PVec::set index {index} out of bounds (len {})", self.len());
+        if index >= self.trie_len {
+            let mut tail = (*self.tail).clone();
+            tail[index - self.trie_len] = value;
+            return PVec {
+                trie_len: self.trie_len,
+                shift: self.shift,
+                root: self.root.clone(),
+                tail: Arc::new(tail),
+            };
+        }
+        let root = Self::set_in(
+            self.root.as_ref().expect("index < trie_len implies root"),
+            self.shift,
+            index,
+            value,
+        );
+        PVec {
+            trie_len: self.trie_len,
+            shift: self.shift,
+            root: Some(root),
+            tail: self.tail.clone(),
+        }
+    }
+
+    fn set_in(node: &Arc<Node<T>>, shift: usize, index: usize, value: T) -> Arc<Node<T>> {
+        match node.as_ref() {
+            Node::Branch(children) => {
+                let sub = (index >> shift) & MASK;
+                let mut children = children.clone();
+                children[sub] = Self::set_in(&children[sub], shift - BITS, index, value);
+                Arc::new(Node::Branch(children))
+            }
+            Node::Leaf(values) => {
+                let mut values = values.clone();
+                values[index & MASK] = value;
+                Arc::new(Node::Leaf(values))
+            }
+        }
+    }
+
+    /// Returns the last element, if any.
+    pub fn last(&self) -> Option<&T> {
+        let n = self.len();
+        if n == 0 {
+            None
+        } else {
+            self.get(n - 1)
+        }
+    }
+
+    /// Iterates over the elements in index order.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { vec: self, index: 0 }
+    }
+}
+
+/// Iterator over a [`PVec`] in index order.
+pub struct Iter<'a, T> {
+    vec: &'a PVec<T>,
+    index: usize,
+}
+
+impl<'a, T: Clone> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.vec.get(self.index)?;
+        self.index += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.vec.len().saturating_sub(self.index);
+        (remaining, Some(remaining))
+    }
+}
+
+impl<T: Clone> Extend<T> for PVec<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            *self = self.push(item);
+        }
+    }
+}
+
+impl<T: Clone> FromIterator<T> for PVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = PVec::new();
+        for item in iter {
+            v = v.push(item);
+        }
+        v
+    }
+}
+
+impl<T: Clone + fmt::Debug> fmt::Debug for PVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: Clone + PartialEq> PartialEq for PVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Clone + Eq> Eq for PVec<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let v: PVec<u8> = PVec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.get(0), None);
+        assert_eq!(v.last(), None);
+    }
+
+    #[test]
+    fn push_and_get_small() {
+        let mut v = PVec::new();
+        for i in 0..10 {
+            v = v.push(i);
+        }
+        for i in 0..10 {
+            assert_eq!(v.get(i), Some(&i));
+        }
+        assert_eq!(v.get(10), None);
+        assert_eq!(v.last(), Some(&9));
+    }
+
+    #[test]
+    fn push_across_many_levels() {
+        // > 32^2 elements forces at least two trie levels plus tail.
+        let n = 40_000usize;
+        let v: PVec<usize> = (0..n).collect();
+        assert_eq!(v.len(), n);
+        for i in (0..n).step_by(777) {
+            assert_eq!(v.get(i), Some(&i));
+        }
+        assert_eq!(v.get(n - 1), Some(&(n - 1)));
+    }
+
+    #[test]
+    fn set_is_persistent() {
+        let v: PVec<usize> = (0..100).collect();
+        let w = v.set(50, 5000);
+        assert_eq!(v.get(50), Some(&50));
+        assert_eq!(w.get(50), Some(&5000));
+        // Tail region too.
+        let u = v.set(99, 9900);
+        assert_eq!(v.get(99), Some(&99));
+        assert_eq!(u.get(99), Some(&9900));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_panics() {
+        let v: PVec<u8> = PVec::new();
+        let _ = v.set(0, 1);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let v: PVec<usize> = (0..1000).collect();
+        let collected: Vec<usize> = v.iter().copied().collect();
+        assert_eq!(collected, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clone_shares_structure() {
+        let v: PVec<usize> = (0..10_000).collect();
+        let w = v.clone();
+        assert_eq!(v, w);
+        let w2 = w.push(10_000);
+        assert_eq!(v.len(), 10_000);
+        assert_eq!(w2.len(), 10_001);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut v: PVec<u8> = (0..3).collect();
+        v.extend(3..6);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn eq_compares_contents() {
+        let a: PVec<u8> = (0..64).collect();
+        let b: PVec<u8> = (0..64).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, b.push(64));
+        assert_ne!(a, b.set(0, 99));
+    }
+}

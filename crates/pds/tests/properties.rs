@@ -1,0 +1,133 @@
+//! Property-based tests: the persistent structures behave exactly like
+//! their `std` counterparts under arbitrary operation sequences, and
+//! mutation never disturbs earlier versions.
+
+use proptest::prelude::*;
+use sde_pds::{PList, PMap, PVec};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u16, u32),
+    Remove(u16),
+}
+
+fn map_ops() -> impl Strategy<Value = Vec<MapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| MapOp::Insert(k % 512, v)),
+            any::<u16>().prop_map(|k| MapOp::Remove(k % 512)),
+        ],
+        0..300,
+    )
+}
+
+proptest! {
+    #[test]
+    fn pmap_matches_hashmap(ops in map_ops()) {
+        let mut model: HashMap<u16, u32> = HashMap::new();
+        let mut m: PMap<u16, u32> = PMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    model.insert(k, v);
+                    m = m.insert(k, v);
+                }
+                MapOp::Remove(k) => {
+                    model.remove(&k);
+                    m = m.remove(&k);
+                }
+            }
+            prop_assert_eq!(m.len(), model.len());
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(m.get(k), Some(v));
+        }
+        let mut pairs: Vec<(u16, u32)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        pairs.sort_unstable();
+        let mut expected: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn pmap_old_versions_are_untouched(ops in map_ops()) {
+        // Record every intermediate version and its model snapshot; at the
+        // end all versions must still answer queries from their snapshot.
+        let mut versions: Vec<(PMap<u16, u32>, HashMap<u16, u32>)> = Vec::new();
+        let mut model: HashMap<u16, u32> = HashMap::new();
+        let mut m: PMap<u16, u32> = PMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    model.insert(k, v);
+                    m = m.insert(k, v);
+                }
+                MapOp::Remove(k) => {
+                    model.remove(&k);
+                    m = m.remove(&k);
+                }
+            }
+            versions.push((m.clone(), model.clone()));
+        }
+        for (version, snapshot) in &versions {
+            prop_assert_eq!(version.len(), snapshot.len());
+            for (k, v) in snapshot {
+                prop_assert_eq!(version.get(k), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn pvec_matches_vec(pushes in prop::collection::vec(any::<u32>(), 0..200),
+                        sets in prop::collection::vec((any::<u16>(), any::<u32>()), 0..50)) {
+        let mut model: Vec<u32> = Vec::new();
+        let mut v: PVec<u32> = PVec::new();
+        for x in pushes {
+            model.push(x);
+            v = v.push(x);
+        }
+        for (i, x) in sets {
+            if model.is_empty() { break; }
+            let i = (i as usize) % model.len();
+            model[i] = x;
+            v = v.set(i, x);
+        }
+        prop_assert_eq!(v.len(), model.len());
+        let collected: Vec<u32> = v.iter().copied().collect();
+        prop_assert_eq!(collected, model);
+    }
+
+    #[test]
+    fn pvec_set_preserves_older_version(xs in prop::collection::vec(any::<u32>(), 1..100),
+                                        idx in any::<u16>()) {
+        let v: PVec<u32> = xs.iter().copied().collect();
+        let i = (idx as usize) % xs.len();
+        let w = v.set(i, !xs[i]);
+        prop_assert_eq!(v.get(i), Some(&xs[i]));
+        prop_assert_eq!(w.get(i), Some(&!xs[i]));
+        for (j, x) in xs.iter().enumerate() {
+            if j != i {
+                prop_assert_eq!(w.get(j), Some(x));
+            }
+        }
+    }
+
+    #[test]
+    fn plist_round_trips(xs in prop::collection::vec(any::<i64>(), 0..200)) {
+        let l: PList<i64> = xs.iter().copied().collect();
+        prop_assert_eq!(l.len(), xs.len());
+        let collected: Vec<i64> = l.iter().copied().collect();
+        prop_assert_eq!(collected, xs);
+    }
+
+    #[test]
+    fn plist_siblings_share_suffix(xs in prop::collection::vec(any::<u8>(), 0..50),
+                                   a in any::<u8>(), b in any::<u8>()) {
+        let base: PList<u8> = xs.iter().copied().collect();
+        let left = base.prepend(a);
+        let right = base.prepend(b);
+        prop_assert!(left.tail().ptr_eq(&right.tail()));
+        prop_assert_eq!(left.tail(), right.tail());
+    }
+}

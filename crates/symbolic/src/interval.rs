@@ -1,0 +1,460 @@
+//! Unsigned interval abstract domain used for solver pruning.
+
+use crate::expr::{BinOp, CastOp, Expr, UnOp};
+use crate::table::SymId;
+use crate::width::Width;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A non-wrapping unsigned interval `[lo, hi]` of values of some width.
+///
+/// The empty interval is represented by `lo > hi`. The domain is
+/// deliberately simple — it exists to prune the solver's enumeration, not
+/// to be precise; every transfer function is sound (over-approximating).
+///
+/// # Examples
+///
+/// ```
+/// use sde_symbolic::{Interval, Width};
+///
+/// let a = Interval::new(5, 10);
+/// let b = Interval::new(8, 20);
+/// assert_eq!(a.intersect(&b), Interval::new(8, 10));
+/// assert!(Interval::new(3, 2).is_empty());
+/// assert_eq!(Interval::full(Width::W8), Interval::new(0, 255));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    lo: u64,
+    hi: u64,
+}
+
+impl Interval {
+    /// The interval `[lo, hi]`; empty when `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Interval {
+        Interval { lo, hi }
+    }
+
+    /// The single value `v`.
+    pub fn singleton(v: u64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The full domain of width `w`.
+    pub fn full(w: Width) -> Interval {
+        Interval { lo: 0, hi: w.umax() }
+    }
+
+    /// The canonical empty interval.
+    pub fn empty() -> Interval {
+        Interval { lo: 1, hi: 0 }
+    }
+
+    /// Lower bound (meaningless when empty).
+    pub fn lo(&self) -> u64 {
+        self.lo
+    }
+
+    /// Upper bound (meaningless when empty).
+    pub fn hi(&self) -> u64 {
+        self.hi
+    }
+
+    /// Returns `true` when no value is contained.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Returns `true` when exactly one value is contained.
+    pub fn is_singleton(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Returns `true` when `v` is contained.
+    pub fn contains(&self, v: u64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Number of contained values, saturating at `u64::MAX`.
+    pub fn size(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.hi - self.lo).saturating_add(1)
+        }
+    }
+
+    /// Intersection of two intervals.
+    #[must_use]
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+    }
+
+    /// Smallest interval containing both (interval hull).
+    #[must_use]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    fn add(&self, other: &Interval, w: Width) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::empty();
+        }
+        match (self.lo.checked_add(other.lo), self.hi.checked_add(other.hi)) {
+            (Some(lo), Some(hi)) if hi <= w.umax() => Interval { lo, hi },
+            _ => Interval::full(w), // may wrap
+        }
+    }
+
+    fn sub(&self, other: &Interval, w: Width) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::empty();
+        }
+        if self.lo >= other.hi {
+            Interval { lo: self.lo - other.hi, hi: self.hi - other.lo }
+        } else {
+            Interval::full(w) // may wrap below zero
+        }
+    }
+
+    fn mul(&self, other: &Interval, w: Width) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::empty();
+        }
+        match (self.lo.checked_mul(other.lo), self.hi.checked_mul(other.hi)) {
+            (Some(lo), Some(hi)) if hi <= w.umax() => Interval { lo, hi },
+            _ => Interval::full(w),
+        }
+    }
+
+    /// Boolean interval from a three-valued comparison outcome.
+    fn from_bool(known: Option<bool>) -> Interval {
+        match known {
+            Some(true) => Interval::singleton(1),
+            Some(false) => Interval::singleton(0),
+            None => Interval::new(0, 1),
+        }
+    }
+
+    /// Evaluates an expression to an interval under per-variable bounds.
+    ///
+    /// Variables missing from `env` take their full width domain.
+    pub fn of_expr(expr: &Expr, env: &BTreeMap<SymId, Interval>) -> Interval {
+        match expr {
+            Expr::Const { value, .. } => Interval::singleton(*value),
+            Expr::Sym(v) => env
+                .get(&v.id())
+                .copied()
+                .unwrap_or_else(|| Interval::full(v.width())),
+            Expr::Unary { op, arg } => {
+                let w = arg.width();
+                let a = Self::of_expr(arg, env);
+                if a.is_empty() {
+                    return Interval::empty();
+                }
+                match op {
+                    // ¬[lo,hi] = [¬hi, ¬lo] within the width mask.
+                    UnOp::Not => Interval::new(w.truncate(!a.hi), w.truncate(!a.lo)),
+                    UnOp::Neg => {
+                        if a.is_singleton() {
+                            Interval::singleton(w.truncate(a.lo.wrapping_neg()))
+                        } else {
+                            Interval::full(w)
+                        }
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let w = lhs.width();
+                let a = Self::of_expr(lhs, env);
+                let b = Self::of_expr(rhs, env);
+                if a.is_empty() || b.is_empty() {
+                    return Interval::empty();
+                }
+                match op {
+                    BinOp::Add => a.add(&b, w),
+                    BinOp::Sub => a.sub(&b, w),
+                    BinOp::Mul => a.mul(&b, w),
+                    BinOp::UDiv => match (a.lo.checked_div(b.hi), a.hi.checked_div(b.lo)) {
+                        (Some(lo), Some(hi)) => Interval::new(lo, hi),
+                        // Division by zero possible → all-ones reachable.
+                        _ => Interval::full(w),
+                    },
+                    BinOp::URem => {
+                        if b.lo > 0 {
+                            Interval::new(0, (b.hi - 1).min(a.hi))
+                        } else {
+                            Interval::full(w)
+                        }
+                    }
+                    BinOp::And => Interval::new(0, a.hi.min(b.hi)),
+                    BinOp::Or => {
+                        // or never clears bits: lo >= max(lo_a, lo_b);
+                        // hi bounded by next power-of-two envelope.
+                        let hi = pow2_envelope(a.hi | b.hi);
+                        Interval::new(a.lo.max(b.lo), w.truncate(hi))
+                    }
+                    BinOp::Xor => Interval::new(0, w.truncate(pow2_envelope(a.hi | b.hi))),
+                    BinOp::Shl | BinOp::LShr | BinOp::AShr => {
+                        if b.is_singleton() && a.is_singleton() {
+                            Interval::singleton(crate::expr::eval_binop(*op, a.lo, b.lo, w))
+                        } else if *op == BinOp::LShr && b.is_singleton() {
+                            Interval::new(
+                                crate::expr::eval_binop(*op, a.lo, b.lo, w),
+                                crate::expr::eval_binop(*op, a.hi, b.lo, w),
+                            )
+                        } else {
+                            Interval::full(w)
+                        }
+                    }
+                    BinOp::SDiv | BinOp::SRem => Interval::full(w),
+                    BinOp::Eq => Interval::from_bool(if a.is_singleton() && b == a {
+                        Some(true)
+                    } else if a.intersect(&b).is_empty() {
+                        Some(false)
+                    } else {
+                        None
+                    }),
+                    BinOp::Ne => Interval::from_bool(if a.is_singleton() && b == a {
+                        Some(false)
+                    } else if a.intersect(&b).is_empty() {
+                        Some(true)
+                    } else {
+                        None
+                    }),
+                    BinOp::Ult => Interval::from_bool(if a.hi < b.lo {
+                        Some(true)
+                    } else if a.lo >= b.hi {
+                        Some(false)
+                    } else {
+                        None
+                    }),
+                    BinOp::Ule => Interval::from_bool(if a.hi <= b.lo {
+                        Some(true)
+                    } else if a.lo > b.hi {
+                        Some(false)
+                    } else {
+                        None
+                    }),
+                    // Signed comparisons: decided only when both sides stay
+                    // within the non-negative range (common case for small
+                    // counters); otherwise unknown.
+                    BinOp::Slt => {
+                        if a.hi < w.sign_bit() && b.hi < w.sign_bit() {
+                            Interval::from_bool(if a.hi < b.lo {
+                                Some(true)
+                            } else if a.lo >= b.hi {
+                                Some(false)
+                            } else {
+                                None
+                            })
+                        } else {
+                            Interval::new(0, 1)
+                        }
+                    }
+                    BinOp::Sle => {
+                        if a.hi < w.sign_bit() && b.hi < w.sign_bit() {
+                            Interval::from_bool(if a.hi <= b.lo {
+                                Some(true)
+                            } else if a.lo > b.hi {
+                                Some(false)
+                            } else {
+                                None
+                            })
+                        } else {
+                            Interval::new(0, 1)
+                        }
+                    }
+                }
+            }
+            Expr::Ite { cond, then, els } => {
+                let c = Self::of_expr(cond, env);
+                if c == Interval::singleton(1) {
+                    Self::of_expr(then, env)
+                } else if c == Interval::singleton(0) {
+                    Self::of_expr(els, env)
+                } else {
+                    Self::of_expr(then, env).hull(&Self::of_expr(els, env))
+                }
+            }
+            Expr::Cast { op, to, arg } => {
+                let a = Self::of_expr(arg, env);
+                if a.is_empty() {
+                    return Interval::empty();
+                }
+                match op {
+                    CastOp::Zext => a,
+                    CastOp::Trunc => {
+                        if a.hi <= to.umax() {
+                            a
+                        } else {
+                            Interval::full(*to)
+                        }
+                    }
+                    CastOp::Sext => {
+                        let from = arg.width();
+                        if a.hi < from.sign_bit() {
+                            a // stays non-negative: value unchanged
+                        } else {
+                            Interval::full(*to)
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Smallest `2^k - 1 >= v`.
+fn pow2_envelope(v: u64) -> u64 {
+    if v == 0 {
+        0
+    } else {
+        u64::MAX >> v.leading_zeros()
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "∅")
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SymbolTable};
+    use crate::expr::ExprRef;
+
+    fn env_of(pairs: &[(SymId, Interval)]) -> BTreeMap<SymId, Interval> {
+        pairs.iter().copied().collect()
+    }
+
+    fn c(v: u64, w: Width) -> ExprRef {
+        Expr::const_(v, w)
+    }
+
+    #[test]
+    fn basics() {
+        let a = Interval::new(3, 7);
+        assert!(a.contains(3) && a.contains(7) && !a.contains(8));
+        assert_eq!(a.size(), 5);
+        assert!(Interval::empty().is_empty());
+        assert_eq!(Interval::full(Width::BOOL), Interval::new(0, 1));
+        assert_eq!(a.hull(&Interval::new(10, 12)), Interval::new(3, 12));
+        assert!(a.intersect(&Interval::new(8, 9)).is_empty());
+    }
+
+    #[test]
+    fn add_detects_wrap() {
+        let w = Width::W8;
+        let a = Interval::new(200, 250);
+        let b = Interval::new(10, 20);
+        assert_eq!(a.add(&b, w), Interval::full(w)); // can exceed 255
+        assert_eq!(Interval::new(1, 2).add(&Interval::new(3, 4), w), Interval::new(4, 6));
+    }
+
+    #[test]
+    fn comparison_decisions() {
+        let mut t = SymbolTable::new();
+        let xv = t.fresh("x", Width::W8);
+        let x = Expr::sym(xv.clone());
+        let lt = Expr::ult(x.clone(), c(10, Width::W8));
+        // With x in [0, 5] the comparison is decided true.
+        let env = env_of(&[(xv.id(), Interval::new(0, 5))]);
+        assert_eq!(Interval::of_expr(&lt, &env), Interval::singleton(1));
+        // With x in [10, 20] it is decided false.
+        let env = env_of(&[(xv.id(), Interval::new(10, 20))]);
+        assert_eq!(Interval::of_expr(&lt, &env), Interval::singleton(0));
+        // With x in [5, 15] it is unknown.
+        let env = env_of(&[(xv.id(), Interval::new(5, 15))]);
+        assert_eq!(Interval::of_expr(&lt, &env), Interval::new(0, 1));
+    }
+
+    #[test]
+    fn missing_vars_take_full_domain() {
+        let mut t = SymbolTable::new();
+        let x = Expr::sym(t.fresh("x", Width::W8));
+        let i = Interval::of_expr(&x, &BTreeMap::new());
+        assert_eq!(i, Interval::new(0, 255));
+    }
+
+    #[test]
+    fn arithmetic_over_exprs() {
+        let mut t = SymbolTable::new();
+        let xv = t.fresh("x", Width::W8);
+        let x = Expr::sym(xv.clone());
+        let e = Expr::add(x, c(3, Width::W8));
+        let env = env_of(&[(xv.id(), Interval::new(1, 2))]);
+        assert_eq!(Interval::of_expr(&e, &env), Interval::new(4, 5));
+    }
+
+    #[test]
+    fn soundness_spot_checks() {
+        // For every op and sampled concrete values inside input intervals,
+        // the result must land inside the abstract result.
+        let w = Width::W8;
+        let ops = [
+            BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::UDiv, BinOp::URem,
+            BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Ult, BinOp::Ule,
+            BinOp::Eq, BinOp::Ne, BinOp::Slt, BinOp::Sle,
+        ];
+        let mut t = SymbolTable::new();
+        let xv = t.fresh("x", w);
+        let yv = t.fresh("y", w);
+        let samples = [(0u64, 0u64), (3, 250), (128, 127), (255, 1), (10, 10)];
+        for op in ops {
+            for &(a, b) in &samples {
+                let env = env_of(&[
+                    (xv.id(), Interval::new(a.saturating_sub(2), (a + 2).min(255))),
+                    (yv.id(), Interval::new(b.saturating_sub(2), (b + 2).min(255))),
+                ]);
+                let e = Expr::Binary {
+                    op,
+                    lhs: Expr::sym(xv.clone()),
+                    rhs: Expr::sym(yv.clone()),
+                };
+                let abs = Interval::of_expr(&e, &env);
+                let concrete = crate::expr::eval_binop(op, a, b, w);
+                assert!(
+                    abs.contains(concrete),
+                    "{op:?}({a},{b}) = {concrete} not in {abs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ite_hull() {
+        let mut t = SymbolTable::new();
+        let cv = t.fresh("c", Width::BOOL);
+        let e = Expr::Ite {
+            cond: Expr::sym(cv.clone()),
+            then: c(10, Width::W8),
+            els: c(20, Width::W8),
+        };
+        assert_eq!(Interval::of_expr(&e, &BTreeMap::new()), Interval::new(10, 20));
+        let env = env_of(&[(cv.id(), Interval::singleton(1))]);
+        assert_eq!(Interval::of_expr(&e, &env), Interval::singleton(10));
+    }
+
+    #[test]
+    fn pow2_envelope_values() {
+        assert_eq!(pow2_envelope(0), 0);
+        assert_eq!(pow2_envelope(1), 1);
+        assert_eq!(pow2_envelope(2), 3);
+        assert_eq!(pow2_envelope(5), 7);
+        assert_eq!(pow2_envelope(255), 255);
+        assert_eq!(pow2_envelope(256), 511);
+    }
+}

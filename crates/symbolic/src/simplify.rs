@@ -1,0 +1,252 @@
+//! Expression simplification.
+//!
+//! The smart constructors in [`Expr`] already constant-fold and apply local
+//! identities at construction time. [`simplify`] additionally rebuilds a
+//! term bottom-up (so stale sub-terms created before their operands became
+//! constant get folded) and applies a few non-local rewrites that pay off
+//! on path-condition constraints:
+//!
+//! * re-association of constant addends: `(x + c1) + c2 → x + (c1 + c2)`
+//! * constant migration in equalities: `x + c1 = c2 → x = c2 - c1`
+//! * comparison canonicalization: constants move to the right-hand side.
+
+use crate::expr::{BinOp, CastOp, Expr, ExprRef, UnOp};
+
+/// Returns an equivalent, usually smaller term.
+///
+/// Idempotent: `simplify(simplify(e)) == simplify(e)` for all supported
+/// rewrites.
+///
+/// # Examples
+///
+/// ```
+/// use sde_symbolic::{simplify, Expr, SymbolTable, Width};
+///
+/// let mut t = SymbolTable::new();
+/// let x = Expr::sym(t.fresh("x", Width::W8));
+/// let e = Expr::Binary {
+///     op: sde_symbolic::BinOp::Add,
+///     lhs: Expr::const_(2, Width::W8),
+///     rhs: Expr::const_(3, Width::W8),
+/// };
+/// assert_eq!(simplify(&std::sync::Arc::new(e)).as_const(), Some(5));
+/// # let _ = x;
+/// ```
+pub fn simplify(expr: &ExprRef) -> ExprRef {
+    match &**expr {
+        Expr::Const { .. } | Expr::Sym(_) => expr.clone(),
+        Expr::Unary { op, arg } => {
+            let arg = simplify(arg);
+            match op {
+                UnOp::Not => Expr::not(arg),
+                UnOp::Neg => Expr::neg(arg),
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let lhs = simplify(lhs);
+            let rhs = simplify(rhs);
+            rebuild_binary(*op, lhs, rhs)
+        }
+        Expr::Ite { cond, then, els } => {
+            let cond = simplify(cond);
+            let then = simplify(then);
+            let els = simplify(els);
+            Expr::ite(cond, then, els)
+        }
+        Expr::Cast { op, to, arg } => {
+            let arg = simplify(arg);
+            match op {
+                CastOp::Zext => Expr::zext(arg, *to),
+                CastOp::Sext => Expr::sext(arg, *to),
+                CastOp::Trunc => Expr::trunc(arg, *to),
+            }
+        }
+    }
+}
+
+fn rebuild_binary(op: BinOp, lhs: ExprRef, rhs: ExprRef) -> ExprRef {
+    // Canonicalize: constant on the right for commutative ops and
+    // equality-like comparisons.
+    let (lhs, rhs) = if lhs.as_const().is_some()
+        && rhs.as_const().is_none()
+        && matches!(
+            op,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne
+        ) {
+        (rhs, lhs)
+    } else {
+        (lhs, rhs)
+    };
+
+    // (x + c1) + c2 → x + (c1 + c2); same for mul/and/or/xor.
+    if let (Some(c2), Expr::Binary { op: inner_op, lhs: x, rhs: inner_rhs }) = (rhs.as_const(), &*lhs) {
+        if *inner_op == op
+            && matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+        {
+            if let Some(c1) = inner_rhs.as_const() {
+                let w = x.width();
+                let folded = crate::expr::eval_binop(op, c1, c2, w);
+                let combined = Expr::const_(folded, w);
+                return apply(op, x.clone(), combined);
+            }
+        }
+    }
+
+    // x + c1 = c2  →  x = c2 - c1   (and the same for Ne, Sub mirrored).
+    if matches!(op, BinOp::Eq | BinOp::Ne) {
+        if let (Expr::Binary { op: BinOp::Add, lhs: x, rhs: addend }, Some(c2)) =
+            (&*lhs, rhs.as_const())
+        {
+            if let Some(c1) = addend.as_const() {
+                let w = x.width();
+                let moved = Expr::const_(c2.wrapping_sub(c1), w);
+                return apply(op, x.clone(), moved);
+            }
+        }
+        if let (Expr::Binary { op: BinOp::Sub, lhs: x, rhs: subtrahend }, Some(c2)) =
+            (&*lhs, rhs.as_const())
+        {
+            if let Some(c1) = subtrahend.as_const() {
+                let w = x.width();
+                let moved = Expr::const_(c2.wrapping_add(c1), w);
+                return apply(op, x.clone(), moved);
+            }
+        }
+    }
+
+    apply(op, lhs, rhs)
+}
+
+/// Dispatches to the folding smart constructor for `op`.
+fn apply(op: BinOp, lhs: ExprRef, rhs: ExprRef) -> ExprRef {
+    match op {
+        BinOp::Add => Expr::add(lhs, rhs),
+        BinOp::Sub => Expr::sub(lhs, rhs),
+        BinOp::Mul => Expr::mul(lhs, rhs),
+        BinOp::UDiv => Expr::udiv(lhs, rhs),
+        BinOp::URem => Expr::urem(lhs, rhs),
+        BinOp::SDiv => Expr::sdiv(lhs, rhs),
+        BinOp::SRem => Expr::srem(lhs, rhs),
+        BinOp::And => Expr::and(lhs, rhs),
+        BinOp::Or => Expr::or(lhs, rhs),
+        BinOp::Xor => Expr::xor(lhs, rhs),
+        BinOp::Shl => Expr::shl(lhs, rhs),
+        BinOp::LShr => Expr::lshr(lhs, rhs),
+        BinOp::AShr => Expr::ashr(lhs, rhs),
+        BinOp::Eq => Expr::eq(lhs, rhs),
+        BinOp::Ne => Expr::ne(lhs, rhs),
+        BinOp::Ult => Expr::ult(lhs, rhs),
+        BinOp::Ule => Expr::ule(lhs, rhs),
+        BinOp::Slt => Expr::slt(lhs, rhs),
+        BinOp::Sle => Expr::sle(lhs, rhs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, SymbolTable, Width};
+    use std::sync::Arc;
+
+    fn c(v: u64, w: Width) -> ExprRef {
+        Expr::const_(v, w)
+    }
+
+    #[test]
+    fn reassociates_constant_addends() {
+        let mut t = SymbolTable::new();
+        let x = Expr::sym(t.fresh("x", Width::W8));
+        let e = Expr::add(Expr::add(x.clone(), c(3, Width::W8)), c(4, Width::W8));
+        let s = simplify(&e);
+        match &*s {
+            Expr::Binary { op: BinOp::Add, lhs, rhs } => {
+                assert_eq!(lhs, &x);
+                assert_eq!(rhs.as_const(), Some(7));
+            }
+            other => panic!("expected x + 7, got {other}"),
+        }
+    }
+
+    #[test]
+    fn moves_constant_across_equality() {
+        let mut t = SymbolTable::new();
+        let x = Expr::sym(t.fresh("x", Width::W8));
+        // x + 10 == 13  →  x == 3
+        let e = Expr::eq(Expr::add(x.clone(), c(10, Width::W8)), c(13, Width::W8));
+        let s = simplify(&e);
+        match &*s {
+            Expr::Binary { op: BinOp::Eq, lhs, rhs } => {
+                assert_eq!(lhs, &x);
+                assert_eq!(rhs.as_const(), Some(3));
+            }
+            other => panic!("expected x == 3, got {other}"),
+        }
+        // x - 5 != 1  →  x != 6
+        let e = Expr::ne(Expr::sub(x.clone(), c(5, Width::W8)), c(1, Width::W8));
+        let s = simplify(&e);
+        match &*s {
+            Expr::Binary { op: BinOp::Ne, lhs, rhs } => {
+                assert_eq!(lhs, &x);
+                assert_eq!(rhs.as_const(), Some(6));
+            }
+            other => panic!("expected x != 6, got {other}"),
+        }
+    }
+
+    #[test]
+    fn constant_canonicalized_right() {
+        let mut t = SymbolTable::new();
+        let x = Expr::sym(t.fresh("x", Width::W8));
+        let e = Arc::new(Expr::Binary { op: BinOp::Add, lhs: c(9, Width::W8), rhs: x.clone() });
+        let s = simplify(&e);
+        match &*s {
+            Expr::Binary { op: BinOp::Add, lhs, rhs } => {
+                assert_eq!(lhs, &x);
+                assert_eq!(rhs.as_const(), Some(9));
+            }
+            other => panic!("expected x + 9, got {other}"),
+        }
+    }
+
+    #[test]
+    fn folds_stale_constant_subterms() {
+        // Build (x + (2*3)) through raw variants, bypassing constructors.
+        let mut t = SymbolTable::new();
+        let x = Expr::sym(t.fresh("x", Width::W8));
+        let two_three = Arc::new(Expr::Binary { op: BinOp::Mul, lhs: c(2, Width::W8), rhs: c(3, Width::W8) });
+        let e = Arc::new(Expr::Binary { op: BinOp::Add, lhs: x.clone(), rhs: two_three });
+        let s = simplify(&e);
+        match &*s {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => assert_eq!(rhs.as_const(), Some(6)),
+            other => panic!("expected x + 6, got {other}"),
+        }
+    }
+
+    #[test]
+    fn simplify_is_idempotent_and_preserves_semantics() {
+        let mut t = SymbolTable::new();
+        let xv = t.fresh("x", Width::W8);
+        let x = Expr::sym(xv.clone());
+        let exprs = vec![
+            Expr::eq(Expr::add(x.clone(), c(10, Width::W8)), c(13, Width::W8)),
+            Expr::add(Expr::add(x.clone(), c(3, Width::W8)), c(4, Width::W8)),
+            Expr::not(Expr::ult(x.clone(), c(5, Width::W8))),
+            Expr::ite(
+                Expr::eq(x.clone(), c(0, Width::W8)),
+                Expr::add(x.clone(), c(1, Width::W8)),
+                x.clone(),
+            ),
+        ];
+        for e in exprs {
+            let s1 = simplify(&e);
+            let s2 = simplify(&s1);
+            assert_eq!(s1, s2, "not idempotent for {e}");
+            // Semantics preserved over the whole 8-bit domain.
+            for v in 0..=255u64 {
+                let mut m = Model::new();
+                m.assign(xv.id(), v);
+                assert_eq!(e.eval(&m), s1.eval(&m), "semantics changed at x={v} for {e}");
+            }
+        }
+    }
+}

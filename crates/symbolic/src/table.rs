@@ -1,0 +1,168 @@
+//! Symbolic variable identities.
+
+use crate::Width;
+use std::fmt;
+use std::sync::Arc;
+
+/// Opaque identifier of a symbolic variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymId(pub(crate) u32);
+
+impl SymId {
+    /// The raw index (stable within one [`SymbolTable`]).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A symbolic variable: identity, human-readable name, width, and its
+/// *replay key* — the node that minted it plus the per-lineage
+/// occurrence count of its name on that node.
+///
+/// The replay key identifies "the same input" across two runs of the
+/// same scenario even though the global creation order (and therefore
+/// [`SymId`]) differs when one run forks and the other does not.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SymVar {
+    id: SymId,
+    name: Arc<str>,
+    width: Width,
+    node: u16,
+    occurrence: u32,
+}
+
+impl SymVar {
+    /// The variable's identifier.
+    pub fn id(&self) -> SymId {
+        self.id
+    }
+
+    /// The human-readable name given at creation.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The variable's bit width.
+    pub fn width(&self) -> Width {
+        self.width
+    }
+
+    /// The node that minted the input (0 for plain [`SymbolTable::fresh`]).
+    pub fn node(&self) -> u16 {
+        self.node
+    }
+
+    /// How many inputs of the same name the minting state had created
+    /// before this one.
+    pub fn occurrence(&self) -> u32 {
+        self.occurrence
+    }
+
+    /// The run-independent replay key `(node, name, occurrence)`.
+    pub fn replay_key(&self) -> (u16, String, u32) {
+        (self.node, self.name.to_string(), self.occurrence)
+    }
+}
+
+impl fmt::Display for SymVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.node == 0 && self.occurrence == 0 {
+            write!(f, "{}#{}", self.name, self.id.0)
+        } else {
+            write!(f, "{}@n{}#{}", self.name, self.node, self.occurrence)
+        }
+    }
+}
+
+/// Allocates fresh symbolic variables with unique ids.
+///
+/// Each SDE run owns one table; every `make_symbolic` in any node program
+/// draws from it, so models can be split per node by name when test cases
+/// are emitted.
+///
+/// # Examples
+///
+/// ```
+/// use sde_symbolic::{SymbolTable, Width};
+///
+/// let mut t = SymbolTable::new();
+/// let a = t.fresh("drop", Width::BOOL);
+/// let b = t.fresh("drop", Width::BOOL);
+/// assert_ne!(a.id(), b.id()); // same name, distinct identity
+/// ```
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    vars: Vec<SymVar>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh variable with the given display name and width.
+    pub fn fresh(&mut self, name: &str, width: Width) -> SymVar {
+        self.fresh_keyed(name, width, 0, 0)
+    }
+
+    /// Allocates a fresh variable with an explicit replay key (see
+    /// [`SymVar::replay_key`]).
+    pub fn fresh_keyed(&mut self, name: &str, width: Width, node: u16, occurrence: u32) -> SymVar {
+        let id = SymId(u32::try_from(self.vars.len()).expect("symbol table overflow"));
+        let var = SymVar { id, name: Arc::from(name), width, node, occurrence };
+        self.vars.push(var.clone());
+        var
+    }
+
+    /// Looks a variable up by id.
+    pub fn get(&self, id: SymId) -> Option<&SymVar> {
+        self.vars.get(id.0 as usize)
+    }
+
+    /// Number of variables allocated so far.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns `true` when no variable has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterates over all allocated variables in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = &SymVar> {
+        self.vars.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_sequential_and_unique() {
+        let mut t = SymbolTable::new();
+        let a = t.fresh("x", Width::W8);
+        let b = t.fresh("y", Width::W16);
+        assert_eq!(a.id().index(), 0);
+        assert_eq!(b.id().index(), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a.id()).unwrap().name(), "x");
+        assert_eq!(t.get(b.id()).unwrap().width(), Width::W16);
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut t = SymbolTable::new();
+        let a = t.fresh("pkt", Width::W8);
+        assert_eq!(a.to_string(), "pkt#0");
+        assert_eq!(a.id().to_string(), "v0");
+    }
+}

@@ -1,0 +1,134 @@
+//! Bit-vector widths.
+
+use std::fmt;
+
+/// The width in bits of a bit-vector value, between 1 and 64.
+///
+/// Width 1 doubles as the boolean sort (0 = false, 1 = true), matching the
+/// convention of bit-vector solvers.
+///
+/// # Examples
+///
+/// ```
+/// use sde_symbolic::Width;
+///
+/// assert_eq!(Width::W8.bits(), 8);
+/// assert_eq!(Width::W8.mask(), 0xff);
+/// assert_eq!(Width::new(13).unwrap().umax(), (1 << 13) - 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Width(u8);
+
+impl Width {
+    /// Boolean width (1 bit).
+    pub const BOOL: Width = Width(1);
+    /// 8-bit width.
+    pub const W8: Width = Width(8);
+    /// 16-bit width.
+    pub const W16: Width = Width(16);
+    /// 32-bit width.
+    pub const W32: Width = Width(32);
+    /// 64-bit width.
+    pub const W64: Width = Width(64);
+
+    /// Creates a width; returns `None` unless `1 <= bits <= 64`.
+    pub fn new(bits: u8) -> Option<Width> {
+        (1..=64).contains(&bits).then_some(Width(bits))
+    }
+
+    /// The number of bits.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// A mask with the low `bits()` bits set.
+    pub fn mask(self) -> u64 {
+        if self.0 == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.0) - 1
+        }
+    }
+
+    /// Largest unsigned value of this width.
+    pub fn umax(self) -> u64 {
+        self.mask()
+    }
+
+    /// The sign bit of this width.
+    pub fn sign_bit(self) -> u64 {
+        1u64 << (self.0 - 1)
+    }
+
+    /// Truncates `v` to this width.
+    pub fn truncate(self, v: u64) -> u64 {
+        v & self.mask()
+    }
+
+    /// Sign-extends a value of this width to 64 bits (as `i64`).
+    pub fn to_signed(self, v: u64) -> i64 {
+        let v = self.truncate(v);
+        if v & self.sign_bit() != 0 {
+            (v | !self.mask()) as i64
+        } else {
+            v as i64
+        }
+    }
+
+    /// Number of representable values, saturating at `u64::MAX` for
+    /// width 64 (which has 2^64 values).
+    pub fn domain_size(self) -> u64 {
+        if self.0 == 64 {
+            u64::MAX
+        } else {
+            1u64 << self.0
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds() {
+        assert!(Width::new(0).is_none());
+        assert!(Width::new(65).is_none());
+        assert_eq!(Width::new(1), Some(Width::BOOL));
+        assert_eq!(Width::new(64), Some(Width::W64));
+    }
+
+    #[test]
+    fn masks() {
+        assert_eq!(Width::BOOL.mask(), 1);
+        assert_eq!(Width::W8.mask(), 0xff);
+        assert_eq!(Width::W64.mask(), u64::MAX);
+        assert_eq!(Width::new(3).unwrap().mask(), 0b111);
+    }
+
+    #[test]
+    fn signed_conversion() {
+        assert_eq!(Width::W8.to_signed(0xff), -1);
+        assert_eq!(Width::W8.to_signed(0x7f), 127);
+        assert_eq!(Width::W8.to_signed(0x80), -128);
+        assert_eq!(Width::W64.to_signed(u64::MAX), -1);
+        assert_eq!(Width::BOOL.to_signed(1), -1);
+    }
+
+    #[test]
+    fn truncate_masks_high_bits() {
+        assert_eq!(Width::W8.truncate(0x1ff), 0xff);
+        assert_eq!(Width::BOOL.truncate(2), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Width::W32.to_string(), "i32");
+    }
+}

@@ -1,0 +1,177 @@
+//! Solver edge cases beyond the inline unit tests: mixed widths, casts
+//! in constraints, ite terms, deep conjunctions, and budget behavior.
+
+use sde_symbolic::{
+    Expr, ExprRef, Model, PathCondition, Solver, SolverBudget, SolverResult, SymbolTable, Width,
+};
+
+fn c8(v: u64) -> ExprRef {
+    Expr::const_(v, Width::W8)
+}
+
+#[test]
+fn mixed_width_constraints() {
+    let mut t = SymbolTable::new();
+    let a = Expr::sym(t.fresh("a", Width::W8));
+    let b = Expr::sym(t.fresh("b", Width::W16));
+    let solver = Solver::new();
+    // zext(a) + b == 0x120 ∧ a == 0x20  →  b == 0x100.
+    let pc = PathCondition::new()
+        .with(Expr::eq(
+            Expr::add(Expr::zext(a.clone(), Width::W16), b.clone()),
+            Expr::const_(0x120, Width::W16),
+        ))
+        .with(Expr::eq(a.clone(), c8(0x20)));
+    let m = solver.model(&pc).expect("satisfiable");
+    let pc_check = pc.eval(&m);
+    assert_eq!(pc_check, Some(true));
+}
+
+#[test]
+fn ite_in_constraints() {
+    let mut t = SymbolTable::new();
+    let cond = Expr::sym(t.fresh("c", Width::BOOL));
+    let x = Expr::sym(t.fresh("x", Width::W8));
+    let solver = Solver::new();
+    // (c ? x : 5) == 9 forces c = 1 ∧ x = 9.
+    let term = Expr::ite(cond.clone(), x.clone(), c8(5));
+    let pc = PathCondition::new().with(Expr::eq(term, c8(9)));
+    let m = solver.model(&pc).expect("satisfiable");
+    let mut check = Model::new();
+    for (k, v) in m.iter() {
+        check.assign(k, v);
+    }
+    assert_eq!(pc.eval(&check), Some(true));
+    // And the unsat flavor: (c ? 3 : 5) == 9.
+    let term = Expr::ite(cond, c8(3), c8(5));
+    let pc = PathCondition::new().with(Expr::eq(term, c8(9)));
+    assert!(solver.check(&pc).is_unsat());
+}
+
+#[test]
+fn signed_comparison_constraints() {
+    let mut t = SymbolTable::new();
+    let x = Expr::sym(t.fresh("x", Width::W8));
+    let solver = Solver::new();
+    // x <s 0 ∧ x >=s -3 : x ∈ {-3, -2, -1} = {0xfd, 0xfe, 0xff}.
+    let pc = PathCondition::new()
+        .with(Expr::slt(x.clone(), c8(0)))
+        .with(Expr::sle(c8(0xfd), x.clone()));
+    let m = solver.model(&pc).expect("satisfiable");
+    let v = m.iter().next().map(|(_, v)| v).unwrap();
+    assert!((0xfd..=0xff).contains(&v), "{v:#x}");
+}
+
+#[test]
+fn deep_conjunction_of_independent_parts() {
+    // 60 independent single-variable groups: partitioning keeps this
+    // instant; a naive joint search over 8-bit^60 would never return.
+    let mut t = SymbolTable::new();
+    let solver = Solver::new();
+    let mut pc = PathCondition::new();
+    for i in 0..60u64 {
+        let v = Expr::sym(t.fresh(&format!("v{i}"), Width::W8));
+        pc = pc.with(Expr::eq(v, c8(i % 256)));
+    }
+    let m = solver.model(&pc).expect("satisfiable");
+    assert_eq!(m.len(), 60);
+}
+
+#[test]
+fn contradiction_across_linked_variables() {
+    let mut t = SymbolTable::new();
+    let x = Expr::sym(t.fresh("x", Width::W8));
+    let y = Expr::sym(t.fresh("y", Width::W8));
+    let solver = Solver::new();
+    // x < y ∧ y < x is unsat.
+    let pc = PathCondition::new()
+        .with(Expr::ult(x.clone(), y.clone()))
+        .with(Expr::ult(y, x));
+    assert!(solver.check(&pc).is_unsat());
+}
+
+#[test]
+fn arithmetic_wraparound_is_respected() {
+    let mut t = SymbolTable::new();
+    let x = Expr::sym(t.fresh("x", Width::W8));
+    let solver = Solver::new();
+    // x + 1 == 0 has the wrap solution x = 255.
+    let pc = PathCondition::new().with(Expr::eq(
+        Expr::add(x.clone(), c8(1)),
+        c8(0),
+    ));
+    let m = solver.model(&pc).expect("satisfiable");
+    assert_eq!(m.iter().next().map(|(_, v)| v), Some(255));
+}
+
+#[test]
+fn must_be_true_on_implied_facts() {
+    let mut t = SymbolTable::new();
+    let x = Expr::sym(t.fresh("x", Width::W8));
+    let solver = Solver::new();
+    let pc = PathCondition::new().with(Expr::eq(
+        Expr::and(x.clone(), c8(0x0f)),
+        c8(0x05),
+    ));
+    // The low nibble is fixed; bit 0 must be set.
+    assert!(solver.must_be_true(
+        &pc,
+        &Expr::eq(Expr::and(x.clone(), c8(1)), c8(1)),
+    ));
+    // The high nibble is free.
+    assert!(!solver.must_be_true(
+        &pc,
+        &Expr::eq(Expr::and(x.clone(), c8(0xf0)), c8(0)),
+    ));
+}
+
+#[test]
+fn tight_budget_degrades_to_unknown_not_wrong() {
+    let mut t = SymbolTable::new();
+    let solver = Solver::with_budget(SolverBudget { max_nodes: 2 });
+    // A solvable-but-not-instantly system.
+    let x = Expr::sym(t.fresh("x", Width::W8));
+    let y = Expr::sym(t.fresh("y", Width::W8));
+    let pc = PathCondition::new().with(Expr::eq(
+        Expr::mul(x.clone(), y.clone()),
+        c8(143), // 11 × 13
+    ));
+    match solver.check(&pc) {
+        SolverResult::Unknown | SolverResult::Sat(_) => {}
+        SolverResult::Unsat => panic!("a satisfiable query must never become Unsat"),
+    }
+    // A generous budget finds the factorization.
+    let solver = Solver::new();
+    let m = solver.model(&pc).expect("satisfiable");
+    assert_eq!(pc.eval(&m), Some(true));
+}
+
+#[test]
+fn disabling_the_cache_preserves_answers() {
+    let mut t = SymbolTable::new();
+    let x = Expr::sym(t.fresh("x", Width::W8));
+    let pc = PathCondition::new().with(Expr::ult(x, c8(10)));
+    let cached = Solver::new();
+    let uncached = Solver::new();
+    uncached.set_caching(false);
+    for _ in 0..3 {
+        assert_eq!(cached.is_sat(&pc), uncached.is_sat(&pc));
+    }
+    assert_eq!(uncached.stats().cache_hits, 0);
+    assert!(cached.stats().cache_hits > 0);
+}
+
+#[test]
+fn shift_constraints() {
+    let mut t = SymbolTable::new();
+    let x = Expr::sym(t.fresh("x", Width::W8));
+    let solver = Solver::new();
+    // (x << 4) == 0x50  →  low nibble of x is 5.
+    let pc = PathCondition::new().with(Expr::eq(
+        Expr::shl(x.clone(), c8(4)),
+        c8(0x50),
+    ));
+    let m = solver.model(&pc).expect("satisfiable");
+    let v = m.iter().next().map(|(_, v)| v).unwrap();
+    assert_eq!(v & 0x0f, 5);
+}

@@ -1,0 +1,83 @@
+//! Bug reports produced by the interpreter's safety checks.
+
+use crate::isa::Loc;
+use sde_symbolic::Model;
+use std::fmt;
+use std::sync::Arc;
+
+/// Classes of bugs the VM detects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BugKind {
+    /// An `Assert` condition can be (or definitely is) false.
+    AssertFailed,
+    /// A division or remainder whose divisor can be zero.
+    DivisionByZero,
+    /// A memory access outside the configured memory size.
+    OutOfBounds {
+        /// The offending concrete address.
+        addr: u64,
+    },
+    /// A memory access or send whose address/destination stays symbolic
+    /// and multi-valued under the path condition.
+    SymbolicPointer,
+    /// An explicit `Fail` instruction was reached.
+    ExplicitFail,
+    /// The interpreter hit a malformed situation (bad register width,
+    /// missing function, call-stack overflow) — a program bug rather than
+    /// a software-under-test bug, but reported the same way.
+    Internal,
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BugKind::AssertFailed => write!(f, "assertion failed"),
+            BugKind::DivisionByZero => write!(f, "division by zero"),
+            BugKind::OutOfBounds { addr } => write!(f, "out-of-bounds access at {addr:#x}"),
+            BugKind::SymbolicPointer => write!(f, "unresolvable symbolic pointer"),
+            BugKind::ExplicitFail => write!(f, "explicit failure"),
+            BugKind::Internal => write!(f, "internal interpreter error"),
+        }
+    }
+}
+
+/// A concrete, replayable bug found on one execution path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BugReport {
+    /// What went wrong.
+    pub kind: BugKind,
+    /// Message supplied by the program (assert/fail) or the interpreter.
+    pub message: Arc<str>,
+    /// Where it went wrong.
+    pub loc: Loc,
+    /// A witness assignment of the symbolic inputs reaching the bug, when
+    /// the solver produced one.
+    pub model: Option<Model>,
+}
+
+impl fmt::Display for BugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.kind, self.loc, self.message)?;
+        if let Some(m) = &self.model {
+            write!(f, " (witness {m})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::FuncId;
+
+    #[test]
+    fn display() {
+        let r = BugReport {
+            kind: BugKind::DivisionByZero,
+            message: Arc::from("udiv"),
+            loc: Loc { func: FuncId(0), index: 4 },
+            model: None,
+        };
+        assert_eq!(r.to_string(), "division by zero at f0@4: udiv");
+    }
+}

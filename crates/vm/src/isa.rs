@@ -1,0 +1,227 @@
+//! The instruction set.
+
+use sde_symbolic::{BinOp, CastOp, UnOp, Width};
+use std::fmt;
+use std::sync::Arc;
+
+/// A virtual register within one function frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Index of a function within a [`Program`](crate::Program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A code location: function plus instruction index. Used in bug reports
+/// and in the branch-trace digest that identifies an execution path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc {
+    /// The function.
+    pub func: FuncId,
+    /// The instruction index within the function.
+    pub index: u32,
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.func, self.index)
+    }
+}
+
+/// One VM instruction.
+///
+/// Jump targets are absolute instruction indices within the owning
+/// function; the [`FunctionBuilder`](crate::FunctionBuilder) resolves
+/// labels to indices at build time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst ← constant`
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Constant value (truncated to `width`).
+        value: u64,
+        /// Constant width.
+        width: Width,
+    },
+    /// `dst ← src`
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst ← lhs op rhs`
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand register.
+        rhs: Reg,
+    },
+    /// `dst ← op src`
+    Un {
+        /// The operator.
+        op: UnOp,
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst ← cast(src) to width`
+    Cast {
+        /// The cast kind.
+        op: CastOp,
+        /// Target width.
+        to: Width,
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst ← cond ? then : els` (no fork; builds an ite term)
+    Select {
+        /// Destination register.
+        dst: Reg,
+        /// Width-1 condition register.
+        cond: Reg,
+        /// Value when true.
+        then: Reg,
+        /// Value when false.
+        els: Reg,
+    },
+    /// `dst ← memory[addr .. addr+width/8]` (little endian)
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address register (must concretize under the path condition).
+        addr: Reg,
+        /// Width of the loaded value (multiple of 8 bits).
+        width: Width,
+    },
+    /// `memory[addr ..] ← src` (little endian)
+    Store {
+        /// Address register (must concretize under the path condition).
+        addr: Reg,
+        /// Source register (width must be a multiple of 8 bits).
+        src: Reg,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Conditional branch on a width-1 register; forks when symbolic and
+    /// both sides are feasible.
+    Br {
+        /// Width-1 condition register.
+        cond: Reg,
+        /// Target when the condition is 1.
+        then_target: u32,
+        /// Target when the condition is 0.
+        else_target: u32,
+    },
+    /// Calls another function in the same program.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument registers (copied into the callee's first registers).
+        args: Vec<Reg>,
+        /// Register receiving the return value, if any.
+        dst: Option<Reg>,
+    },
+    /// Returns from the current function.
+    Ret {
+        /// Returned register, if any.
+        val: Option<Reg>,
+    },
+    /// Introduces a fresh symbolic input.
+    MakeSymbolic {
+        /// Destination register.
+        dst: Reg,
+        /// Human-readable input name (appears in test cases).
+        name: Arc<str>,
+        /// Width of the symbolic input.
+        width: Width,
+    },
+    /// Sends a packet: environment call handled by the engine.
+    Send {
+        /// Destination node id register (must concretize).
+        dest: Reg,
+        /// Payload registers (arbitrary widths, may be symbolic).
+        payload: Vec<Reg>,
+    },
+    /// Arms a one-shot timer: environment call handled by the engine.
+    SetTimer {
+        /// Delay register in virtual milliseconds (must concretize).
+        delay: Reg,
+        /// Timer identifier passed back to `on_timer`.
+        timer: u16,
+    },
+    /// `dst ← current virtual time` (64-bit).
+    Now {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `dst ← node id of the executing node` (16-bit).
+    MyId {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Checks a width-1 condition; failing executions become bug reports.
+    Assert {
+        /// Width-1 condition register.
+        cond: Reg,
+        /// Message attached to the bug report.
+        msg: Arc<str>,
+    },
+    /// Constrains the path condition; infeasible states terminate silently.
+    Assume {
+        /// Width-1 condition register.
+        cond: Reg,
+    },
+    /// Unconditional failure (reached dead code, unexpected message, …).
+    Fail {
+        /// Message attached to the bug report.
+        msg: Arc<str>,
+    },
+    /// Stops the node program for good (no further handlers run).
+    Halt,
+    /// Does nothing (label placeholder).
+    Nop,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(FuncId(1).to_string(), "f1");
+        assert_eq!(Loc { func: FuncId(1), index: 9 }.to_string(), "f1@9");
+    }
+
+    #[test]
+    fn instructions_compare() {
+        let a = Inst::Const { dst: Reg(0), value: 1, width: Width::W8 };
+        let b = Inst::Const { dst: Reg(0), value: 1, width: Width::W8 };
+        assert_eq!(a, b);
+        assert_ne!(a, Inst::Nop);
+    }
+}

@@ -1,0 +1,103 @@
+//! Replay presets: concrete values for symbolic inputs, keyed
+//! run-independently.
+//!
+//! A solver [`Model`] identifies inputs by [`SymId`] — the *global*
+//! creation index, which differs between a forking symbolic run and its
+//! non-forking concrete replay. A [`Preset`] re-keys the model by each
+//! input's [`replay key`](sde_symbolic::SymVar::replay_key)
+//! `(node, name, per-lineage occurrence)`, which is stable across runs of
+//! the same scenario.
+
+use sde_symbolic::{Model, SymbolTable};
+use std::collections::HashMap;
+
+/// Concrete values for symbolic inputs, keyed by `(node, name,
+/// occurrence)`.
+///
+/// # Examples
+///
+/// ```
+/// use sde_vm::Preset;
+///
+/// let mut p = Preset::new();
+/// p.insert(2, "drop", 0, 1);
+/// assert_eq!(p.get(2, "drop", 0), Some(1));
+/// assert_eq!(p.get(2, "drop", 1), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Preset {
+    values: HashMap<(u16, String, u32), u64>,
+}
+
+impl Preset {
+    /// An empty preset (every input replays as 0).
+    pub fn new() -> Preset {
+        Preset::default()
+    }
+
+    /// Re-keys a solver model through the symbol table that minted its
+    /// variables.
+    pub fn from_model(model: &Model, symbols: &SymbolTable) -> Preset {
+        let mut p = Preset::new();
+        for (id, value) in model.iter() {
+            if let Some(var) = symbols.get(id) {
+                let (node, name, occ) = var.replay_key();
+                p.values.insert((node, name, occ), value);
+            }
+        }
+        p
+    }
+
+    /// Sets the value of one input.
+    pub fn insert(&mut self, node: u16, name: &str, occurrence: u32, value: u64) {
+        self.values.insert((node, name.to_string(), occurrence), value);
+    }
+
+    /// The value of one input, if pinned.
+    pub fn get(&self, node: u16, name: &str, occurrence: u32) -> Option<u64> {
+        self.values
+            .get(&(node, name.to_string(), occurrence))
+            .copied()
+    }
+
+    /// Number of pinned inputs.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when nothing is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sde_symbolic::Width;
+
+    #[test]
+    fn from_model_rekeys() {
+        let mut symbols = SymbolTable::new();
+        let a = symbols.fresh_keyed("drop", Width::BOOL, 2, 0);
+        let b = symbols.fresh_keyed("drop", Width::BOOL, 2, 1);
+        let c = symbols.fresh_keyed("x", Width::W8, 0, 0);
+        let mut model = Model::new();
+        model.assign(a.id(), 1);
+        model.assign(b.id(), 0);
+        model.assign(c.id(), 42);
+        let p = Preset::from_model(&model, &symbols);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.get(2, "drop", 0), Some(1));
+        assert_eq!(p.get(2, "drop", 1), Some(0));
+        assert_eq!(p.get(0, "x", 0), Some(42));
+        assert_eq!(p.get(1, "drop", 0), None);
+    }
+
+    #[test]
+    fn empty_preset() {
+        let p = Preset::new();
+        assert!(p.is_empty());
+        assert_eq!(p.get(0, "anything", 0), None);
+    }
+}

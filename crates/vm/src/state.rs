@@ -1,0 +1,322 @@
+//! Execution states.
+
+use crate::bug::BugReport;
+use crate::isa::{FuncId, Loc, Reg};
+use crate::program::Program;
+use sde_pds::{PList, PMap};
+use sde_symbolic::{Expr, ExprRef, PathCondition};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Default size of a node's byte-addressed global memory.
+pub(crate) const DEFAULT_MEMORY_SIZE: u32 = 64 * 1024;
+
+/// Lifecycle of an execution state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status {
+    /// Between handler invocations; ready for the next event.
+    Idle,
+    /// Currently executing a handler.
+    Running,
+    /// The program executed `Halt`; no further handlers run.
+    Halted,
+    /// The path condition became unsatisfiable (failed `Assume`).
+    Infeasible,
+    /// A bug was detected on this path.
+    Bugged(BugReport),
+}
+
+impl Status {
+    /// Returns `true` when the state can still make progress.
+    pub fn is_live(&self) -> bool {
+        matches!(self, Status::Idle | Status::Running)
+    }
+}
+
+/// One call frame.
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
+    pub func: FuncId,
+    pub pc: u32,
+    pub regs: Vec<Option<ExprRef>>,
+    /// Register in the *caller's* frame receiving our return value.
+    pub ret_dst: Option<Reg>,
+}
+
+/// One symbolic execution state of a single node program.
+///
+/// Cloning is cheap: global memory is a persistent map, the path condition
+/// a persistent list, and register values are shared `Arc` terms. This is
+/// the property the whole SDE construction leans on — COB forks `k − 1`
+/// states per local branch and still has to be affordable enough to serve
+/// as the correctness baseline.
+#[derive(Debug, Clone)]
+pub struct VmState {
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) heap: PMap<u32, ExprRef>,
+    pub(crate) memory_size: u32,
+    pub(crate) path: PathCondition,
+    pub(crate) status: Status,
+    pub(crate) branch_trace: PList<(Loc, bool)>,
+    pub(crate) path_digest: u64,
+    pub(crate) instret: u64,
+    /// Per-lineage count of symbolic inputs minted per name — the
+    /// occurrence half of the run-independent replay key.
+    pub(crate) input_counts: PMap<String, u32>,
+}
+
+impl VmState {
+    /// A pristine state for `program`: empty memory, true path condition,
+    /// no handler scheduled. (The program handle is only used for
+    /// validation today; states are program-agnostic containers.)
+    pub fn fresh(_program: &Program) -> VmState {
+        VmState {
+            frames: Vec::new(),
+            heap: PMap::new(),
+            memory_size: DEFAULT_MEMORY_SIZE,
+            path: PathCondition::new(),
+            status: Status::Idle,
+            branch_trace: PList::new(),
+            path_digest: 0xcbf2_9ce4_8422_2325, // FNV offset basis
+            instret: 0,
+            input_counts: PMap::new(),
+        }
+    }
+
+    /// Like [`VmState::fresh`] with an explicit memory size in bytes.
+    pub fn fresh_with_memory(program: &Program, memory_size: u32) -> VmState {
+        VmState { memory_size, ..VmState::fresh(program) }
+    }
+
+    /// Returns a copy of this state set up to run the named handler with
+    /// the given arguments.
+    ///
+    /// Memory, path condition and branch trace persist; the call stack is
+    /// replaced by a single frame for the handler.
+    ///
+    /// Returns `None` when the handler does not exist in `program`, when
+    /// the argument count does not match the handler's parameter count, or
+    /// when the state is not [`Status::Idle`].
+    pub fn prepared(&self, program: &Program, handler: &str, args: &[ExprRef]) -> Option<VmState> {
+        if self.status != Status::Idle {
+            return None;
+        }
+        let func_id = program.function_id(handler)?;
+        let func = program.function(func_id);
+        if usize::from(func.param_count()) != args.len() {
+            return None;
+        }
+        let mut regs: Vec<Option<ExprRef>> = vec![None; usize::from(func.reg_count())];
+        for (i, a) in args.iter().enumerate() {
+            regs[i] = Some(a.clone());
+        }
+        let mut next = self.clone();
+        next.frames = vec![Frame { func: func_id, pc: 0, regs, ret_dst: None }];
+        next.status = Status::Running;
+        Some(next)
+    }
+
+    /// The current lifecycle status.
+    pub fn status(&self) -> &Status {
+        &self.status
+    }
+
+    /// Bumps and returns this lineage's occurrence counter for inputs
+    /// named `name` — the occurrence half of a fresh input's replay key.
+    /// Used by the interpreter (`MakeSymbolic`) and by environment-level
+    /// failure models minting inputs on a state's behalf.
+    pub fn next_input_occurrence(&mut self, name: &str) -> u32 {
+        let n = self.input_counts.get(&name.to_string()).copied().unwrap_or(0);
+        self.input_counts = self.input_counts.insert(name.to_string(), n + 1);
+        n
+    }
+
+    /// Adds a constraint to the path condition (used by environment-level
+    /// failure models, which fork states outside of program branches).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) unless `cond` has width 1.
+    pub fn constrain(&mut self, cond: ExprRef) {
+        self.path = self.path.with(cond);
+    }
+
+    /// Returns this state as it looks immediately after a node reboot:
+    /// volatile memory cleared, call stack empty, ready for `on_boot`.
+    /// Path condition, branch trace and instruction count persist — the
+    /// constraints on symbolic inputs remain valid across the reboot.
+    #[must_use]
+    pub fn rebooted(&self) -> VmState {
+        VmState {
+            frames: Vec::new(),
+            heap: sde_pds::PMap::new(),
+            status: Status::Idle,
+            ..self.clone()
+        }
+    }
+
+    /// The path condition accumulated so far.
+    pub fn path_condition(&self) -> &PathCondition {
+        &self.path
+    }
+
+    /// Number of instructions this state has executed (`#(s)` in the
+    /// paper's complexity analysis).
+    pub fn instructions_executed(&self) -> u64 {
+        self.instret
+    }
+
+    /// A digest of all branch decisions taken, identifying the explored
+    /// path. Two states with equal digests took the same branches.
+    pub fn path_digest(&self) -> u64 {
+        self.path_digest
+    }
+
+    /// The branch decisions taken, most recent first.
+    pub fn branch_trace(&self) -> impl Iterator<Item = &(Loc, bool)> {
+        self.branch_trace.iter()
+    }
+
+    /// Reads a byte of global memory (unwritten bytes read as zero).
+    pub fn memory_byte(&self, addr: u32) -> ExprRef {
+        self.heap
+            .get(&addr)
+            .cloned()
+            .unwrap_or_else(|| Expr::const_(0, sde_symbolic::Width::W8))
+    }
+
+    /// Number of explicitly written memory bytes.
+    pub fn memory_footprint(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Deterministic approximation of this state's memory usage in bytes,
+    /// used for the paper's RAM-over-time curves (substituting for RSS
+    /// measurements; see DESIGN.md).
+    pub fn approx_bytes(&self) -> usize {
+        const BASE: usize = 256; // struct + bookkeeping overhead
+        const PER_HEAP_CELL: usize = 48; // map node amortized + Arc term
+        const PER_PC_NODE: usize = 40; // expression node
+        const PER_FRAME: usize = 64;
+        const PER_REG: usize = 16;
+        let frame_bytes: usize = self
+            .frames
+            .iter()
+            .map(|f| PER_FRAME + f.regs.len() * PER_REG)
+            .sum();
+        BASE + self.heap.len() * PER_HEAP_CELL
+            + self.path.node_count() * PER_PC_NODE
+            + frame_bytes
+            + self.branch_trace.len() * 24
+    }
+
+    /// An order-insensitive digest of the state's *configuration*: memory
+    /// contents, call frames, status, and path constraints. Two states
+    /// with equal configuration digests are duplicates in the paper's
+    /// sense (§III-D) — modulo hashing, which the tests cross-check with
+    /// [`VmState::config_eq`].
+    pub fn config_digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        // Heap: XOR of per-entry hashes (iteration order is unspecified).
+        let mut heap_acc: u64 = 0;
+        for (k, v) in self.heap.iter() {
+            let mut eh = DefaultHasher::new();
+            k.hash(&mut eh);
+            v.hash(&mut eh);
+            heap_acc ^= eh.finish();
+        }
+        heap_acc.hash(&mut h);
+        // Path constraints: order-insensitive combination.
+        let mut pc_acc: u64 = 0;
+        for c in self.path.iter() {
+            let mut ch = DefaultHasher::new();
+            c.hash(&mut ch);
+            pc_acc ^= ch.finish();
+        }
+        pc_acc.hash(&mut h);
+        // Frames: ordered.
+        for f in &self.frames {
+            f.func.hash(&mut h);
+            f.pc.hash(&mut h);
+            f.ret_dst.hash(&mut h);
+            for r in &f.regs {
+                r.hash(&mut h);
+            }
+        }
+        std::mem::discriminant(&self.status).hash(&mut h);
+        self.path_digest.hash(&mut h);
+        h.finish()
+    }
+
+    /// Exact configuration equality (the ground truth behind
+    /// [`VmState::config_digest`]). Quadratic in memory size; intended for
+    /// tests and assertions.
+    pub fn config_eq(&self, other: &VmState) -> bool {
+        if self.status != other.status
+            || self.path_digest != other.path_digest
+            || self.frames.len() != other.frames.len()
+            || self.heap.len() != other.heap.len()
+        {
+            return false;
+        }
+        for (a, b) in self.frames.iter().zip(&other.frames) {
+            if a.func != b.func || a.pc != b.pc || a.ret_dst != b.ret_dst || a.regs != b.regs {
+                return false;
+            }
+        }
+        for (k, v) in self.heap.iter() {
+            if other.heap.get(k) != Some(v) {
+                return false;
+            }
+        }
+        // Path conditions as constraint sets.
+        let mut mine: Vec<String> = self.path.iter().map(|c| c.to_string()).collect();
+        let mut theirs: Vec<String> = other.path.iter().map(|c| c.to_string()).collect();
+        mine.sort();
+        theirs.sort();
+        mine == theirs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use sde_symbolic::Width;
+
+    fn empty_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.function("noop", 0, |f| f.ret(None));
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn fresh_state_is_idle_and_empty() {
+        let p = empty_program();
+        let s = VmState::fresh(&p);
+        assert_eq!(*s.status(), Status::Idle);
+        assert_eq!(s.memory_footprint(), 0);
+        assert_eq!(s.instructions_executed(), 0);
+        assert!(s.path_condition().is_empty());
+        assert_eq!(s.memory_byte(100).as_const(), Some(0));
+    }
+
+    #[test]
+    fn config_digest_stable_under_clone() {
+        let p = empty_program();
+        let s = VmState::fresh(&p);
+        let t = s.clone();
+        assert_eq!(s.config_digest(), t.config_digest());
+        assert!(s.config_eq(&t));
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_memory() {
+        let p = empty_program();
+        let mut s = VmState::fresh(&p);
+        let before = s.approx_bytes();
+        s.heap = s.heap.insert(0, Expr::const_(1, Width::W8));
+        s.heap = s.heap.insert(1, Expr::const_(2, Width::W8));
+        assert!(s.approx_bytes() > before);
+    }
+}

@@ -1,0 +1,55 @@
+//! The §IV-C limitation: network flooding neutralizes SDS.
+//!
+//! "It is easy to set-up test scenarios or applications where COW and
+//! SDS algorithms perform nearly as bad as COB. One example would be a
+//! full-meshed network where nodes continuously transmit data to their
+//! k − 1 neighbors."
+//!
+//! Every node relays every fresh sequence number to all peers, and every
+//! node may symbolically drop one packet — so nearly every state is a
+//! sender, a rival or a target, and there are almost no bystanders whose
+//! duplication SDS could avoid. Compare the COW/SDS gap here with the
+//! `grid_collection` example.
+//!
+//! ```sh
+//! cargo run --release --example flooding
+//! ```
+
+use sde::prelude::*;
+
+fn main() {
+    let k = 4;
+    let topology = Topology::full_mesh(k);
+    let cfg = FloodConfig {
+        initiator: NodeId(0),
+        rounds: 2,
+        interval_ms: 1000,
+    };
+    let failures = FailureConfig::new().with_drops(topology.nodes(), 1);
+    let programs = sde::os::apps::flood::programs(&topology, &cfg);
+    let scenario = Scenario::new(topology, programs)
+        .with_failures(failures)
+        .with_duration_ms(4000)
+        .with_state_cap(500_000);
+
+    println!("Flooding on a {k}-node full mesh; every node may drop one packet.\n");
+    println!("alg  | states | groups | mapper forks");
+    println!("-----+--------+--------+-------------");
+    let mut states_by_alg = Vec::new();
+    for alg in Algorithm::ALL {
+        let r = run(&scenario, alg);
+        println!(
+            "{:<4} | {:>6} | {:>6} | {:>12}",
+            r.algorithm, r.total_states, r.groups, r.mapper.mapper_forks
+        );
+        states_by_alg.push((alg, r.total_states as f64));
+    }
+
+    let cob = states_by_alg[0].1;
+    let sds = states_by_alg[2].1;
+    println!(
+        "\nSDS saves only {:.1}x over COB here (vs orders of magnitude on the grid):",
+        cob / sds
+    );
+    println!("with all-to-all communication there are no bystanders left to share.");
+}

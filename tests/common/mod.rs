@@ -1,0 +1,103 @@
+//! Shared scenario builders for the integration tests.
+//!
+//! Not every integration-test binary uses every helper.
+#![allow(dead_code)]
+
+use sde::prelude::*;
+
+/// The paper's collect workload on a `w × h` grid with symbolic drops on
+/// the route and its neighbors.
+pub fn grid_collect(w: u16, h: u16, duration_ms: u64, strict: bool) -> Scenario {
+    let topology = Topology::grid(w, h);
+    let cfg = CollectConfig {
+        strict_sink: strict,
+        ..CollectConfig::paper_grid(w, h)
+    };
+    let failures = FailureConfig::new().drops_on_route_and_neighbors(
+        &topology,
+        cfg.source,
+        cfg.sink,
+        1,
+    );
+    let programs = sde::os::apps::collect::programs(&topology, &cfg);
+    Scenario::new(topology, programs)
+        .with_failures(failures)
+        .with_duration_ms(duration_ms)
+        .with_history_tracking(true)
+}
+
+/// Collect on a line with drops at the given nodes.
+pub fn line_collect(k: u16, drop_nodes: &[u16], packets: u16, strict: bool) -> Scenario {
+    let topology = Topology::line(k);
+    let cfg = CollectConfig {
+        source: NodeId(k - 1),
+        sink: NodeId(0),
+        interval_ms: 1000,
+        packet_count: packets,
+        strict_sink: strict,
+    };
+    let failures =
+        FailureConfig::new().with_drops(drop_nodes.iter().map(|n| NodeId(*n)), 1);
+    let programs = sde::os::apps::collect::programs(&topology, &cfg);
+    Scenario::new(topology, programs)
+        .with_failures(failures)
+        .with_duration_ms(1000 * u64::from(packets) + 2000)
+        .with_history_tracking(true)
+}
+
+/// Flooding on a full mesh with drops everywhere.
+pub fn mesh_flood(k: u16, rounds: u16) -> Scenario {
+    let topology = Topology::full_mesh(k);
+    let cfg = FloodConfig {
+        initiator: NodeId(0),
+        rounds,
+        interval_ms: 1000,
+    };
+    let failures = FailureConfig::new().with_drops(topology.nodes(), 1);
+    let programs = sde::os::apps::flood::programs(&topology, &cfg);
+    Scenario::new(topology, programs)
+        .with_failures(failures)
+        .with_duration_ms(1000 * u64::from(rounds) + 2000)
+        .with_history_tracking(true)
+}
+
+/// Neighbor discovery on a ring (no failures: exercises the pure
+/// communication path).
+pub fn ring_hello(k: u16) -> Scenario {
+    let topology = Topology::ring(k);
+    let programs = sde::os::apps::hello::programs(&topology, &HelloConfig::default());
+    Scenario::new(topology, programs)
+        .with_duration_ms(2000)
+        .with_history_tracking(true)
+}
+
+/// Per-node sets of explored path identities — the cross-algorithm
+/// comparison key (state ids and solver variable ids differ between
+/// algorithms, branch-decision digests do not).
+pub fn path_sets(report_states: &sde::core::Engine) -> Vec<(NodeId, Vec<u64>)> {
+    use std::collections::BTreeMap;
+    let mut by_node: BTreeMap<NodeId, std::collections::BTreeSet<u64>> = BTreeMap::new();
+    for s in report_states.states() {
+        by_node.entry(s.node).or_default().insert(s.vm.path_digest());
+    }
+    by_node
+        .into_iter()
+        .map(|(n, set)| (n, set.into_iter().collect()))
+        .collect()
+}
+
+/// Fingerprints every represented dscenario as a sorted list of
+/// `(node, path_digest)` pairs — comparable across algorithms.
+pub fn dscenario_fingerprints(engine: &sde::core::Engine) -> std::collections::BTreeSet<Vec<(u16, u64)>> {
+    let mut out = std::collections::BTreeSet::new();
+    for dscenario in engine.mapper().dscenarios() {
+        let mut fp: Vec<(u16, u64)> = dscenario
+            .iter()
+            .filter_map(|id| engine.state(*id))
+            .map(|s| (s.node.0, s.vm.path_digest()))
+            .collect();
+        fp.sort_unstable();
+        out.insert(fp);
+    }
+    out
+}

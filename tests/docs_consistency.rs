@@ -1,0 +1,99 @@
+//! Documentation lint: the markdown documents reference real artifacts.
+//!
+//! Keeps README/DESIGN/EXPERIMENTS/docs honest as the workspace evolves:
+//! every `cargo run --example`/`--bin` they mention must exist, and every
+//! repo-relative path in backticks must resolve.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(repo_root().join(path))
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn mentioned(pattern: &str, text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in text.lines() {
+        let mut rest = line;
+        while let Some(pos) = rest.find(pattern) {
+            let tail = &rest[pos + pattern.len()..];
+            let name: String = tail
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '-')
+                .collect();
+            if !name.is_empty() {
+                out.insert(name);
+            }
+            rest = tail;
+        }
+    }
+    out
+}
+
+#[test]
+fn every_documented_example_exists() {
+    for doc in ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/ALGORITHMS.md"] {
+        let text = read(doc);
+        for example in mentioned("--example ", &text) {
+            let path = repo_root().join("examples").join(format!("{example}.rs"));
+            assert!(path.exists(), "{doc} mentions missing example `{example}`");
+        }
+    }
+}
+
+#[test]
+fn every_documented_bin_exists() {
+    for doc in ["README.md", "DESIGN.md", "EXPERIMENTS.md"] {
+        let text = read(doc);
+        for bin in mentioned("--bin ", &text) {
+            let path = repo_root()
+                .join("crates/bench/src/bin")
+                .join(format!("{bin}.rs"));
+            assert!(path.exists(), "{doc} mentions missing bin `{bin}`");
+        }
+    }
+}
+
+#[test]
+fn every_documented_test_file_exists() {
+    for doc in ["README.md", "EXPERIMENTS.md", "docs/ALGORITHMS.md"] {
+        let text = read(doc);
+        for t in mentioned("tests/", &text) {
+            let path = repo_root().join("tests").join(format!("{t}.rs"));
+            // `tests/` may also be referenced as a directory; only check
+            // names that look like files (mentioned captures the stem).
+            if !t.is_empty() {
+                assert!(
+                    path.exists() || repo_root().join("tests").join(&t).exists(),
+                    "{doc} mentions missing test `{t}`"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workspace_documents_exist() {
+    for required in [
+        "README.md",
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+        "CHANGELOG.md",
+        "docs/ALGORITHMS.md",
+    ] {
+        assert!(repo_root().join(required).exists(), "missing {required}");
+    }
+}
+
+#[test]
+fn design_lists_every_crate() {
+    let design = read("DESIGN.md");
+    for krate in ["sde-pds", "sde-symbolic", "sde-vm", "sde-net", "sde-os", "sde-core", "sde-bench"] {
+        assert!(design.contains(krate), "DESIGN.md does not mention {krate}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based end-to-end tests: random topologies, random failure
+//! placements, random workload parameters — the paper's invariants must
+//! hold on all of them.
+//!
+//! * SDS never produces duplicate states (§III-D);
+//! * COW and SDS represent exactly the same dscenario sets as COB
+//!   (correctness baseline, §III-A);
+//! * state counts are ordered COB ≥ COW ≥ SDS;
+//! * mapper bookkeeping stays internally consistent.
+
+mod common;
+
+use proptest::prelude::*;
+use sde::prelude::*;
+use sde_core::Engine;
+use sde_os::apps::collect::{self, CollectConfig};
+
+#[derive(Debug, Clone)]
+struct RandomScenario {
+    topology_kind: u8,
+    k: u16,
+    drop_mask: u64,
+    packets: u16,
+}
+
+fn random_scenarios() -> impl Strategy<Value = RandomScenario> {
+    (0u8..4, 3u16..7, any::<u64>(), 1u16..3).prop_map(|(topology_kind, k, drop_mask, packets)| {
+        RandomScenario { topology_kind, k, drop_mask, packets }
+    })
+}
+
+fn build(rs: &RandomScenario) -> Scenario {
+    let topology = match rs.topology_kind {
+        0 => Topology::line(rs.k),
+        1 => Topology::ring(rs.k),
+        2 => Topology::grid(2, rs.k.div_ceil(2)),
+        _ => Topology::full_mesh(rs.k.min(4)),
+    };
+    let k = topology.len() as u16;
+    let source = NodeId(k - 1);
+    let sink = NodeId(0);
+    let cfg = CollectConfig {
+        source,
+        sink,
+        interval_ms: 1000,
+        packet_count: rs.packets,
+        strict_sink: false,
+    };
+    // Random subset of nodes may drop (excluding the source, which never
+    // receives anything anyway).
+    let drops: Vec<NodeId> = (0..k)
+        .filter(|i| *i != source.0 && rs.drop_mask & (1 << (i % 64)) != 0)
+        .map(NodeId)
+        .collect();
+    let failures = FailureConfig::new().with_drops(drops, 1);
+    let programs = collect::programs(&topology, &cfg);
+    Scenario::new(topology, programs)
+        .with_failures(failures)
+        .with_duration_ms(1000 * u64::from(rs.packets) + 2000)
+        .with_history_tracking(true)
+        .with_state_cap(60_000)
+}
+
+fn fingerprints(engine: &Engine) -> std::collections::BTreeSet<Vec<(u16, u64)>> {
+    let mut out = std::collections::BTreeSet::new();
+    for dscenario in engine.mapper().dscenarios() {
+        let mut fp: Vec<(u16, u64)> = dscenario
+            .iter()
+            .filter_map(|id| engine.state(*id))
+            .map(|s| (s.node.0, s.vm.path_digest()))
+            .collect();
+        fp.sort_unstable();
+        out.insert(fp);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sds_is_duplication_free_on_random_scenarios(rs in random_scenarios()) {
+        let scenario = build(&rs);
+        let report = sde_core::run(&scenario, Algorithm::Sds);
+        prop_assume!(!report.aborted);
+        prop_assert_eq!(report.duplicate_states, 0, "{:?}", rs);
+    }
+
+    #[test]
+    fn algorithms_agree_on_random_scenarios(rs in random_scenarios()) {
+        let scenario = build(&rs);
+        let mut engines: Vec<Engine> = Algorithm::ALL
+            .iter()
+            .map(|alg| Engine::new(scenario.clone(), *alg))
+            .collect();
+        for e in &mut engines {
+            e.run_in_place();
+        }
+        // Skip rare cap-aborted COB runs: partial exploration cannot be
+        // compared.
+        prop_assume!(engines.iter().all(|e| {
+            e.states().count() < scenario.state_cap
+        }));
+        let baseline = fingerprints(&engines[0]);
+        for e in &engines[1..] {
+            prop_assert_eq!(
+                &fingerprints(e),
+                &baseline,
+                "{} diverged on {:?}",
+                e.mapper().name(),
+                rs
+            );
+            prop_assert!(e.mapper().check_invariants().is_none());
+        }
+        // Size ordering.
+        let counts: Vec<usize> = engines.iter().map(|e| e.states().count()).collect();
+        prop_assert!(counts[0] >= counts[1], "COB {} < COW {}", counts[0], counts[1]);
+        prop_assert!(counts[1] >= counts[2], "COW {} < SDS {}", counts[1], counts[2]);
+    }
+
+    #[test]
+    fn replays_never_fork_on_random_scenarios(rs in random_scenarios()) {
+        let scenario = build(&rs);
+        let mut engine = Engine::new(scenario.clone(), Algorithm::Sds);
+        engine.run_in_place();
+        prop_assume!(engine.states().count() < scenario.state_cap);
+        let cases = sde_core::testgen::generate(&engine, 3);
+        for case in &cases.cases {
+            let preset = sde::vm::Preset::from_model(&case.model, engine.symbols());
+            let replay = Engine::new(scenario.clone(), Algorithm::Sds)
+                .with_preset(preset)
+                .run();
+            prop_assert_eq!(replay.total_states, scenario.node_count(), "{:?}", rs);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Workload-level behavior across the three bundled applications on
+//! assorted topologies — the "does the distributed system actually do
+//! its job" layer beneath the state-mapping claims.
+
+mod common;
+
+use sde::prelude::*;
+use sde_core::Engine;
+use sde_net::Topology;
+use sde_os::apps::flood::{self, FloodConfig};
+use sde_os::apps::hello::{self, HelloConfig};
+use sde_os::layout;
+
+#[test]
+fn flood_reaches_every_node_on_a_grid() {
+    let topology = Topology::grid(4, 4);
+    let cfg = FloodConfig { initiator: NodeId(5), rounds: 1, interval_ms: 1000 };
+    let programs = flood::programs(&topology, &cfg);
+    let scenario = Scenario::new(topology, programs).with_duration_ms(3000);
+    let mut engine = Engine::new(scenario, Algorithm::Sds);
+    engine.run_in_place();
+    for s in engine.states() {
+        let seen = s
+            .vm
+            .memory_byte(layout::SEEN_BASE) // seq 0's seen flag
+            .as_const()
+            .expect("concrete");
+        assert_eq!(seen, 1, "{}: flood must reach every node", s.node);
+    }
+    // Exactly one relay per non-initiator node (duplicate suppression).
+    for s in engine.states() {
+        if s.node == NodeId(5) {
+            continue;
+        }
+        let forwarded = s.vm.memory_byte(layout::FORWARDED).as_const().unwrap();
+        assert_eq!(forwarded, 1, "{}: relayed exactly once", s.node);
+    }
+}
+
+#[test]
+fn flood_multiple_rounds_count_independently() {
+    let topology = Topology::ring(5);
+    let cfg = FloodConfig { initiator: NodeId(0), rounds: 3, interval_ms: 1000 };
+    let programs = flood::programs(&topology, &cfg);
+    let scenario = Scenario::new(topology, programs).with_duration_ms(6000);
+    let mut engine = Engine::new(scenario, Algorithm::Cow);
+    engine.run_in_place();
+    for s in engine.states() {
+        for seq in 0..3u32 {
+            let seen = s
+                .vm
+                .memory_byte(layout::SEEN_BASE + seq)
+                .as_const()
+                .unwrap();
+            assert_eq!(seen, 1, "{} seq {seq}", s.node);
+        }
+    }
+}
+
+#[test]
+fn hello_on_a_grid_counts_degrees() {
+    let topology = Topology::grid(3, 3);
+    let programs = hello::programs(&topology, &HelloConfig::default());
+    let scenario = Scenario::new(topology.clone(), programs).with_duration_ms(2000);
+    let mut engine = Engine::new(scenario, Algorithm::Sds);
+    engine.run_in_place();
+    for s in engine.states() {
+        let neighbors = s.vm.memory_byte(layout::NEIGHBORS).as_const().unwrap();
+        assert_eq!(
+            neighbors as usize,
+            topology.degree(s.node),
+            "{}: HELLO count equals degree",
+            s.node
+        );
+    }
+}
+
+#[test]
+fn collect_counters_balance_along_the_route() {
+    // Sum of forwarded packets along the route equals packets × hops −
+    // losses; without failures: every forwarder forwards every packet.
+    let topology = Topology::grid(3, 3);
+    let cfg = sde_os::apps::collect::CollectConfig {
+        strict_sink: false,
+        ..sde_os::apps::collect::CollectConfig::paper_grid(3, 3)
+    };
+    let route = topology.route(cfg.source, cfg.sink).unwrap();
+    let programs = sde_os::apps::collect::programs(&topology, &cfg);
+    let scenario = Scenario::new(topology, programs).with_duration_ms(12_000);
+    let mut engine = Engine::new(scenario, Algorithm::Sds);
+    engine.run_in_place();
+    for s in engine.states() {
+        let forwarded = s.vm.memory_byte(layout::FORWARDED).as_const().unwrap();
+        let position = route.iter().position(|n| *n == s.node);
+        match position {
+            Some(p) if p > 0 && s.node != cfg.sink => {
+                assert_eq!(forwarded, 10, "{}: forwarder relays all packets", s.node)
+            }
+            _ => assert_eq!(forwarded, 0, "{}: never forwards", s.node),
+        }
+    }
+    let sink = engine.states().find(|s| s.node == cfg.sink).unwrap();
+    assert_eq!(sink.vm.memory_byte(layout::RECEIVED).as_const(), Some(10));
+}
+
+#[test]
+fn disconnected_topology_runs_every_node_in_isolation() {
+    let topology = Topology::disconnected(4);
+    let programs: Vec<Program> =
+        (0..4).map(|_| sde_os::apps::fig1::program()).collect();
+    let scenario = Scenario::new(topology, programs);
+    let report = sde_core::run(&scenario, Algorithm::Sds);
+    // Each node explores fig1's 4 paths independently: 16 final states,
+    // one dstate (no communication → no conflicts, §III-B).
+    assert_eq!(report.live_states, 16);
+    assert_eq!(report.groups, 1);
+    assert_eq!(report.packets, 0);
+    // COB needs 4^4 dscenarios for the same coverage.
+    let cob = sde_core::run(&scenario, Algorithm::Cob);
+    assert_eq!(cob.groups, 256);
+    assert_eq!(cob.live_states, 4 * 256);
+}
