@@ -8,8 +8,8 @@
 //! * **statistics sampling period**.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use sde_bench::paper_scenario;
-use sde_core::{run, Algorithm};
+use sde_bench::{paper_scenario, symbolic_grid};
+use sde_core::{run, Algorithm, Engine};
 use sde_symbolic::{Expr, PathCondition, Solver, SymbolTable, Width};
 
 fn bench_virtual_state_sharing(c: &mut Criterion) {
@@ -40,21 +40,25 @@ fn bench_solver_cache(c: &mut Criterion) {
         .map(|_| Expr::sym(t.fresh("probe", Width::BOOL)))
         .collect();
     for (name, caching) in [("on", true), ("off", false)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &caching, |b, &caching| {
-            b.iter(|| {
-                let solver = Solver::new();
-                solver.set_caching(caching);
-                let mut sat = 0u32;
-                for _ in 0..16 {
-                    for p in &probes {
-                        if solver.may_be_true(&pc, p) {
-                            sat += 1;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &caching,
+            |b, &caching| {
+                b.iter(|| {
+                    let solver = Solver::new();
+                    solver.set_caching(caching);
+                    let mut sat = 0u32;
+                    for _ in 0..16 {
+                        for p in &probes {
+                            if solver.may_be_true(&pc, p) {
+                                sat += 1;
+                            }
                         }
                     }
-                }
-                black_box(sat)
-            })
-        });
+                    black_box(sat)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -85,11 +89,38 @@ fn bench_sampling_period(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_speculation(c: &mut Criterion) {
+    // Speculative cache-warming on/off: `off` is the sequential engine,
+    // `w<N>` the parallel engine with N workers, on the solver-bound
+    // sense workload. The delta isolates what speculation costs (single
+    // core) or saves (spare cores).
+    let mut group = c.benchmark_group("ablation/speculation");
+    group.sample_size(10);
+    let scenario = symbolic_grid(3).with_sample_every(10_000);
+    group.bench_function("off", |b| {
+        b.iter(|| black_box(run(&scenario, Algorithm::Sds).total_states))
+    });
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("on", format!("w{workers}")),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let r = Engine::new(scenario.clone(), Algorithm::Sds).run_parallel(workers);
+                    black_box(r.total_states)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_virtual_state_sharing,
     bench_solver_cache,
     bench_history_tracking,
-    bench_sampling_period
+    bench_sampling_period,
+    bench_speculation
 );
 criterion_main!(benches);

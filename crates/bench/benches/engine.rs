@@ -2,8 +2,8 @@
 //! per algorithm — the microscale version of Table I.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use sde_bench::paper_scenario;
-use sde_core::{run, Algorithm, Scenario};
+use sde_bench::{paper_scenario, symbolic_grid};
+use sde_core::{run, Algorithm, Engine, Scenario};
 use sde_net::Topology;
 use sde_os::apps::hello::{self, HelloConfig};
 
@@ -39,13 +39,48 @@ fn bench_failure_free(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(alg.name()),
             &(scenario.clone(), alg),
-            |b, (scenario, alg)| {
-                b.iter(|| black_box(run(scenario, *alg).packets))
-            },
+            |b, (scenario, alg)| b.iter(|| black_box(run(scenario, *alg).packets)),
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_paper_grid, bench_failure_free);
+fn bench_parallel_workers(c: &mut Criterion) {
+    // The tentpole's workers axis, on the solver-bound sense workload
+    // (symbolic readings classified per hop) where speculative
+    // cache-warming has queries to warm. `seq` is the sequential
+    // baseline; `w<N>` runs `Engine::run_parallel(N)`. Wall-clock gains
+    // need spare cores — on a single-core host this axis measures the
+    // speculation overhead bound instead.
+    let mut group = c.benchmark_group("engine/parallel_workers");
+    group.sample_size(10);
+    let scenario = symbolic_grid(3).with_sample_every(10_000);
+    for alg in [Algorithm::Cow, Algorithm::Sds] {
+        group.bench_with_input(
+            BenchmarkId::new(alg.name(), "seq"),
+            &(scenario.clone(), alg),
+            |b, (scenario, alg)| b.iter(|| black_box(run(scenario, *alg).total_states)),
+        );
+        for workers in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), format!("w{workers}")),
+                &(scenario.clone(), alg, workers),
+                |b, (scenario, alg, workers)| {
+                    b.iter(|| {
+                        let r = Engine::new(scenario.clone(), *alg).run_parallel(*workers);
+                        black_box(r.total_states)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_paper_grid,
+    bench_failure_free,
+    bench_parallel_workers
+);
 criterion_main!(benches);

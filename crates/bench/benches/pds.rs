@@ -10,8 +10,7 @@ fn bench_pmap(c: &mut Criterion) {
     let mut group = c.benchmark_group("pmap");
     for size in [100usize, 1000, 10_000] {
         let full: PMap<u32, u64> = (0..size as u32).map(|i| (i, u64::from(i))).collect();
-        let std_full: HashMap<u32, u64> =
-            (0..size as u32).map(|i| (i, u64::from(i))).collect();
+        let std_full: HashMap<u32, u64> = (0..size as u32).map(|i| (i, u64::from(i))).collect();
 
         group.bench_with_input(BenchmarkId::new("insert", size), &size, |b, &n| {
             b.iter(|| {

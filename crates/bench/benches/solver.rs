@@ -84,5 +84,10 @@ fn bench_linked_constraints(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_feasibility, bench_cache, bench_linked_constraints);
+criterion_group!(
+    benches,
+    bench_feasibility,
+    bench_cache,
+    bench_linked_constraints
+);
 criterion_main!(benches);

@@ -12,9 +12,10 @@
 //! cargo run -p sde-bench --release --bin fig10                   # 25 + 49 nodes
 //! cargo run -p sde-bench --release --bin fig10 -- --nodes 100    # one size
 //! cargo run -p sde-bench --release --bin fig10 -- --all          # 25 + 49 + 100
+//! cargo run -p sde-bench --release --bin fig10 -- --workers 4    # parallel engine
 //! ```
 
-use sde_bench::{paper_scenario, run_with_limits, write_series_csv, Args, RunLimits};
+use sde_bench::{paper_scenario, run_with_limits_workers, write_series_csv, Args, RunLimits};
 use sde_core::{human_bytes, Algorithm};
 use std::path::PathBuf;
 
@@ -43,8 +44,13 @@ fn main() {
     let cap_cob: usize = args.get("cap-cob").unwrap_or(120_000);
     let cap: usize = args.get("cap").unwrap_or(1_000_000);
     let out_dir = PathBuf::from(
-        args.get::<String>("out").unwrap_or_else(|| "bench_out".to_string()),
+        args.get::<String>("out")
+            .unwrap_or_else(|| "bench_out".to_string()),
     );
+    // `--workers N`: run through the parallel engine. The CSV series are
+    // bit-identical per RunReport::equivalence_key (wall_ms excepted);
+    // the extra summary line shows what the workers did.
+    let workers: Option<usize> = args.get("workers");
 
     for nodes in sizes {
         let side = side_for(nodes);
@@ -56,10 +62,14 @@ fn main() {
         );
         for alg in Algorithm::ALL {
             let state_cap = if alg == Algorithm::Cob { cap_cob } else { cap };
-            let report = run_with_limits(
+            let report = run_with_limits_workers(
                 &scenario,
                 alg,
-                RunLimits { state_cap, sample_every: 256 },
+                RunLimits {
+                    state_cap,
+                    sample_every: 256,
+                },
+                workers,
             );
             let file = out_dir.join(format!(
                 "fig10_{nodes}nodes_{}.csv",
@@ -74,8 +84,15 @@ fn main() {
                 human_bytes(report.final_bytes),
                 report.groups,
                 file.display(),
-                if report.aborted { "  (aborted at cap)" } else { "" },
+                if report.aborted {
+                    "  (aborted at cap)"
+                } else {
+                    ""
+                },
             );
+            if let Some(p) = &report.parallel {
+                println!("     | {}", p.summary());
+            }
         }
         println!();
     }

@@ -1,0 +1,92 @@
+//! Worker-count sweep for the parallel engine on the solver-bound
+//! `sense` workload (`sde_bench::symbolic_grid`): sequential baseline,
+//! then `Engine::run_parallel` at 1/2/4/8 workers, asserting bit-identity
+//! against the baseline at every point and recording wall time, solver
+//! counters, and per-phase `ParallelStats` to `bench_out/`.
+//!
+//! Speculation converts authoritative solver time into cache hits only
+//! when spare cores exist to overlap it with; the report therefore leads
+//! with the host's core count so single-core numbers (where speculation
+//! is pure overhead by construction) are not misread as a design
+//! regression.
+//!
+//! ```sh
+//! cargo run -p sde-bench --release --bin parallel_sweep
+//! cargo run -p sde-bench --release --bin parallel_sweep -- --side 3 --out bench_out
+//! ```
+
+use sde_bench::{symbolic_grid, Args};
+use sde_core::{Algorithm, Engine};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn main() {
+    let args = Args::from_env();
+    let side: u16 = args.get("side").unwrap_or(3);
+    let out_dir = PathBuf::from(
+        args.get::<String>("out")
+            .unwrap_or_else(|| "bench_out".to_string()),
+    );
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let scenario = symbolic_grid(side).with_state_cap(200_000);
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "parallel engine sweep — sense workload, {side}x{side} grid, host cores: {cores}"
+    );
+    let _ = writeln!(
+        report,
+        "(speculative warming needs spare cores; with {cores} core(s) on this host, \
+         speedup > 1 is {})\n",
+        if cores > 1 {
+            "expected"
+        } else {
+            "impossible — the sweep bounds the overhead instead"
+        }
+    );
+
+    for alg in [Algorithm::Cow, Algorithm::Sds] {
+        let seq = Engine::new(scenario.clone(), alg).run();
+        let _ = writeln!(
+            report,
+            "{} seq: wall={:.1?} states={} events={} queries={} hits={} search_nodes={}",
+            alg.name(),
+            seq.wall,
+            seq.total_states,
+            seq.events,
+            seq.solver.queries,
+            seq.solver.cache_hits,
+            seq.solver.nodes_visited,
+        );
+        for workers in [1usize, 2, 4, 8] {
+            let par = Engine::new(scenario.clone(), alg).run_parallel(workers);
+            assert_eq!(
+                par.equivalence_key(),
+                seq.equivalence_key(),
+                "{} diverged at {workers} workers",
+                alg.name()
+            );
+            let p = par.parallel.as_ref().expect("parallel stats");
+            let speedup = seq.wall.as_secs_f64() / par.wall.as_secs_f64();
+            let _ = writeln!(
+                report,
+                "{} w={workers}: wall={:.1?} speedup={speedup:.2}x queries={} hits={} | {}",
+                alg.name(),
+                par.wall,
+                par.solver.queries,
+                par.solver.cache_hits,
+                p.summary(),
+            );
+        }
+        let _ = writeln!(report);
+    }
+
+    print!("{report}");
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+    let path = out_dir.join(format!("parallel_sweep_grid{side}.txt"));
+    std::fs::write(&path, &report).expect("write sweep report");
+    println!("recorded: {}", path.display());
+}

@@ -18,9 +18,10 @@
 //! cargo run -p sde-bench --release --bin table1 -- --side 7  # smaller grid
 //! cargo run -p sde-bench --release --bin table1 -- --cap 500000
 //! cargo run -p sde-bench --release --bin table1 -- --complexity
+//! cargo run -p sde-bench --release --bin table1 -- --workers 4   # parallel engine
 //! ```
 
-use sde_bench::{paper_scenario, run_with_limits, table_header, Args, RunLimits};
+use sde_bench::{paper_scenario, run_with_limits_workers, table_header, Args, RunLimits};
 use sde_core::complexity::WorstCase;
 use sde_core::Algorithm;
 
@@ -33,6 +34,9 @@ fn main() {
     let cap_cob: usize = args.get("cap-cob").unwrap_or(120_000);
     let cap: usize = args.get("cap").unwrap_or(1_000_000);
     let sample_every: u64 = args.get("sample-every").unwrap_or(512);
+    // `--workers N`: run through the parallel engine (reports stay
+    // bit-identical; speculative workers warm the solver cache).
+    let workers: Option<usize> = args.get("workers");
 
     let scenario = paper_scenario(side);
     println!(
@@ -47,8 +51,19 @@ fn main() {
     let mut rows = Vec::new();
     for alg in Algorithm::ALL {
         let state_cap = if alg == Algorithm::Cob { cap_cob } else { cap };
-        let report = run_with_limits(&scenario, alg, RunLimits { state_cap, sample_every });
+        let report = run_with_limits_workers(
+            &scenario,
+            alg,
+            RunLimits {
+                state_cap,
+                sample_every,
+            },
+            workers,
+        );
         println!("{}", report.table_row());
+        if let Some(p) = &report.parallel {
+            println!("     | {}", p.summary());
+        }
         rows.push(report);
     }
 
@@ -60,7 +75,9 @@ fn main() {
     );
     // When a run was aborted its counts are lower bounds; say so instead
     // of printing a misleading ratio.
-    let ratio = |num: &sde_core::RunReport, den: &sde_core::RunReport, f: fn(&sde_core::RunReport) -> f64| {
+    let ratio = |num: &sde_core::RunReport,
+                 den: &sde_core::RunReport,
+                 f: fn(&sde_core::RunReport) -> f64| {
         let r = f(num) / f(den);
         match (num.aborted, den.aborted) {
             (false, false) => format!("{r:.1}x"),

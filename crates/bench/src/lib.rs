@@ -11,9 +11,10 @@
 //! numbers of the authors' 2011 Xeon testbed; see DESIGN.md for the
 //! substitutions.
 
-use sde_core::{run, Algorithm, RunReport, Scenario};
+use sde_core::{run, Algorithm, Engine, RunReport, Scenario};
 use sde_net::{FailureConfig, Topology};
 use sde_os::apps::collect::{self, CollectConfig};
+use sde_os::apps::sense::{self, SenseConfig};
 
 /// The paper's §IV-A scenario for a `side × side` grid: corner-to-corner
 /// static route, one packet per second for ten seconds, symbolic drop of
@@ -21,16 +22,26 @@ use sde_os::apps::collect::{self, CollectConfig};
 pub fn paper_scenario(side: u16) -> Scenario {
     let topology = Topology::grid(side, side);
     let cfg = CollectConfig::paper_grid(side, side);
-    let failures = FailureConfig::new().drops_on_route_and_neighbors(
-        &topology,
-        cfg.source,
-        cfg.sink,
-        1,
-    );
+    let failures =
+        FailureConfig::new().drops_on_route_and_neighbors(&topology, cfg.source, cfg.sink, 1);
     let programs = collect::programs(&topology, &cfg);
     Scenario::new(topology, programs)
         .with_failures(failures)
         .with_duration_ms(10_000)
+}
+
+/// The solver-bound companion scenario for a `side × side` grid: the
+/// [`sense`] workload (symbolic sensor readings classified at every route
+/// hop), no failure model. Execution forks on *data* and nearly all wall
+/// time goes to constraint solving, which is the regime
+/// [`Engine::run_parallel`](sde_core::Engine::run_parallel) accelerates —
+/// the `workers` axis of the engine bench runs on this scenario.
+pub fn symbolic_grid(side: u16) -> Scenario {
+    let topology = Topology::grid(side, side);
+    let cfg = SenseConfig::paper_grid(side, side);
+    let duration = cfg.interval_ms * (u64::from(cfg.packet_count) + 2);
+    let programs = sense::programs(&topology, &cfg);
+    Scenario::new(topology, programs).with_duration_ms(duration)
 }
 
 /// Per-algorithm run parameters for one experiment.
@@ -44,17 +55,36 @@ pub struct RunLimits {
 
 impl Default for RunLimits {
     fn default() -> Self {
-        RunLimits { state_cap: 120_000, sample_every: 256 }
+        RunLimits {
+            state_cap: 120_000,
+            sample_every: 256,
+        }
     }
 }
 
 /// Runs `scenario` under `algorithm` with the given limits.
 pub fn run_with_limits(scenario: &Scenario, algorithm: Algorithm, limits: RunLimits) -> RunReport {
+    run_with_limits_workers(scenario, algorithm, limits, None)
+}
+
+/// Like [`run_with_limits`], but optionally through the parallel engine:
+/// `Some(w)` runs [`Engine::run_parallel`] with `w` speculative workers
+/// (the report is bit-identical, plus [`RunReport::parallel`]
+/// (sde_core::RunReport::parallel) counters); `None` runs sequentially.
+pub fn run_with_limits_workers(
+    scenario: &Scenario,
+    algorithm: Algorithm,
+    limits: RunLimits,
+    workers: Option<usize>,
+) -> RunReport {
     let s = scenario
         .clone()
         .with_state_cap(limits.state_cap)
         .with_sample_every(limits.sample_every);
-    run(&s, algorithm)
+    match workers {
+        None => run(&s, algorithm),
+        Some(w) => Engine::new(s, algorithm).run_parallel(w),
+    }
 }
 
 /// Formats the Table I header.
@@ -93,7 +123,8 @@ impl Args {
             if let Some(key) = a.strip_prefix("--") {
                 match iter.peek() {
                     Some(v) if !v.starts_with("--") => {
-                        args.pairs.push((key.to_string(), iter.next().expect("peeked")));
+                        args.pairs
+                            .push((key.to_string(), iter.next().expect("peeked")));
                     }
                     _ => args.flags.push(key.to_string()),
                 }
@@ -111,11 +142,14 @@ impl Args {
     /// back to a default and launch the wrong (possibly much heavier)
     /// experiment.
     pub fn get<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
-        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| {
-            v.parse().unwrap_or_else(|_| {
-                panic!("invalid value {v:?} for --{key}")
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("invalid value {v:?} for --{key}"))
             })
-        })
     }
 
     /// Whether the bare flag `--key` was passed.
@@ -139,7 +173,14 @@ mod tests {
     #[test]
     fn limits_apply() {
         let s = paper_scenario(3);
-        let r = run_with_limits(&s, Algorithm::Cob, RunLimits { state_cap: 50, sample_every: 8 });
+        let r = run_with_limits(
+            &s,
+            Algorithm::Cob,
+            RunLimits {
+                state_cap: 50,
+                sample_every: 8,
+            },
+        );
         assert!(r.aborted, "a 50-state cap must abort COB");
         assert!(r.total_states >= 50);
     }

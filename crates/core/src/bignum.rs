@@ -104,9 +104,7 @@ impl BigUint {
         for (i, &a) in self.limbs.iter().enumerate() {
             let mut carry = 0u128;
             for (j, &b) in other.limbs.iter().enumerate() {
-                let cur = u128::from(out[i + j])
-                    + u128::from(a) * u128::from(b)
-                    + carry;
+                let cur = u128::from(out[i + j]) + u128::from(a) * u128::from(b) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -159,9 +157,7 @@ impl BigUint {
     pub fn bits(&self) -> u64 {
         match self.limbs.last() {
             None => 0,
-            Some(top) => {
-                (self.limbs.len() as u64 - 1) * 64 + (64 - u64::from(top.leading_zeros()))
-            }
+            Some(top) => (self.limbs.len() as u64 - 1) * 64 + (64 - u64::from(top.leading_zeros())),
         }
     }
 
@@ -258,7 +254,10 @@ mod tests {
             (1, 1),
             (u64::MAX as u128, 1),
             (u64::MAX as u128, u64::MAX as u128),
-            (123456789012345678901234567890u128, 987654321098765432109876543210u128 / 3),
+            (
+                123456789012345678901234567890u128,
+                987654321098765432109876543210u128 / 3,
+            ),
         ];
         for (a, b) in cases {
             let (ba, bb) = (BigUint::from(a), BigUint::from(b));

@@ -101,7 +101,8 @@ impl WorstCase {
 
     /// Space bound for level `u`: `k · 2^{k·u}` execution states.
     pub fn states_at_level(&self, u: u64) -> BigUint {
-        self.dscenarios_at_level(u).mul(&BigUint::from(u64::from(self.k)))
+        self.dscenarios_at_level(u)
+            .mul(&BigUint::from(u64::from(self.k)))
     }
 
     /// Checks the paper's identity `I(u) = D(u−1)·(2^k − 1) + 1` for a

@@ -17,13 +17,16 @@ use crate::history::HistoryEvent;
 use crate::mapping::{Algorithm, StateMapper, StateStore};
 use crate::scenario::Scenario;
 use crate::state::{SdeState, StateId};
-use crate::stats::{BugFound, RunReport, Sample, TimeSeries};
+use crate::stats::{BugFound, ParallelStats, RunReport, Sample, TimeSeries};
 use sde_net::{EventQueue, NodeId, Packet, PacketId};
 use sde_os::handlers;
 use sde_symbolic::{Expr, ExprRef, Solver, SymbolTable, Width};
-use sde_vm::{step, Status, StepResult, Syscall, VmCtx, VmState};
-use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use sde_vm::{step, Program, Status, StepResult, Syscall, VmCtx, VmState};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// An event a node state reacts to.
 #[derive(Debug, Clone)]
@@ -98,7 +101,7 @@ impl StateStore for Store {
 pub struct Engine {
     scenario: Scenario,
     mapper: Box<dyn StateMapper>,
-    solver: Solver,
+    solver: Arc<Solver>,
     symbols: SymbolTable,
     store: Store,
     now: u64,
@@ -111,6 +114,7 @@ pub struct Engine {
     aborted: bool,
     started: Instant,
     preset: Option<sde_vm::Preset>,
+    parallel: Option<ParallelStats>,
 }
 
 impl Engine {
@@ -120,7 +124,7 @@ impl Engine {
         Engine {
             scenario,
             mapper: algorithm.new_mapper(),
-            solver: Solver::new(),
+            solver: Arc::new(Solver::new()),
             symbols: SymbolTable::new(),
             store: Store {
                 states: HashMap::new(),
@@ -138,6 +142,7 @@ impl Engine {
             aborted: false,
             started: Instant::now(),
             preset: None,
+            parallel: None,
         }
     }
 
@@ -160,7 +165,9 @@ impl Engine {
                 self.aborted = true;
                 break;
             }
-            let Some(event) = self.store.events.pop() else { break };
+            let Some(event) = self.store.events.pop() else {
+                break;
+            };
             if event.time > self.scenario.duration_ms {
                 break;
             }
@@ -168,12 +175,196 @@ impl Engine {
             let (state_id, kind) = event.payload;
             self.dispatch(state_id, kind);
             self.events_processed += 1;
-            if self.events_processed.is_multiple_of(self.scenario.sample_every) {
+            if self
+                .events_processed
+                .is_multiple_of(self.scenario.sample_every)
+            {
                 self.sample();
             }
         }
 
         self.sample();
+    }
+
+    /// Runs the scenario with `workers` speculative helper threads and
+    /// reports. The report is bit-identical to [`Engine::run`]'s (see
+    /// [`RunReport::equivalence_key`]) at every worker count.
+    pub fn run_parallel(mut self, workers: usize) -> RunReport {
+        self.run_parallel_in_place(workers);
+        self.into_report()
+    }
+
+    /// Like [`Engine::run_in_place`] but parallel: at each virtual-time
+    /// step, every same-time event batch is fanned out to `workers`
+    /// speculative threads *before* the authoritative pass consumes it.
+    ///
+    /// Determinism is the paper's whole premise — the three-way mapping
+    /// comparison (§V) needs identical path sets across runs — so this
+    /// engine refuses to trade it for cores. The design:
+    ///
+    /// 1. **Snapshot.** All events sharing the earliest timestamp are
+    ///    grouped by state (within-group order = queue order).
+    /// 2. **Speculate.** Each group is executed on a worker against
+    ///    *private clones*: a cloned [`SdeState`], a [`SymbolTable`]
+    ///    allocator window continuing the real id sequence, and the
+    ///    shared `Sync` [`Solver`]. Workers replicate the authoritative
+    ///    pass's exact symbol-minting and branching order, so the solver
+    ///    queries they issue are the very queries the authoritative pass
+    ///    is about to make — and land in the shared query cache. All
+    ///    other effects (forks, sends, timers, bugs) are discarded.
+    /// 3. **Commit.** The main thread runs the unmodified sequential
+    ///    algorithm over the batch. It is the *only* mutator of engine
+    ///    state, so state ids, packet ids, the history log, and the event
+    ///    queue are identical to [`Engine::run_in_place`] by
+    ///    construction; the speculation merely turns its solver calls
+    ///    into cache hits.
+    /// 4. **Barrier.** Workers are drained before the next timestamp so
+    ///    speculation never runs ahead of (or behind) the batch it can
+    ///    help with.
+    ///
+    /// Speculation is skipped when a replay preset pins every input (no
+    /// forking, nothing to solve) and for single-group batches (nothing
+    /// to overlap). Worker utilization and per-phase wall times are
+    /// reported in [`RunReport::parallel`].
+    pub fn run_parallel_in_place(&mut self, workers: usize) {
+        let workers = workers.max(1);
+        self.started = Instant::now();
+        self.boot();
+        self.sample();
+        let mut pstats = ParallelStats {
+            workers,
+            ..ParallelStats::default()
+        };
+
+        let (job_tx, job_rx) = mpsc::channel::<SpecJob>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (done_tx, done_rx) = mpsc::channel::<SpecOutcome>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = Arc::clone(&job_rx);
+                let done_tx = done_tx.clone();
+                let solver = Arc::clone(&self.solver);
+                scope.spawn(move || loop {
+                    // Holding the lock across `recv` is fine: the other
+                    // workers then queue on the mutex instead of the
+                    // channel, and jobs still go to exactly one worker.
+                    let job = job_rx.lock().expect("job queue").recv();
+                    let Ok(job) = job else { break };
+                    let outcome = speculate_group(job, &solver);
+                    if done_tx.send(outcome).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(done_tx);
+
+            'run: loop {
+                if self.store.total_states > self.scenario.state_cap {
+                    self.aborted = true;
+                    break;
+                }
+                let Some(batch_time) = self.store.events.peek_time() else {
+                    break;
+                };
+                if batch_time > self.scenario.duration_ms {
+                    // Mirror the sequential loop, which pops the
+                    // out-of-window event before breaking.
+                    self.store.events.pop();
+                    break;
+                }
+                pstats.batches += 1;
+
+                // --- phase 1+2: snapshot the batch, fan out speculation ---
+                let dispatch_started = Instant::now();
+                let mut jobs_sent = 0usize;
+                if self.preset.is_none() {
+                    let mut batch: Vec<(u64, StateId, NodeEvent)> = self
+                        .store
+                        .events
+                        .iter()
+                        .filter(|e| e.time == batch_time)
+                        .map(|e| (e.seq, e.payload.0, e.payload.1.clone()))
+                        .collect();
+                    batch.sort_unstable_by_key(|(seq, _, _)| *seq);
+                    let mut groups: Vec<(StateId, Vec<NodeEvent>)> = Vec::new();
+                    for (_, sid, ev) in batch {
+                        match groups.iter_mut().find(|(g, _)| *g == sid) {
+                            Some((_, evs)) => evs.push(ev),
+                            None => groups.push((sid, vec![ev])),
+                        }
+                    }
+                    if groups.len() >= 2 {
+                        pstats.speculated_batches += 1;
+                        for (sid, events) in groups {
+                            let Some(state) = self.store.states.get(&sid) else {
+                                continue;
+                            };
+                            if !state.is_idle() {
+                                continue;
+                            }
+                            let job = SpecJob {
+                                now: batch_time,
+                                state: state.clone(),
+                                events,
+                                program: self.scenario.program(state.node).clone(),
+                                symbols: self.symbols.forked(),
+                            };
+                            if job_tx.send(job).is_ok() {
+                                jobs_sent += 1;
+                                pstats.spec_groups += 1;
+                            }
+                        }
+                    }
+                }
+                pstats.dispatch_wall += dispatch_started.elapsed();
+
+                // --- phase 3: the authoritative pass — literally the
+                //     sequential loop, bounded to this timestamp ---
+                let serial_started = Instant::now();
+                loop {
+                    if self.store.total_states > self.scenario.state_cap {
+                        self.aborted = true;
+                        break;
+                    }
+                    if self.store.events.peek_time() != Some(batch_time) {
+                        break;
+                    }
+                    let event = self.store.events.pop().expect("peeked event");
+                    self.now = event.time;
+                    let (state_id, kind) = event.payload;
+                    self.dispatch(state_id, kind);
+                    self.events_processed += 1;
+                    if self
+                        .events_processed
+                        .is_multiple_of(self.scenario.sample_every)
+                    {
+                        self.sample();
+                    }
+                }
+                pstats.serial_wall += serial_started.elapsed();
+
+                // --- phase 4: barrier ---
+                let barrier_started = Instant::now();
+                for _ in 0..jobs_sent {
+                    if let Ok(outcome) = done_rx.recv() {
+                        pstats.spec_events += outcome.events;
+                        pstats.spec_instructions += outcome.instructions;
+                        pstats.spec_busy += outcome.busy;
+                    }
+                }
+                pstats.barrier_wall += barrier_started.elapsed();
+
+                if self.aborted {
+                    break 'run;
+                }
+            }
+            drop(job_tx);
+        });
+
+        self.sample();
+        pstats.run_wall = self.started.elapsed();
+        self.parallel = Some(pstats);
     }
 
     /// Access to the mapper (for invariant checks and test generation).
@@ -238,7 +429,12 @@ impl Engine {
 
     fn dispatch(&mut self, state_id: StateId, kind: NodeEvent) {
         // Terminated or mid-handler states silently drop events.
-        if !self.store.states.get(&state_id).is_some_and(SdeState::is_idle) {
+        if !self
+            .store
+            .states
+            .get(&state_id)
+            .is_some_and(SdeState::is_idle)
+        {
             return;
         }
         match kind {
@@ -364,7 +560,13 @@ impl Engine {
     /// environment-level branch in both path digests, registers the
     /// branch with the mapper, and returns the sibling's id. Used by the
     /// failure models (`kind`: 1 = drop, 2 = duplicate, 3 = reboot).
-    fn fork_local(&mut self, parent: StateId, cond: &ExprRef, kind: u32, occurrence: u32) -> StateId {
+    fn fork_local(
+        &mut self,
+        parent: StateId,
+        cond: &ExprRef,
+        kind: u32,
+        occurrence: u32,
+    ) -> StateId {
         let node = self.store.states[&parent].node;
         let child = self.store.fork(parent);
         {
@@ -433,7 +635,8 @@ impl Engine {
                             }
                         }
                         self.store.states.insert(sib_id, sibling);
-                        self.mapper.on_branch(st.id, sib_id, st.node, &mut self.store);
+                        self.mapper
+                            .on_branch(st.id, sib_id, st.node, &mut self.store);
                         if !bugged {
                             let sibling = self
                                 .store
@@ -456,7 +659,11 @@ impl Engine {
                         break;
                     }
                     StepResult::Bug(report) => {
-                        self.bugs.push(BugFound { node: st.node, state: st.id, report });
+                        self.bugs.push(BugFound {
+                            node: st.node,
+                            state: st.id,
+                            report,
+                        });
                         self.store.states.insert(st.id, st);
                         break;
                     }
@@ -481,8 +688,16 @@ impl Engine {
             .mapper
             .map_send(sender.id, sender.node, dest, &mut self.store);
 
-        sender.history.record(HistoryEvent::Sent { id: pid, peer: dest });
-        let packet = Packet { id: pid, src: sender.node, dest, payload };
+        sender.history.record(HistoryEvent::Sent {
+            id: pid,
+            peer: dest,
+        });
+        let packet = Packet {
+            id: pid,
+            src: sender.node,
+            dest,
+            payload,
+        };
         let deliver_at = self.now + self.scenario.link_latency_ms;
         for receiver in delivery.receivers {
             let r = self
@@ -490,7 +705,10 @@ impl Engine {
                 .states
                 .get_mut(&receiver)
                 .unwrap_or_else(|| panic!("receiver {receiver} not resident"));
-            r.history.record(HistoryEvent::Received { id: pid, peer: packet.src });
+            r.history.record(HistoryEvent::Received {
+                id: pid,
+                peer: packet.src,
+            });
             self.store
                 .events
                 .push(deliver_at, (receiver, NodeEvent::Deliver(packet.clone())));
@@ -524,6 +742,18 @@ impl Engine {
                 duplicates += 1;
             }
         }
+        // Order-independent digest of the final state set: every resident
+        // state's configuration digest, combined in state-id order.
+        let mut digests: Vec<(u64, u64)> = self
+            .store
+            .states
+            .values()
+            .map(|s| (s.id.0, s.config_digest()))
+            .collect();
+        digests.sort_unstable();
+        let mut hasher = DefaultHasher::new();
+        digests.hash(&mut hasher);
+        let history_digest = hasher.finish();
         RunReport {
             algorithm: self.mapper.name(),
             wall: self.started.elapsed(),
@@ -541,7 +771,289 @@ impl Engine {
             solver: self.solver.stats(),
             duplicate_states: duplicates,
             bugs: self.bugs,
+            history_digest,
             series: self.series,
+            parallel: self.parallel,
+        }
+    }
+}
+
+// ----- speculative execution (the run_parallel worker side) ---------------
+
+/// Safety valve: a speculative group self-aborts past this many VM steps.
+/// Divergence from the authoritative pass costs cache misses, never
+/// correctness, so capping runaway speculation is always safe.
+const SPEC_INSTRUCTION_CAP: u64 = 4_000_000;
+
+/// One speculative work unit: all events of one state at one timestamp,
+/// plus the private clones the worker executes them against.
+#[derive(Debug)]
+struct SpecJob {
+    now: u64,
+    state: SdeState,
+    events: Vec<NodeEvent>,
+    program: Program,
+    /// Allocator window continuing the engine's symbol-id sequence
+    /// ([`SymbolTable::forked`]), so minted [`sde_symbolic::SymId`]s match
+    /// the authoritative pass's and queries share cache entries.
+    symbols: SymbolTable,
+}
+
+/// What a worker reports back at the batch barrier.
+#[derive(Debug)]
+struct SpecOutcome {
+    events: u64,
+    instructions: u64,
+    busy: Duration,
+}
+
+/// Executes one state's same-time events against private clones,
+/// replicating [`Engine`]'s dispatch/deliver/handler logic — in
+/// particular its exact symbol-minting and branch-exploration order — so
+/// the solver queries it issues are the ones the authoritative pass is
+/// about to make. Every other effect is discarded: only the warmed
+/// entries in the shared solver cache escape this function.
+fn speculate_group(job: SpecJob, solver: &Solver) -> SpecOutcome {
+    let started = Instant::now();
+    let root = job.state.id;
+    let mut spec = Speculator {
+        solver,
+        symbols: job.symbols,
+        program: job.program,
+        now: job.now,
+        states: HashMap::from([(root, job.state)]),
+        queue: job.events.into_iter().map(|ev| (root, ev)).collect(),
+        next_local: 1 << 63,
+        instructions: 0,
+        events: 0,
+    };
+    spec.run();
+    SpecOutcome {
+        events: spec.events,
+        instructions: spec.instructions,
+        busy: started.elapsed(),
+    }
+}
+
+/// The worker-side mirror of the engine: same event dispatch, same
+/// failure-model forking, same handler stepping — against local clones.
+#[derive(Debug)]
+struct Speculator<'a> {
+    solver: &'a Solver,
+    symbols: SymbolTable,
+    program: Program,
+    now: u64,
+    states: HashMap<StateId, SdeState>,
+    /// FIFO of pending same-time events; forks append their duplicated
+    /// tails here, mirroring [`Store::duplicate_events`]'s effect on the
+    /// time-`now` slice of the real queue.
+    queue: VecDeque<(StateId, NodeEvent)>,
+    /// Local ids for speculative forks, far above any real [`StateId`].
+    next_local: u64,
+    instructions: u64,
+    events: u64,
+}
+
+impl Speculator<'_> {
+    fn run(&mut self) {
+        while let Some((sid, ev)) = self.queue.pop_front() {
+            if self.instructions > SPEC_INSTRUCTION_CAP {
+                break;
+            }
+            self.events += 1;
+            self.dispatch(sid, ev);
+        }
+    }
+
+    fn allocate_id(&mut self) -> StateId {
+        let id = StateId(self.next_local);
+        self.next_local += 1;
+        id
+    }
+
+    /// Mirrors [`Engine::dispatch`].
+    fn dispatch(&mut self, state_id: StateId, kind: NodeEvent) {
+        if !self.states.get(&state_id).is_some_and(SdeState::is_idle) {
+            return;
+        }
+        match kind {
+            NodeEvent::Boot => self.run_handler(state_id, handlers::ON_BOOT, &[]),
+            NodeEvent::Timer(t) => {
+                let args = [Expr::const_(u64::from(t), Width::W16)];
+                self.run_handler(state_id, handlers::ON_TIMER, &args);
+            }
+            NodeEvent::Deliver(packet) => self.deliver(state_id, packet),
+        }
+    }
+
+    /// Mirrors [`Engine::deliver`] (the non-preset path — speculation is
+    /// skipped entirely under a replay preset). The drop/dup/reboot
+    /// variables are minted in the same order with the same replay keys,
+    /// so the window hands out the ids the engine is about to mint.
+    fn deliver(&mut self, state_id: StateId, packet: Packet) {
+        let receiving = state_id;
+        if self.states[&state_id].drop_budget > 0 {
+            let node = self.states[&state_id].node;
+            let occurrence = {
+                let s = self.states.get_mut(&state_id).expect("resident");
+                s.drop_budget -= 1;
+                s.vm.next_input_occurrence("drop")
+            };
+            let var = self
+                .symbols
+                .fresh_keyed("drop", Width::BOOL, node.0, occurrence);
+            let _dropped = self.fork_local(state_id, &Expr::sym(var.clone()), 1, occurrence);
+            let s = self.states.get_mut(&state_id).expect("resident");
+            s.vm.constrain(Expr::not(Expr::sym(var)));
+        }
+
+        let deliveries = 1u32;
+        if self.states[&receiving].dup_budget > 0 {
+            let node = self.states[&receiving].node;
+            let occurrence = {
+                let s = self.states.get_mut(&receiving).expect("resident");
+                s.dup_budget -= 1;
+                s.vm.next_input_occurrence("dup")
+            };
+            let var = self
+                .symbols
+                .fresh_keyed("dup", Width::BOOL, node.0, occurrence);
+            let dup_id = self.fork_local(receiving, &Expr::sym(var.clone()), 2, occurrence);
+            {
+                let s = self.states.get_mut(&receiving).expect("resident");
+                s.vm.constrain(Expr::not(Expr::sym(var)));
+            }
+            self.run_recv(dup_id, &packet, 2);
+        }
+
+        if self.states[&receiving].reboot_budget > 0 {
+            let node = self.states[&receiving].node;
+            let occurrence = {
+                let s = self.states.get_mut(&receiving).expect("resident");
+                s.reboot_budget -= 1;
+                s.vm.next_input_occurrence("reboot")
+            };
+            let var = self
+                .symbols
+                .fresh_keyed("reboot", Width::BOOL, node.0, occurrence);
+            let reboot_id = self.fork_local(receiving, &Expr::sym(var.clone()), 3, occurrence);
+            {
+                let s = self.states.get_mut(&receiving).expect("resident");
+                s.vm.constrain(Expr::not(Expr::sym(var)));
+            }
+            {
+                let d = self.states.get_mut(&reboot_id).expect("resident");
+                d.vm = d.vm.rebooted();
+            }
+            self.queue.retain(|(sid, _)| *sid != reboot_id);
+            self.run_handler(reboot_id, handlers::ON_BOOT, &[]);
+        }
+
+        self.run_recv(receiving, &packet, deliveries);
+    }
+
+    /// Mirrors [`Engine::run_recv`].
+    fn run_recv(&mut self, state: StateId, packet: &Packet, times: u32) {
+        let mut args: Vec<ExprRef> = Vec::with_capacity(1 + packet.payload.len());
+        args.push(Expr::const_(u64::from(packet.src.0), Width::W16));
+        args.extend(packet.payload.iter().cloned());
+        for _ in 0..times {
+            self.run_handler(state, handlers::ON_RECV, &args);
+        }
+    }
+
+    /// Mirrors [`Engine::fork_local`] minus the mapper registration (the
+    /// mapper belongs to the authoritative pass) — including the
+    /// duplication of the parent's pending same-time events.
+    fn fork_local(
+        &mut self,
+        parent: StateId,
+        cond: &ExprRef,
+        kind: u32,
+        occurrence: u32,
+    ) -> StateId {
+        let id = self.allocate_id();
+        let mut child = self.states[&parent].fork_as(id);
+        child.vm.constrain(cond.clone());
+        child.vm.record_external_branch(kind, occurrence, true);
+        self.duplicate_queued(parent, id);
+        self.states.insert(id, child);
+        let p = self.states.get_mut(&parent).expect("resident");
+        p.vm.record_external_branch(kind, occurrence, false);
+        id
+    }
+
+    /// Mirrors [`Store::duplicate_events`] for the local same-time queue.
+    fn duplicate_queued(&mut self, from: StateId, to: StateId) {
+        let pending: Vec<(StateId, NodeEvent)> = self
+            .queue
+            .iter()
+            .filter(|(sid, _)| *sid == from)
+            .map(|(_, ev)| (to, ev.clone()))
+            .collect();
+        self.queue.extend(pending);
+    }
+
+    /// Mirrors [`Engine::run_handler`]: same LIFO sibling traversal, same
+    /// stepping context — but sends and timers are discarded (they mint
+    /// no symbols and issue no queries) and bugs are merely parked.
+    fn run_handler(&mut self, state_id: StateId, handler: &str, args: &[ExprRef]) {
+        let Some(resident) = self.states.remove(&state_id) else {
+            return;
+        };
+        if !resident.is_idle() {
+            self.states.insert(state_id, resident);
+            return;
+        }
+        let Some(prepared_vm) = resident.vm.prepared(&self.program, handler, args) else {
+            // The authoritative pass will panic on this; nothing to warm.
+            return;
+        };
+        let mut first = resident;
+        first.vm = prepared_vm;
+
+        let mut running: Vec<SdeState> = vec![first];
+        while let Some(mut st) = running.pop() {
+            loop {
+                self.instructions += 1;
+                if self.instructions > SPEC_INSTRUCTION_CAP {
+                    return;
+                }
+                let result = {
+                    let mut ctx = VmCtx::new(self.solver, &mut self.symbols);
+                    ctx.now = self.now;
+                    ctx.node_id = st.node.0;
+                    step(&self.program, &mut st.vm, &mut ctx)
+                };
+                match result {
+                    StepResult::Continue => {}
+                    StepResult::Forked(sibling_vm) => {
+                        let sib_id = self.allocate_id();
+                        let mut sibling = st.fork_as(sib_id);
+                        sibling.vm = sibling_vm;
+                        self.duplicate_queued(st.id, sib_id);
+                        if matches!(sibling.vm.status(), Status::Bugged(_)) {
+                            self.states.insert(sib_id, sibling);
+                        } else {
+                            running.push(sibling);
+                        }
+                    }
+                    StepResult::Syscall(Syscall::Send { .. })
+                    | StepResult::Syscall(Syscall::SetTimer { .. }) => {
+                        // Sends map states and schedule future deliveries,
+                        // timers schedule future events; neither affects
+                        // this handler's remaining solver queries.
+                    }
+                    StepResult::HandlerDone(_) | StepResult::Halted | StepResult::Infeasible => {
+                        self.states.insert(st.id, st);
+                        break;
+                    }
+                    StepResult::Bug(_) => {
+                        self.states.insert(st.id, st);
+                        break;
+                    }
+                }
+            }
         }
     }
 }

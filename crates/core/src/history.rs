@@ -175,11 +175,17 @@ mod tests {
     use super::*;
 
     fn sent(id: u64, peer: u16) -> HistoryEvent {
-        HistoryEvent::Sent { id: PacketId(id), peer: NodeId(peer) }
+        HistoryEvent::Sent {
+            id: PacketId(id),
+            peer: NodeId(peer),
+        }
     }
 
     fn received(id: u64, peer: u16) -> HistoryEvent {
-        HistoryEvent::Received { id: PacketId(id), peer: NodeId(peer) }
+        HistoryEvent::Received {
+            id: PacketId(id),
+            peer: NodeId(peer),
+        }
     }
 
     #[test]
@@ -224,7 +230,10 @@ mod tests {
 
         // t received a packet node 1 never sent → conflict (asymmetric case).
         let s_empty = CommHistory::new(true);
-        assert_eq!(s_empty.direct_conflict(NodeId(1), &t2, NodeId(2)), Some(true));
+        assert_eq!(
+            s_empty.direct_conflict(NodeId(1), &t2, NodeId(2)),
+            Some(true)
+        );
 
         // Logically-conflicted-but-not-directly: node 1 state sent to
         // node 2; a node-3 state received a forward from node 2. No

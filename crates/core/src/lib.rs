@@ -57,6 +57,7 @@ pub use bignum::BigUint;
 pub use engine::{run, Engine, NodeEvent};
 pub use history::{CommHistory, HistoryEvent};
 pub use mapping::{Algorithm, Delivery, MapperStats, StateMapper, StateStore};
+pub use parallel::run_parallel;
 pub use scenario::Scenario;
 pub use state::{SdeState, StateId};
-pub use stats::{human_bytes, BugFound, RunReport, Sample, TimeSeries};
+pub use stats::{human_bytes, BugFound, ParallelStats, RunReport, Sample, TimeSeries};

@@ -100,7 +100,9 @@ impl StateMapper for Cob {
         self.stats.sends_mapped += 1;
         let g = self.group_of[&sender];
         let receiver = self.groups[&g][&dest];
-        Delivery { receivers: vec![receiver] }
+        Delivery {
+            receivers: vec![receiver],
+        }
     }
 
     fn group_count(&self) -> usize {
@@ -113,15 +115,14 @@ impl StateMapper for Cob {
 
     fn dscenarios(&self) -> Box<dyn Iterator<Item = Vec<StateId>> + '_> {
         // Each group is exactly one dscenario.
-        Box::new(self.groups.values().map(|members| {
-            members.values().copied().collect::<Vec<StateId>>()
-        }))
+        Box::new(
+            self.groups
+                .values()
+                .map(|members| members.values().copied().collect::<Vec<StateId>>()),
+        )
     }
 
-    fn dscenarios_containing(
-        &self,
-        state: StateId,
-    ) -> Box<dyn Iterator<Item = Vec<StateId>> + '_> {
+    fn dscenarios_containing(&self, state: StateId) -> Box<dyn Iterator<Item = Vec<StateId>> + '_> {
         // A COB state lives in exactly one dscenario.
         match self.group_of.get(&state) {
             Some(g) => Box::new(std::iter::once(
@@ -209,7 +210,11 @@ mod tests {
         cob.on_branch(StateId(0), child, NodeId(0), &mut store);
         let d2 = cob.map_send(child, NodeId(0), NodeId(2), &mut store);
         assert_eq!(d2.receivers.len(), 1);
-        assert_ne!(d2.receivers[0], StateId(2), "child's dscenario has its own node-2 copy");
+        assert_ne!(
+            d2.receivers[0],
+            StateId(2),
+            "child's dscenario has its own node-2 copy"
+        );
         // The original dscenario still delivers to the original.
         let d3 = cob.map_send(StateId(0), NodeId(0), NodeId(2), &mut store);
         assert_eq!(d3.receivers, vec![StateId(2)]);

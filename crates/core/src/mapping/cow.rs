@@ -162,10 +162,7 @@ impl StateMapper for Cow {
         }))
     }
 
-    fn dscenarios_containing(
-        &self,
-        state: StateId,
-    ) -> Box<dyn Iterator<Item = Vec<StateId>> + '_> {
+    fn dscenarios_containing(&self, state: StateId) -> Box<dyn Iterator<Item = Vec<StateId>> + '_> {
         // Pin the state's own node axis to `state`, cross the rest.
         let Some(g) = self.group_of.get(&state) else {
             return Box::new(std::iter::empty());
@@ -271,7 +268,11 @@ mod tests {
         assert_eq!(store.forks.len(), 3);
         assert_eq!(d.receivers.len(), 1);
         let receiver = d.receivers[0];
-        assert_ne!(receiver, StateId(1), "the *copy* receives, not the original");
+        assert_ne!(
+            receiver,
+            StateId(1),
+            "the *copy* receives, not the original"
+        );
         assert_eq!(store.nodes[&receiver], NodeId(1));
         // Two dstates now: {rival, originals} and {sender, copies}.
         assert_eq!(cow.group_count(), 2);

@@ -115,10 +115,7 @@ pub trait StateMapper: fmt::Debug {
     /// bug found in `state` can occur in. The default filters
     /// [`dscenarios`](StateMapper::dscenarios); implementations override
     /// with a group-local enumeration.
-    fn dscenarios_containing(
-        &self,
-        state: StateId,
-    ) -> Box<dyn Iterator<Item = Vec<StateId>> + '_> {
+    fn dscenarios_containing(&self, state: StateId) -> Box<dyn Iterator<Item = Vec<StateId>> + '_> {
         Box::new(self.dscenarios().filter(move |sc| sc.contains(&state)))
     }
 

@@ -87,7 +87,14 @@ impl Sds {
     fn add_vstate(&mut self, owner: StateId, node: NodeId, dstate: GroupId) -> VId {
         let v = VId(self.next_v);
         self.next_v += 1;
-        self.vstates.insert(v, VState { owner, node, dstate });
+        self.vstates.insert(
+            v,
+            VState {
+                owner,
+                node,
+                dstate,
+            },
+        );
         self.dstates
             .get_mut(&dstate)
             .expect("dstate exists")
@@ -191,7 +198,10 @@ impl StateMapper for Sds {
                 }
             }
         }
-        debug_assert!(!targets.is_empty(), "every dstate keeps one vstate per node");
+        debug_assert!(
+            !targets.is_empty(),
+            "every dstate keeps one vstate per node"
+        );
 
         // Phase 2: classify sending dstates by direct rivals.
         let has_direct_rivals = |sds: &Sds, d: &GroupId| -> bool {
@@ -282,7 +292,9 @@ impl StateMapper for Sds {
             }
         }
 
-        Delivery { receivers: targets.into_iter().collect() }
+        Delivery {
+            receivers: targets.into_iter().collect(),
+        }
     }
 
     fn group_count(&self) -> usize {
@@ -303,10 +315,7 @@ impl StateMapper for Sds {
         }))
     }
 
-    fn dscenarios_containing(
-        &self,
-        state: StateId,
-    ) -> Box<dyn Iterator<Item = Vec<StateId>> + '_> {
+    fn dscenarios_containing(&self, state: StateId) -> Box<dyn Iterator<Item = Vec<StateId>> + '_> {
         // One enumeration per dstate of the state's super-dstate, with
         // the state's own node axis pinned.
         let Some(vids) = self.owned.get(&state) else {
@@ -317,8 +326,7 @@ impl StateMapper for Sds {
             let axes: Vec<Vec<StateId>> = self.dstates[&g]
                 .values()
                 .map(|set| {
-                    let owners: Vec<StateId> =
-                        set.iter().map(|v| self.vstates[v].owner).collect();
+                    let owners: Vec<StateId> = set.iter().map(|v| self.vstates[v].owner).collect();
                     if owners.contains(&state) {
                         vec![state]
                     } else {
@@ -461,8 +469,16 @@ mod tests {
         // target forks once, no dstate is forked, and the case-C virtual
         // state moves to the sibling.
         let d = sds.map_send(StateId(0), NodeId(0), NodeId(2), &mut store);
-        assert_eq!(store.forks.len(), forks_before + 1, "exactly the target forks");
-        assert_eq!(sds.group_count(), groups_before, "no new dstate (case B + C only)");
+        assert_eq!(
+            store.forks.len(),
+            forks_before + 1,
+            "exactly the target forks"
+        );
+        assert_eq!(
+            sds.group_count(),
+            groups_before,
+            "no new dstate (case B + C only)"
+        );
         assert_eq!(d.receivers, vec![StateId(2)]);
         let (_, sibling) = *store.forks.last().unwrap();
         assert_eq!(sds.owned[&StateId(2)].len(), 1);
@@ -534,7 +550,11 @@ mod tests {
         // node 0 and node 3 states become two-dstate bystanders.
         branch(&mut sds, &mut store, StateId(1), NodeId(1));
         sds.map_send(StateId(1), NodeId(1), NodeId(2), &mut store);
-        assert_eq!(sds.owned[&StateId(0)].len(), 2, "node 0 is a shared bystander");
+        assert_eq!(
+            sds.owned[&StateId(0)].len(),
+            2,
+            "node 0 is a shared bystander"
+        );
 
         // Now node 0 sends to node 3. It has two vstates, no direct
         // rivals anywhere (node 0 never branched): delivery in place in
@@ -566,7 +586,10 @@ mod tests {
         let stats = sds.stats();
         assert_eq!(stats.branches_seen, 1);
         assert_eq!(stats.sends_mapped, 1);
-        assert_eq!(stats.mapper_forks, 1, "one execution-level fork (the target)");
+        assert_eq!(
+            stats.mapper_forks, 1,
+            "one execution-level fork (the target)"
+        );
         // Virtual forks: the branch mirror (1) + target copy (1) +
         // bystander copies (2).
         assert_eq!(stats.virtual_forks, 4);

@@ -2,15 +2,20 @@
 //!
 //! "In the future, we plan to parallelize SDE's implementation in
 //! KleeNet... we have to identify the sets of states which can be safely
-//! offloaded on other cores." Two safely-independent units exist today:
+//! offloaded on other cores." Three units are parallelized today:
 //!
-//! * whole runs — the Table I / Figure 10 harness executes the same
+//! * **a single run** — [`Engine::run_parallel`] steps the event queue
+//!   batch-by-batch, fanning same-virtual-time event groups out to
+//!   speculative workers that warm the shared solver's query cache
+//!   ([`Solver`] is `Sync`) while the authoritative serial pass keeps the
+//!   exploration bit-identical to [`Engine::run`]; [`run_parallel`] is
+//!   the function-style shorthand mirroring [`run`](crate::run);
+//! * **whole runs** — the Table I / Figure 10 harness executes the same
 //!   scenario under all three algorithms; [`run_all`] runs them on
 //!   separate cores;
-//! * test-case solving — dscenarios are solved independently;
+//! * **test-case solving** — dscenarios are solved independently;
 //!   [`generate_parallel`] fans the §IV-C explosion out over a worker
-//!   pool, each worker with its own solver (the engine's solver is
-//!   intentionally single-threaded).
+//!   pool, each worker with its own solver.
 
 use crate::engine::Engine;
 use crate::mapping::Algorithm;
@@ -18,10 +23,37 @@ use crate::scenario::Scenario;
 use crate::state::StateId;
 use crate::stats::RunReport;
 use crate::testgen::{NodeInputs, TestCase, TestGenReport};
-use parking_lot::Mutex;
 use sde_net::NodeId;
 use sde_symbolic::{ExprRef, Solver, SolverResult, SymId};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::Mutex;
+
+/// Runs one scenario through the parallel engine with `workers`
+/// speculative workers — the function-style shorthand for
+/// [`Engine::run_parallel`], mirroring [`run`](crate::run).
+///
+/// The report is bit-identical to the sequential one (see
+/// [`RunReport::equivalence_key`]); [`RunReport::parallel`] carries the
+/// worker-utilization and phase-timing counters.
+///
+/// # Examples
+///
+/// ```
+/// use sde_core::{parallel, run, Algorithm, Scenario};
+/// use sde_net::Topology;
+/// use sde_os::apps::hello::{self, HelloConfig};
+///
+/// let topology = Topology::line(3);
+/// let programs = hello::programs(&topology, &HelloConfig::default());
+/// let scenario = Scenario::new(topology, programs);
+/// let par = parallel::run_parallel(&scenario, Algorithm::Sds, 2);
+/// let seq = run(&scenario, Algorithm::Sds);
+/// assert_eq!(par.equivalence_key(), seq.equivalence_key());
+/// assert_eq!(par.parallel.unwrap().workers, 2);
+/// ```
+pub fn run_parallel(scenario: &Scenario, algorithm: Algorithm, workers: usize) -> RunReport {
+    Engine::new(scenario.clone(), algorithm).run_parallel(workers)
+}
 
 /// Runs `scenario` under every algorithm in `algorithms`, one thread
 /// each, and returns the reports in the same order.
@@ -41,18 +73,20 @@ use std::collections::{BTreeMap, BTreeSet, HashSet};
 /// assert_eq!(reports[2].algorithm, "SDS");
 /// ```
 pub fn run_all(scenario: &Scenario, algorithms: &[Algorithm]) -> Vec<RunReport> {
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = algorithms
             .iter()
             .map(|alg| {
                 let scenario = scenario.clone();
                 let alg = *alg;
-                scope.spawn(move |_| Engine::new(scenario, alg).run())
+                scope.spawn(move || Engine::new(scenario, alg).run())
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("run thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run thread"))
+            .collect()
     })
-    .expect("scope")
 }
 
 /// Parallel §IV-C explosion: enumerates dscenarios on the caller thread
@@ -103,8 +137,7 @@ pub fn generate_parallel(engine: &Engine, limit: usize, workers: usize) -> TestG
             .iter()
             .filter_map(|id| {
                 let st = engine.state(*id)?;
-                let constraints: Vec<ExprRef> =
-                    st.vm.path_condition().iter().cloned().collect();
+                let constraints: Vec<ExprRef> = st.vm.path_condition().iter().cloned().collect();
                 let mut vars = BTreeSet::new();
                 st.vm.path_condition().collect_vars(&mut vars);
                 let named: Vec<(SymId, String)> =
@@ -112,7 +145,10 @@ pub fn generate_parallel(engine: &Engine, limit: usize, workers: usize) -> TestG
                 Some((*id, st.node, constraints, named))
             })
             .collect();
-        jobs.push(Job { index: jobs.len(), members });
+        jobs.push(Job {
+            index: jobs.len(),
+            members,
+        });
     }
 
     /// A worker's answer for one job: (enumeration index, solved case).
@@ -121,12 +157,12 @@ pub fn generate_parallel(engine: &Engine, limit: usize, workers: usize) -> TestG
     let queue = Mutex::new(jobs);
     let results: Mutex<Vec<JobResult>> = Mutex::new(Vec::new());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let solver = Solver::new();
                 loop {
-                    let job = { queue.lock().pop() };
+                    let job = { queue.lock().expect("queue lock").pop() };
                     let Some(job) = job else { break };
                     let mut constraints: Vec<ExprRef> = Vec::new();
                     for (_, _, cs, _) in &job.members {
@@ -144,7 +180,11 @@ pub fn generate_parallel(engine: &Engine, limit: usize, workers: usize) -> TestG
                                     .collect();
                                 nodes.insert(
                                     *node,
-                                    NodeInputs { node: *node, state: *id, inputs },
+                                    NodeInputs {
+                                        node: *node,
+                                        state: *id,
+                                        inputs,
+                                    },
                                 );
                             }
                             Some(TestCase {
@@ -155,14 +195,16 @@ pub fn generate_parallel(engine: &Engine, limit: usize, workers: usize) -> TestG
                         }
                         _ => None,
                     };
-                    results.lock().push((job.index, outcome));
+                    results
+                        .lock()
+                        .expect("results lock")
+                        .push((job.index, outcome));
                 }
             });
         }
-    })
-    .expect("scope");
+    });
 
-    let mut collected: Vec<JobResult> = results.into_inner();
+    let mut collected: Vec<JobResult> = results.into_inner().expect("results");
     collected.sort_by_key(|(i, _)| *i);
     let mut report = TestGenReport {
         dscenarios_seen,

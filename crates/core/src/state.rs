@@ -76,7 +76,8 @@ impl SdeState {
     /// paper's duplicate criterion covers "heap, stack, program counter,
     /// path constraints, and the communication history" (§III-A).
     pub fn config_digest(&self) -> u64 {
-        self.vm.config_digest() ^ self.history.digest().rotate_left(17)
+        self.vm.config_digest()
+            ^ self.history.digest().rotate_left(17)
             ^ u64::from(self.node.0).rotate_left(41)
     }
 
@@ -125,7 +126,10 @@ mod tests {
         let a = SdeState::boot(StateId(0), NodeId(1), vm(), &failures, false);
         let mut b = a.fork_as(StateId(1));
         assert_eq!(a.config_digest(), b.config_digest());
-        b.history.record(HistoryEvent::Sent { id: PacketId(1), peer: NodeId(2) });
+        b.history.record(HistoryEvent::Sent {
+            id: PacketId(1),
+            peer: NodeId(2),
+        });
         assert_ne!(a.config_digest(), b.config_digest());
     }
 

@@ -50,7 +50,11 @@ impl TimeSeries {
 
     /// The peak state count across the run.
     pub fn peak_states(&self) -> usize {
-        self.samples.iter().map(|s| s.total_states).max().unwrap_or(0)
+        self.samples
+            .iter()
+            .map(|s| s.total_states)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Writes the series as CSV (`wall_ms,virtual_ms,live,total,bytes,groups`).
@@ -63,6 +67,72 @@ impl TimeSeries {
             ));
         }
         out
+    }
+}
+
+/// Counters describing one [`Engine::run_parallel`](crate::Engine::run_parallel)
+/// execution: how much work the speculative workers did and where the
+/// main thread spent its time, phase by phase.
+///
+/// Speculation is advisory — it only warms the shared solver cache — so
+/// none of these counters feed the equivalence-relevant parts of
+/// [`RunReport`]; they exist to measure the tentpole's payoff.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Worker threads requested (the pool size, excluding the main
+    /// thread running the authoritative pass).
+    pub workers: usize,
+    /// Virtual-time batches processed (distinct timestamps popped).
+    pub batches: u64,
+    /// Batches that were fanned out to workers (≥ 2 same-time state
+    /// groups and no replay preset).
+    pub speculated_batches: u64,
+    /// Per-state event groups handed to workers.
+    pub spec_groups: u64,
+    /// Events executed speculatively (some may duplicate authoritative
+    /// work — that is the design, the cache dedups the solving).
+    pub spec_events: u64,
+    /// VM instructions executed speculatively.
+    pub spec_instructions: u64,
+    /// Summed busy time across all workers.
+    pub spec_busy: Duration,
+    /// Main-thread time in the authoritative serial pass.
+    pub serial_wall: Duration,
+    /// Main-thread time snapshotting batches and enqueueing jobs.
+    pub dispatch_wall: Duration,
+    /// Main-thread time blocked on the end-of-batch barrier.
+    pub barrier_wall: Duration,
+    /// Total wall time of the parallel run (denominator for
+    /// [`ParallelStats::utilization`]).
+    pub run_wall: Duration,
+}
+
+impl ParallelStats {
+    /// Fraction of the worker pool's capacity that was busy, in `0.0..=1.0`:
+    /// `spec_busy / (workers × run_wall)`.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.run_wall.as_secs_f64() * self.workers as f64;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        (self.spec_busy.as_secs_f64() / capacity).min(1.0)
+    }
+
+    /// One-line human summary for bench output.
+    pub fn summary(&self) -> String {
+        format!(
+            "workers={} batches={} speculated={} groups={} spec_events={} \
+             util={:.0}% serial={:.1?} dispatch={:.1?} barrier={:.1?}",
+            self.workers,
+            self.batches,
+            self.speculated_batches,
+            self.spec_groups,
+            self.spec_events,
+            self.utilization() * 100.0,
+            self.serial_wall,
+            self.dispatch_wall,
+            self.barrier_wall,
+        )
     }
 }
 
@@ -123,8 +193,16 @@ pub struct RunReport {
     pub duplicate_states: usize,
     /// Bugs found (deduplicated by kind/location).
     pub bugs: Vec<BugFound>,
+    /// Order-independent digest of the final state set (every resident
+    /// state's configuration digest, combined in [`StateId`]
+    /// (crate::state::StateId) order). Two runs that explored the same
+    /// state space report the same digest.
+    pub history_digest: u64,
     /// The Fig. 10 curves.
     pub series: TimeSeries,
+    /// Present when the run used [`Engine::run_parallel`]
+    /// (crate::Engine::run_parallel); `None` for sequential runs.
+    pub parallel: Option<ParallelStats>,
 }
 
 impl RunReport {
@@ -138,6 +216,61 @@ impl RunReport {
             human_bytes(self.final_bytes),
             if self.aborted { "(aborted)" } else { "" }
         )
+    }
+
+    /// Everything in the report that a correct execution strategy must
+    /// reproduce exactly, serialized to one comparable string.
+    ///
+    /// Excluded on purpose: wall-clock times (machine-dependent), solver
+    /// counters (a parallel run's speculative queries are merged into the
+    /// shared solver's totals), and [`RunReport::parallel`] (absent from
+    /// sequential runs). Everything else — state counts, events, packets,
+    /// instruction counts, per-sample series rows, bug provenance, the
+    /// final-state digest — must be bit-identical between [`run`]
+    /// (crate::run) and [`Engine::run_parallel`]
+    /// (crate::Engine::run_parallel) at any worker count.
+    pub fn equivalence_key(&self) -> String {
+        use std::fmt::Write as _;
+        let mut key = String::new();
+        let _ = writeln!(
+            key,
+            "algorithm={} virtual_ms={} total={} live={} final_bytes={} peak_bytes={} \
+             instructions={} events={} packets={} aborted={} groups={} duplicates={} \
+             history_digest={:#018x}",
+            self.algorithm,
+            self.virtual_ms,
+            self.total_states,
+            self.live_states,
+            self.final_bytes,
+            self.peak_bytes,
+            self.instructions,
+            self.events,
+            self.packets,
+            self.aborted,
+            self.groups,
+            self.duplicate_states,
+            self.history_digest,
+        );
+        let _ = writeln!(
+            key,
+            "mapper: branches={} sends={} forks={} virtual={}",
+            self.mapper.branches_seen,
+            self.mapper.sends_mapped,
+            self.mapper.mapper_forks,
+            self.mapper.virtual_forks
+        );
+        for bug in &self.bugs {
+            let _ = writeln!(key, "bug: {bug}");
+        }
+        for s in self.series.samples() {
+            // wall_ms deliberately omitted.
+            let _ = writeln!(
+                key,
+                "sample: v={} live={} total={} bytes={} groups={}",
+                s.virtual_ms, s.live_states, s.total_states, s.bytes, s.groups
+            );
+        }
+        key
     }
 }
 
@@ -165,9 +298,30 @@ mod tests {
     fn series_and_peaks() {
         let mut ts = TimeSeries::new();
         assert_eq!(ts.peak_bytes(), 0);
-        ts.push(Sample { wall_ms: 0, virtual_ms: 0, live_states: 3, total_states: 3, bytes: 100, groups: 1 });
-        ts.push(Sample { wall_ms: 5, virtual_ms: 1000, live_states: 7, total_states: 9, bytes: 900, groups: 2 });
-        ts.push(Sample { wall_ms: 9, virtual_ms: 2000, live_states: 6, total_states: 11, bytes: 700, groups: 2 });
+        ts.push(Sample {
+            wall_ms: 0,
+            virtual_ms: 0,
+            live_states: 3,
+            total_states: 3,
+            bytes: 100,
+            groups: 1,
+        });
+        ts.push(Sample {
+            wall_ms: 5,
+            virtual_ms: 1000,
+            live_states: 7,
+            total_states: 9,
+            bytes: 900,
+            groups: 2,
+        });
+        ts.push(Sample {
+            wall_ms: 9,
+            virtual_ms: 2000,
+            live_states: 6,
+            total_states: 11,
+            bytes: 700,
+            groups: 2,
+        });
         assert_eq!(ts.peak_bytes(), 900);
         assert_eq!(ts.peak_states(), 11);
         let csv = ts.to_csv();

@@ -115,7 +115,11 @@ pub fn generate(engine: &Engine, limit: usize) -> TestGenReport {
         }
         match solve_dscenario(engine, &dscenario) {
             Some((nodes, model)) => {
-                report.cases.push(TestCase { id: report.cases.len(), nodes, model });
+                report.cases.push(TestCase {
+                    id: report.cases.len(),
+                    nodes,
+                    model,
+                });
             }
             None => report.unsolvable += 1,
         }
@@ -151,10 +155,7 @@ pub fn preset_for(engine: &Engine, state: StateId) -> Option<sde_vm::Preset> {
 
 /// Solves the combined path condition of one dscenario; returns the
 /// per-node assignments plus the combined model.
-fn solve_dscenario(
-    engine: &Engine,
-    members: &[StateId],
-) -> Option<(Vec<NodeInputs>, Model)> {
+fn solve_dscenario(engine: &Engine, members: &[StateId]) -> Option<(Vec<NodeInputs>, Model)> {
     // Union of all members' constraints (deduplicated by pointer-free
     // structural identity through the solver's own normalization).
     let mut constraints: Vec<ExprRef> = Vec::new();
@@ -187,7 +188,14 @@ fn solve_dscenario(
                 (name, model.value_of(*v).unwrap_or(0))
             })
             .collect();
-        nodes.insert(state.node, NodeInputs { node: state.node, state: *id, inputs });
+        nodes.insert(
+            state.node,
+            NodeInputs {
+                node: state.node,
+                state: *id,
+                inputs,
+            },
+        );
     }
     Some((nodes.into_values().collect(), model))
 }
@@ -257,6 +265,9 @@ mod tests {
         let report = generate(&engine, 2);
         assert_eq!(report.cases.len(), 2);
         assert!(report.truncated);
-        assert_eq!(report.dscenarios_seen, 4, "enumeration continues past the limit");
+        assert_eq!(
+            report.dscenarios_seen, 4,
+            "enumeration continues past the limit"
+        );
     }
 }

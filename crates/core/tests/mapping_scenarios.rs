@@ -33,7 +33,11 @@ fn fig4_cow_vs_sds_fork_sets() {
         let mut cs = MemoryStore::booted(cow.as_mut(), k);
         cs.branch(cow.as_mut(), StateId(0));
         cow.map_send(StateId(0), NodeId(0), NodeId(1), &mut cs);
-        assert_eq!(cs.forks().len(), usize::from(k) - 1, "COW forks k−1 at k={k}");
+        assert_eq!(
+            cs.forks().len(),
+            usize::from(k) - 1,
+            "COW forks k−1 at k={k}"
+        );
 
         let mut sds = mapper(Algorithm::Sds);
         let mut ss = MemoryStore::booted(sds.as_mut(), k);
@@ -171,7 +175,10 @@ fn scripted_random_walk_keeps_dscenario_counts_aligned() {
         counts.push((alg, distinct.len(), store.len()));
     }
     // Both explored a nontrivial space…
-    assert!(counts.iter().all(|(_, scenarios, _)| *scenarios >= 4), "{counts:?}");
+    assert!(
+        counts.iter().all(|(_, scenarios, _)| *scenarios >= 4),
+        "{counts:?}"
+    );
     // …and SDS paid strictly fewer execution states for it.
     assert!(counts[1].2 < counts[0].2, "SDS not cheaper: {counts:?}");
 }
@@ -231,14 +238,16 @@ fn dscenarios_containing_is_a_filter() {
         m.map_send(StateId(0), NodeId(0), NodeId(1), &mut store);
         for probe in [StateId(0), child, StateId(2)] {
             let filtered: Vec<_> = m.dscenarios_containing(probe).collect();
-            let expected: Vec<_> =
-                m.dscenarios().filter(|sc| sc.contains(&probe)).collect();
+            let expected: Vec<_> = m.dscenarios().filter(|sc| sc.contains(&probe)).collect();
             let mut a = filtered.clone();
             let mut b = expected.clone();
             a.sort();
             b.sort();
             assert_eq!(a, b, "{alg} probe {probe}");
-            assert!(!a.is_empty(), "{alg}: every live state is in some dscenario");
+            assert!(
+                !a.is_empty(),
+                "{alg}: every live state is in some dscenario"
+            );
         }
     }
 }

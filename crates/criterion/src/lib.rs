@@ -1,0 +1,294 @@
+//! Offline, in-workspace substitute for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the API subset the SDE benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`], [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — backed by a
+//! plain warmup-plus-samples timing loop instead of criterion's
+//! statistical machinery.
+//!
+//! Output format (one line per benchmark, parse-friendly):
+//!
+//! ```text
+//! group/id  time: [min 1.234 ms, mean 1.301 ms, max 1.402 ms]  (10 samples)
+//! ```
+//!
+//! A positional command-line argument filters benchmarks by substring,
+//! exactly like `cargo bench -- engine/`; criterion's own flags
+//! (`--bench`, `--save-baseline`, ...) are accepted and ignored.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free-standing argument (not a flag, not a flag's value)
+        // acts as a substring filter.
+        let mut filter = None;
+        let mut skip_value = false;
+        for arg in std::env::args().skip(1) {
+            if skip_value {
+                skip_value = false;
+                continue;
+            }
+            if let Some(flag) = arg.strip_prefix("--") {
+                // Flags with a separate value argument.
+                skip_value = matches!(
+                    flag,
+                    "save-baseline"
+                        | "baseline"
+                        | "load-baseline"
+                        | "sample-size"
+                        | "warm-up-time"
+                        | "measurement-time"
+                        | "output-format"
+                );
+                continue;
+            }
+            filter = Some(arg);
+            break;
+        }
+        Criterion {
+            filter,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let name = id.render("");
+        let samples = self.default_sample_size;
+        self.run_one(&name, samples, f);
+    }
+
+    fn run_one(&self, name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(samples),
+            iters_per_sample: 1,
+        };
+        // Warmup round: lets `iter` calibrate and touches caches.
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..samples {
+            f(&mut bencher);
+        }
+        let times = &bencher.samples;
+        if times.is_empty() {
+            println!("{name}  (no samples)");
+            return;
+        }
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{name}  time: [min {min:.3?}, mean {mean:.3?}, max {max:.3?}]  ({} samples)",
+            times.len()
+        );
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let name = id.render(&self.name);
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&name, samples, f);
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Names one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id that is only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: &str) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if !group.is_empty() {
+            parts.push(group);
+        }
+        if let Some(f) = &self.function {
+            parts.push(f);
+        }
+        if let Some(p) = &self.parameter {
+            parts.push(p);
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Runs the measured closure and records one sample per call.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, amortizing very fast routines over many
+    /// iterations per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate iteration count once so that a sample takes ≥ ~1 ms.
+        if self.iters_per_sample == 1 {
+            let probe = Instant::now();
+            black_box(routine());
+            let one = probe.elapsed();
+            if one < Duration::from_millis(1) {
+                let nanos = one.as_nanos().max(1);
+                self.iters_per_sample = u32::try_from(1_000_000 / nanos + 1)
+                    .unwrap_or(u32::MAX)
+                    .clamp(1, 10_000);
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / self.iters_per_sample);
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(
+            BenchmarkId::new("insert", 64).render("pmap"),
+            "pmap/insert/64"
+        );
+        assert_eq!(
+            BenchmarkId::from_parameter("COB").render("engine"),
+            "engine/COB"
+        );
+        assert_eq!(BenchmarkId::from("solo").render(""), "solo");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 3,
+        };
+        // Smoke: runs without panicking and prints one line.
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+}

@@ -66,7 +66,10 @@ pub struct EventQueue<T> {
 
 impl<T: std::fmt::Debug> Default for EventQueue<T> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 }
 

@@ -188,7 +188,11 @@ mod tests {
         let t = Topology::line(4);
         let cfg = FailureConfig::new().drops_on_route_and_neighbors(&t, NodeId(3), NodeId(0), 1);
         for n in [0u16, 1, 2] {
-            assert_eq!(cfg.budget(NodeId(n), FailureKind::PacketDrop), 1, "node {n}");
+            assert_eq!(
+                cfg.budget(NodeId(n), FailureKind::PacketDrop),
+                1,
+                "node {n}"
+            );
         }
         assert_eq!(cfg.budget(NodeId(3), FailureKind::PacketDrop), 0);
     }

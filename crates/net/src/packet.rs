@@ -71,7 +71,10 @@ mod tests {
         };
         assert_eq!(p.to_string(), "p3[n1→n2]");
         assert!(p.is_concrete());
-        let q = Packet { payload: vec![sym], ..p.clone() };
+        let q = Packet {
+            payload: vec![sym],
+            ..p.clone()
+        };
         assert!(!q.is_concrete());
         assert_eq!(q.payload_nodes(), 1);
     }

@@ -61,7 +61,10 @@ impl Topology {
     /// Panics when `k` is zero (every scenario needs at least one node).
     pub fn disconnected(k: u16) -> Topology {
         assert!(k > 0, "a topology needs at least one node");
-        Topology { adjacency: vec![BTreeSet::new(); usize::from(k)], grid_width: None }
+        Topology {
+            adjacency: vec![BTreeSet::new(); usize::from(k)],
+            grid_width: None,
+        }
     }
 
     /// A line `0 — 1 — … — k−1`.

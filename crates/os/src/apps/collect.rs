@@ -188,7 +188,10 @@ pub fn node_program(topology: &Topology, cfg: &CollectConfig, node: NodeId) -> P
 
 /// Builds the per-node programs for a whole scenario, indexed by node id.
 pub fn programs(topology: &Topology, cfg: &CollectConfig) -> Vec<Program> {
-    topology.nodes().map(|n| node_program(topology, cfg, n)).collect()
+    topology
+        .nodes()
+        .map(|n| node_program(topology, cfg, n))
+        .collect()
 }
 
 #[cfg(test)]
@@ -226,9 +229,18 @@ mod tests {
         let p = node_program(&t, &cfg, NodeId(2));
         let s0 = VmState::fresh(&p);
         let (s1, fx) = run_handler(&p, &s0, ON_BOOT, &[]);
-        assert_eq!(fx, vec![Syscall::SetTimer { delay: 500, timer: timers::SEND }]);
+        assert_eq!(
+            fx,
+            vec![Syscall::SetTimer {
+                delay: 500,
+                timer: timers::SEND
+            }]
+        );
 
-        let timer_arg = [Expr::const_(u64::from(timers::SEND), sde_symbolic::Width::W16)];
+        let timer_arg = [Expr::const_(
+            u64::from(timers::SEND),
+            sde_symbolic::Width::W16,
+        )];
         // First firing: one neighbor (node 1), seq 0, hops 0, re-arm.
         let (s2, fx) = run_handler(&p, &s1, ON_TIMER, &timer_arg);
         assert_eq!(fx.len(), 2);
@@ -266,7 +278,11 @@ mod tests {
         let s0 = VmState::fresh(&p);
         let w16 = sde_symbolic::Width::W16;
         // A packet from upstream (node 3) is forwarded with hops + 1.
-        let args = [Expr::const_(3, w16), Expr::const_(7, w16), Expr::const_(0, w16)];
+        let args = [
+            Expr::const_(3, w16),
+            Expr::const_(7, w16),
+            Expr::const_(0, w16),
+        ];
         let (s1, fx) = run_handler(&p, &s0, ON_RECV, &args);
         // Node 2's neighbors on the line: 1 and 3 → two unicasts.
         assert_eq!(fx.len(), 2);
@@ -281,7 +297,11 @@ mod tests {
         }
         assert_eq!(s1.memory_byte(layout::FORWARDED).as_const(), Some(1));
         // A packet overheard from downstream (node 1) is only counted.
-        let args = [Expr::const_(1, w16), Expr::const_(7, w16), Expr::const_(1, w16)];
+        let args = [
+            Expr::const_(1, w16),
+            Expr::const_(7, w16),
+            Expr::const_(1, w16),
+        ];
         let (s2, fx) = run_handler(&p, &s1, ON_RECV, &args);
         assert!(fx.is_empty());
         assert_eq!(s2.memory_byte(layout::HEARD).as_const(), Some(1));
@@ -301,14 +321,22 @@ mod tests {
         let s0 = VmState::fresh(&p);
         let w16 = sde_symbolic::Width::W16;
         // In-order delivery of seq 0 passes the strict check.
-        let args = [Expr::const_(1, w16), Expr::const_(0, w16), Expr::const_(1, w16)];
+        let args = [
+            Expr::const_(1, w16),
+            Expr::const_(0, w16),
+            Expr::const_(1, w16),
+        ];
         let (s1, _) = run_handler(&p, &s0, ON_RECV, &args);
         assert_eq!(s1.memory_byte(layout::RECEIVED).as_const(), Some(1));
         // Delivering seq 2 next (seq 1 lost) trips the assertion.
         let solver = Solver::new();
         let mut symbols = SymbolTable::new();
         let mut ctx = VmCtx::new(&solver, &mut symbols);
-        let args = [Expr::const_(1, w16), Expr::const_(2, w16), Expr::const_(2, w16)];
+        let args = [
+            Expr::const_(1, w16),
+            Expr::const_(2, w16),
+            Expr::const_(2, w16),
+        ];
         let out = run_to_completion(&p, s1.prepared(&p, ON_RECV, &args).unwrap(), &mut ctx);
         assert_eq!(out.bugged.len(), 1);
     }
@@ -329,7 +357,11 @@ mod tests {
         let p = node_program(&t, &cfg, bystander);
         let s0 = VmState::fresh(&p);
         let w16 = sde_symbolic::Width::W16;
-        let args = [Expr::const_(8, w16), Expr::const_(0, w16), Expr::const_(0, w16)];
+        let args = [
+            Expr::const_(8, w16),
+            Expr::const_(0, w16),
+            Expr::const_(0, w16),
+        ];
         let (s1, fx) = run_handler(&p, &s0, ON_RECV, &args);
         assert!(fx.is_empty());
         assert_eq!(s1.memory_byte(layout::HEARD).as_const(), Some(1));

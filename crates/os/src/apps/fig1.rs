@@ -80,8 +80,11 @@ mod tests {
         let mut symbols = SymbolTable::new();
         let mut ctx = VmCtx::new(&solver, &mut symbols);
         let s = VmState::fresh(&p);
-        let out =
-            run_to_completion(&p, s.prepared(&p, crate::handlers::ON_BOOT, &[]).unwrap(), &mut ctx);
+        let out = run_to_completion(
+            &p,
+            s.prepared(&p, crate::handlers::ON_BOOT, &[]).unwrap(),
+            &mut ctx,
+        );
         assert!(out.bugged.is_empty());
         assert_eq!(out.finished.len(), 4);
         let mut tags: Vec<u64> = out
@@ -94,17 +97,22 @@ mod tests {
     }
 
     #[test]
-    fn each_path_has_a_concrete_witness_in_its_region(){
+    fn each_path_has_a_concrete_witness_in_its_region() {
         let p = program();
         let solver = Solver::new();
         let mut symbols = SymbolTable::new();
         let mut ctx = VmCtx::new(&solver, &mut symbols);
         let s = VmState::fresh(&p);
-        let out =
-            run_to_completion(&p, s.prepared(&p, crate::handlers::ON_BOOT, &[]).unwrap(), &mut ctx);
+        let out = run_to_completion(
+            &p,
+            s.prepared(&p, crate::handlers::ON_BOOT, &[]).unwrap(),
+            &mut ctx,
+        );
         for (state, _) in &out.finished {
             let tag = state.memory_byte(layout::PATH_TAG).as_const().unwrap();
-            let model = solver.model(state.path_condition()).expect("path is feasible");
+            let model = solver
+                .model(state.path_condition())
+                .expect("path is feasible");
             // The single symbolic input is x.
             let x = model.iter().next().map(|(_, v)| v).unwrap_or(0);
             let ok = match tag {

@@ -101,7 +101,10 @@ pub fn node_program(topology: &Topology, cfg: &FloodConfig, node: NodeId) -> Pro
 
 /// Builds the per-node programs for a whole scenario, indexed by node id.
 pub fn programs(topology: &Topology, cfg: &FloodConfig) -> Vec<Program> {
-    topology.nodes().map(|n| node_program(topology, cfg, n)).collect()
+    topology
+        .nodes()
+        .map(|n| node_program(topology, cfg, n))
+        .collect()
 }
 
 #[cfg(test)]
@@ -129,7 +132,11 @@ mod tests {
     #[test]
     fn first_reception_relays_second_does_not() {
         let t = Topology::full_mesh(4);
-        let cfg = FloodConfig { initiator: NodeId(0), rounds: 2, interval_ms: 1000 };
+        let cfg = FloodConfig {
+            initiator: NodeId(0),
+            rounds: 2,
+            interval_ms: 1000,
+        };
         let p = node_program(&t, &cfg, NodeId(2));
         let s0 = VmState::fresh(&p);
         let args = [Expr::const_(0, Width::W16), Expr::const_(0, Width::W16)];
@@ -147,7 +154,11 @@ mod tests {
     #[test]
     fn initiator_skips_own_echo() {
         let t = Topology::full_mesh(3);
-        let cfg = FloodConfig { initiator: NodeId(0), rounds: 1, interval_ms: 100 };
+        let cfg = FloodConfig {
+            initiator: NodeId(0),
+            rounds: 1,
+            interval_ms: 100,
+        };
         let p = node_program(&t, &cfg, NodeId(0));
         let s0 = VmState::fresh(&p);
         let (s1, fx) = run_one(&p, &s0, ON_BOOT, &[]);

@@ -32,7 +32,10 @@ pub struct HelloConfig {
 
 impl Default for HelloConfig {
     fn default() -> Self {
-        HelloConfig { base_delay_ms: 100, stagger_ms: 10 }
+        HelloConfig {
+            base_delay_ms: 100,
+            stagger_ms: 10,
+        }
     }
 }
 
@@ -66,7 +69,10 @@ pub fn node_program(topology: &Topology, cfg: &HelloConfig, node: NodeId) -> Pro
 
 /// Builds the per-node programs for a whole scenario, indexed by node id.
 pub fn programs(topology: &Topology, cfg: &HelloConfig) -> Vec<Program> {
-    topology.nodes().map(|n| node_program(topology, cfg, n)).collect()
+    topology
+        .nodes()
+        .map(|n| node_program(topology, cfg, n))
+        .collect()
 }
 
 #[cfg(test)]
@@ -89,10 +95,16 @@ mod tests {
         let (s1, fx) = out.finished.into_iter().next().unwrap();
         assert_eq!(
             fx,
-            vec![Syscall::SetTimer { delay: 110, timer: timers::STARTUP }],
+            vec![Syscall::SetTimer {
+                delay: 110,
+                timer: timers::STARTUP
+            }],
             "node 1 staggers by one step"
         );
-        let timer = [Expr::const_(u64::from(timers::STARTUP), sde_symbolic::Width::W16)];
+        let timer = [Expr::const_(
+            u64::from(timers::STARTUP),
+            sde_symbolic::Width::W16,
+        )];
         let out = run_to_completion(&p, s1.prepared(&p, ON_TIMER, &timer).unwrap(), &mut ctx);
         let (s2, fx) = out.finished.into_iter().next().unwrap();
         assert_eq!(fx.len(), 2, "line node 1 has two neighbors");

@@ -5,3 +5,4 @@ pub mod fig1;
 pub mod flood;
 pub mod hello;
 pub mod pingpong;
+pub mod sense;

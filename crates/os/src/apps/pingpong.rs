@@ -183,7 +183,10 @@ pub fn node_program(topology: &Topology, cfg: &PingPongConfig, node: NodeId) -> 
 
 /// Builds the per-node programs for a whole scenario, indexed by node id.
 pub fn programs(topology: &Topology, cfg: &PingPongConfig) -> Vec<Program> {
-    topology.nodes().map(|n| node_program(topology, cfg, n)).collect()
+    topology
+        .nodes()
+        .map(|n| node_program(topology, cfg, n))
+        .collect()
 }
 
 #[cfg(test)]

@@ -38,6 +38,13 @@ pub const DUP_REQS: u32 = 36;
 /// Count of retransmissions sent (16-bit, pingpong client).
 pub const RETRIES: u32 = 40;
 
+/// Count of readings classified below the threshold (16-bit, sense app).
+pub const CLASS_LOW: u32 = 44;
+
+/// Count of readings classified at or above the threshold (16-bit, sense
+/// app).
+pub const CLASS_HIGH: u32 = 48;
+
 /// Base of the seen-sequence bitmap (one byte per sequence number,
 /// flood app).
 pub const SEEN_BASE: u32 = 64;
@@ -59,6 +66,8 @@ mod tests {
             super::SERVED,
             super::DUP_REQS,
             super::RETRIES,
+            super::CLASS_LOW,
+            super::CLASS_HIGH,
         ];
         for (i, a) in fields.iter().enumerate() {
             for b in fields.iter().skip(i + 1) {

@@ -32,7 +32,10 @@ pub struct PList<T> {
 
 impl<T> Clone for PList<T> {
     fn clone(&self) -> Self {
-        PList { node: self.node.clone(), len: self.len }
+        PList {
+            node: self.node.clone(),
+            len: self.len,
+        }
     }
 }
 
@@ -62,7 +65,10 @@ impl<T> PList<T> {
     #[must_use]
     pub fn prepend(&self, value: T) -> Self {
         PList {
-            node: Some(Arc::new(Cons { head: value, tail: self.node.clone() })),
+            node: Some(Arc::new(Cons {
+                head: value,
+                tail: self.node.clone(),
+            })),
             len: self.len + 1,
         }
     }
@@ -76,13 +82,18 @@ impl<T> PList<T> {
     pub fn tail(&self) -> Self {
         match &self.node {
             None => PList::new(),
-            Some(c) => PList { node: c.tail.clone(), len: self.len - 1 },
+            Some(c) => PList {
+                node: c.tail.clone(),
+                len: self.len - 1,
+            },
         }
     }
 
     /// Iterates front-to-back.
     pub fn iter(&self) -> Iter<'_, T> {
-        Iter { node: self.node.as_deref() }
+        Iter {
+            node: self.node.as_deref(),
+        }
     }
 
     /// Returns `true` when the two lists share their entire storage

@@ -20,7 +20,10 @@ fn hash_of<K: Hash + ?Sized>(key: &K) -> u64 {
 
 enum Node<K, V> {
     /// Interior node: bitmap of populated slots + dense child array.
-    Branch { bitmap: u32, children: Vec<Arc<Node<K, V>>> },
+    Branch {
+        bitmap: u32,
+        children: Vec<Arc<Node<K, V>>>,
+    },
     /// A single key/value pair.
     Leaf { hash: u64, key: K, value: V },
     /// Keys whose 64-bit hashes collide entirely.
@@ -69,7 +72,10 @@ pub struct PMap<K, V> {
 
 impl<K, V> Clone for PMap<K, V> {
     fn clone(&self) -> Self {
-        PMap { root: self.root.clone(), len: self.len }
+        PMap {
+            root: self.root.clone(),
+            len: self.len,
+        }
     }
 }
 
@@ -114,8 +120,16 @@ impl<K: Hash + Eq + Clone, V: Clone> PMap<K, V> {
                     node = &children[pos];
                     shift += BITS;
                 }
-                Node::Leaf { hash: h, key: k, value } => {
-                    return if *h == hash && k == key { Some(value) } else { None };
+                Node::Leaf {
+                    hash: h,
+                    key: k,
+                    value,
+                } => {
+                    return if *h == hash && k == key {
+                        Some(value)
+                    } else {
+                        None
+                    };
                 }
                 Node::Collision { hash: h, entries } => {
                     if *h != hash {
@@ -141,10 +155,19 @@ impl<K: Hash + Eq + Clone, V: Clone> PMap<K, V> {
             None => (Arc::new(Node::Leaf { hash, key, value }), true),
             Some(r) => Self::ins(r, 0, hash, key, value),
         };
-        PMap { root: Some(root), len: self.len + usize::from(added) }
+        PMap {
+            root: Some(root),
+            len: self.len + usize::from(added),
+        }
     }
 
-    fn ins(node: &Arc<Node<K, V>>, shift: u32, hash: u64, key: K, value: V) -> (Arc<Node<K, V>>, bool) {
+    fn ins(
+        node: &Arc<Node<K, V>>,
+        shift: u32,
+        hash: u64,
+        key: K,
+        value: V,
+    ) -> (Arc<Node<K, V>>, bool) {
         match node.as_ref() {
             Node::Branch { bitmap, children } => {
                 let idx = ((hash >> shift) & MASK) as u32;
@@ -155,15 +178,31 @@ impl<K: Hash + Eq + Clone, V: Clone> PMap<K, V> {
                     ch.extend_from_slice(&children[..pos]);
                     ch.push(Arc::new(Node::Leaf { hash, key, value }));
                     ch.extend_from_slice(&children[pos..]);
-                    (Arc::new(Node::Branch { bitmap: bitmap | bit, children: ch }), true)
+                    (
+                        Arc::new(Node::Branch {
+                            bitmap: bitmap | bit,
+                            children: ch,
+                        }),
+                        true,
+                    )
                 } else {
                     let (child, added) = Self::ins(&children[pos], shift + BITS, hash, key, value);
                     let mut ch = children.clone();
                     ch[pos] = child;
-                    (Arc::new(Node::Branch { bitmap: *bitmap, children: ch }), added)
+                    (
+                        Arc::new(Node::Branch {
+                            bitmap: *bitmap,
+                            children: ch,
+                        }),
+                        added,
+                    )
                 }
             }
-            Node::Leaf { hash: h, key: k, value: v } => {
+            Node::Leaf {
+                hash: h,
+                key: k,
+                value: v,
+            } => {
                 if *h == hash && *k == key {
                     (Arc::new(Node::Leaf { hash, key, value }), false)
                 } else if *h == hash {
@@ -177,7 +216,13 @@ impl<K: Hash + Eq + Clone, V: Clone> PMap<K, V> {
                 } else {
                     // Split: push both leaves one level down.
                     let existing = node.clone();
-                    let merged = Self::merge(existing, *h, Arc::new(Node::Leaf { hash, key, value }), hash, shift);
+                    let merged = Self::merge(
+                        existing,
+                        *h,
+                        Arc::new(Node::Leaf { hash, key, value }),
+                        hash,
+                        shift,
+                    );
                     (merged, true)
                 }
             }
@@ -193,7 +238,13 @@ impl<K: Hash + Eq + Clone, V: Clone> PMap<K, V> {
                     }
                 } else {
                     let existing = node.clone();
-                    let merged = Self::merge(existing, *h, Arc::new(Node::Leaf { hash, key, value }), hash, shift);
+                    let merged = Self::merge(
+                        existing,
+                        *h,
+                        Arc::new(Node::Leaf { hash, key, value }),
+                        hash,
+                        shift,
+                    );
                     (merged, true)
                 }
             }
@@ -202,14 +253,23 @@ impl<K: Hash + Eq + Clone, V: Clone> PMap<K, V> {
 
     /// Builds the minimal branch spine distinguishing two nodes with
     /// different hashes starting at `shift`.
-    fn merge(a: Arc<Node<K, V>>, ha: u64, b: Arc<Node<K, V>>, hb: u64, shift: u32) -> Arc<Node<K, V>> {
+    fn merge(
+        a: Arc<Node<K, V>>,
+        ha: u64,
+        b: Arc<Node<K, V>>,
+        hb: u64,
+        shift: u32,
+    ) -> Arc<Node<K, V>> {
         debug_assert!(ha != hb);
         debug_assert!(shift < MAX_DEPTH * BITS);
         let ia = ((ha >> shift) & MASK) as u32;
         let ib = ((hb >> shift) & MASK) as u32;
         if ia == ib {
             let child = Self::merge(a, ha, b, hb, shift + BITS);
-            Arc::new(Node::Branch { bitmap: 1 << ia, children: vec![child] })
+            Arc::new(Node::Branch {
+                bitmap: 1 << ia,
+                children: vec![child],
+            })
         } else {
             let (bitmap, children) = if ia < ib {
                 (1 << ia | 1 << ib, vec![a, b])
@@ -229,8 +289,14 @@ impl<K: Hash + Eq + Clone, V: Clone> PMap<K, V> {
             None => self.clone(),
             Some(r) => match Self::del(r, 0, hash, key) {
                 Deleted::NotFound => self.clone(),
-                Deleted::Empty => PMap { root: None, len: self.len - 1 },
-                Deleted::Replaced(n) => PMap { root: Some(n), len: self.len - 1 },
+                Deleted::Empty => PMap {
+                    root: None,
+                    len: self.len - 1,
+                },
+                Deleted::Replaced(n) => PMap {
+                    root: Some(n),
+                    len: self.len - 1,
+                },
             },
         }
     }
@@ -282,12 +348,17 @@ impl<K: Hash + Eq + Clone, V: Clone> PMap<K, V> {
                         } else {
                             let mut ch = children.clone();
                             ch[pos] = n;
-                            Deleted::Replaced(Arc::new(Node::Branch { bitmap: *bitmap, children: ch }))
+                            Deleted::Replaced(Arc::new(Node::Branch {
+                                bitmap: *bitmap,
+                                children: ch,
+                            }))
                         }
                     }
                 }
             }
-            Node::Leaf { hash: h, key: k, .. } => {
+            Node::Leaf {
+                hash: h, key: k, ..
+            } => {
                 if *h == hash && k == key {
                     Deleted::Empty
                 } else {
@@ -305,7 +376,11 @@ impl<K: Hash + Eq + Clone, V: Clone> PMap<K, V> {
                         entries.remove(pos);
                         if entries.len() == 1 {
                             let (k, v) = entries.pop().expect("len checked");
-                            Deleted::Replaced(Arc::new(Node::Leaf { hash: *h, key: k, value: v }))
+                            Deleted::Replaced(Arc::new(Node::Leaf {
+                                hash: *h,
+                                key: k,
+                                value: v,
+                            }))
                         } else {
                             Deleted::Replaced(Arc::new(Node::Collision { hash: *h, entries }))
                         }

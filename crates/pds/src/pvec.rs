@@ -55,7 +55,12 @@ impl<T> Clone for PVec<T> {
 
 impl<T> Default for PVec<T> {
     fn default() -> Self {
-        PVec { trie_len: 0, shift: 0, root: None, tail: Arc::new(Vec::new()) }
+        PVec {
+            trie_len: 0,
+            shift: 0,
+            root: None,
+            tail: Arc::new(Vec::new()),
+        }
     }
 }
 
@@ -124,7 +129,10 @@ impl<T: Clone> PVec<T> {
                         self.shift + BITS,
                     )
                 } else {
-                    (Self::push_leaf(root, self.shift, self.trie_len, leaf), self.shift)
+                    (
+                        Self::push_leaf(root, self.shift, self.trie_len, leaf),
+                        self.shift,
+                    )
                 }
             }
         };
@@ -144,7 +152,12 @@ impl<T: Clone> PVec<T> {
         }
     }
 
-    fn push_leaf(node: &Arc<Node<T>>, shift: usize, index: usize, leaf: Arc<Node<T>>) -> Arc<Node<T>> {
+    fn push_leaf(
+        node: &Arc<Node<T>>,
+        shift: usize,
+        index: usize,
+        leaf: Arc<Node<T>>,
+    ) -> Arc<Node<T>> {
         match node.as_ref() {
             Node::Branch(children) => {
                 let sub = (index >> shift) & MASK;
@@ -168,7 +181,11 @@ impl<T: Clone> PVec<T> {
     /// Panics if `index` is out of bounds.
     #[must_use]
     pub fn set(&self, index: usize, value: T) -> Self {
-        assert!(index < self.len(), "PVec::set index {index} out of bounds (len {})", self.len());
+        assert!(
+            index < self.len(),
+            "PVec::set index {index} out of bounds (len {})",
+            self.len()
+        );
         if index >= self.trie_len {
             let mut tail = (*self.tail).clone();
             tail[index - self.trie_len] = value;
@@ -221,7 +238,10 @@ impl<T: Clone> PVec<T> {
 
     /// Iterates over the elements in index order.
     pub fn iter(&self) -> Iter<'_, T> {
-        Iter { vec: self, index: 0 }
+        Iter {
+            vec: self,
+            index: 0,
+        }
     }
 }
 
@@ -355,7 +375,10 @@ mod tests {
     fn extend_appends() {
         let mut v: PVec<u8> = (0..3).collect();
         v.extend(3..6);
-        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(
+            v.iter().copied().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5]
+        );
     }
 
     #[test]

@@ -1,0 +1,656 @@
+//! Offline, in-workspace substitute for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the (small) API subset the SDE test-suite uses with the same
+//! names and shapes: [`Strategy`] with `prop_map`/`prop_recursive`/
+//! `boxed`, [`BoxedStrategy`], [`Just`], `any::<T>()`, range strategies,
+//! `prop::collection::vec`, the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` header, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the case index and the
+//!   run's seed; re-running reproduces it exactly (generation is a pure
+//!   function of `(seed, case index)`).
+//! * **Deterministic by default.** The seed is fixed unless
+//!   `PROPTEST_SEED` is set in the environment, so CI failures reproduce
+//!   locally.
+//! * **`PROPTEST_CASES`** overrides the case count globally.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// deterministic RNG
+// ---------------------------------------------------------------------------
+
+/// SplitMix64: tiny, fast, and good enough for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG for one `(seed, case)` pair.
+    pub fn for_case(seed: u64, case: u64) -> TestRng {
+        // Decorrelate the per-case streams.
+        let mut r = TestRng {
+            state: seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        };
+        r.next_u64();
+        r
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift rejection-free mapping (slight modulo bias is
+        // irrelevant for test generation).
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of random values — proptest's central trait, minus
+/// shrinking.
+pub trait Strategy: Send + Sync {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O + Send + Sync,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf; `branch` turns a
+    /// strategy for the type into a strategy for one more level. `depth`
+    /// bounds the recursion; `_desired_size`/`_expected_branch` are
+    /// accepted for API compatibility and ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + Send + Sync + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut current = self.boxed();
+        let leaf = current.clone();
+        for _ in 0..depth.max(1) {
+            let deeper = branch(current.clone()).boxed();
+            let leaf = leaf.clone();
+            current = BoxedStrategy::from_fn(move |rng| {
+                // Recurse half the time, so expected depth stays small
+                // while the bound still permits deep expressions.
+                if rng.next_u64() & 1 == 0 {
+                    leaf.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            });
+        }
+        current
+    }
+
+    /// Type-erases the strategy into a cheaply-clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| self.generate(rng))
+    }
+
+    /// Draws a value through a [`TestRunner`] (the explicit-runner API).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this implementation; the `Result` mirrors proptest.
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<Self::Value>, String> {
+        Ok(ValueTree {
+            value: self.generate(&mut runner.rng),
+        })
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Send + Sync,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased, clonable strategy handle.
+pub struct BoxedStrategy<T> {
+    gen: Arc<dyn Fn(&mut TestRng) -> T + Send + Sync>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Arc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generation function.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + Send + Sync + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy { gen: Arc::new(f) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Send + Sync> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between equally-weighted strategies (the engine behind
+/// [`prop_oneof!`]).
+pub fn one_of<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+    BoxedStrategy::from_fn(move |rng| {
+        let i = rng.below(options.len() as u64) as usize;
+        options[i].generate(rng)
+    })
+}
+
+// ----- primitive strategies -------------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy yielding any value of `T` (`any::<u64>()` etc.).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Generates arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary + Send + Sync> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                assert!(lo <= hi, "empty range strategy");
+                if lo == 0 && hi == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo + rng.below(hi - lo + 1)) as $t
+            }
+        }
+    )+};
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $i:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+);
+
+// ----- collection strategies ------------------------------------------------
+
+/// `prop::collection` — sized collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// runner plumbing
+// ---------------------------------------------------------------------------
+
+/// Per-suite configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// The explicit-runner API: draws values from strategies outside the
+/// [`proptest!`] macro.
+pub mod test_runner {
+    pub use super::{TestRunner, ValueTree};
+}
+
+/// Drives strategies directly (`TestRunner::deterministic()` +
+/// [`Strategy::new_tree`]).
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    pub(crate) rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with a fixed seed — every call sequence reproduces.
+    pub fn deterministic() -> TestRunner {
+        TestRunner {
+            rng: TestRng::for_case(0x5de5_de5d_e5de_5de5, 0),
+        }
+    }
+}
+
+/// A drawn value (proptest's value-plus-shrink-tree, minus the tree).
+#[derive(Debug, Clone)]
+pub struct ValueTree<T> {
+    value: T,
+}
+
+impl<T: Clone> ValueTree<T> {
+    /// The drawn value.
+    pub fn current(&self) -> T {
+        self.value.clone()
+    }
+}
+
+/// Why a test-case body did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: the case does not apply; draw another.
+    Reject,
+    /// An assertion failed with this message.
+    Fail(String),
+}
+
+/// The seed in effect for [`proptest!`]-generated tests.
+pub fn env_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5de5_de5d_e5de_5de5)
+}
+
+/// The case-count override, if any.
+pub fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+}
+
+/// Runs one property: `cases` draws of `strategy`, skipping rejections.
+/// Panics with seed + case index on the first failure.
+pub fn run_property<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    body: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) where
+    S::Value: fmt::Debug + Clone,
+{
+    let seed = env_seed();
+    let cases = env_cases().unwrap_or(config.cases);
+    let mut rejected = 0u32;
+    for case in 0..u64::from(cases) {
+        let mut rng = TestRng::for_case(seed, case);
+        let value = strategy.generate(&mut rng);
+        match body(value.clone()) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "property `{name}` failed at case {case} (seed {seed:#x}):\n  input: {value:?}\n  {msg}\n\
+                 re-run with PROPTEST_SEED={seed} to reproduce"
+            ),
+        }
+    }
+    assert!(
+        rejected < cases,
+        "property `{name}`: every case was rejected by prop_assume! ({rejected}/{cases})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests; see the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategy = ($($strategy,)+);
+                $crate::run_property(
+                    stringify!($name),
+                    &config,
+                    &strategy,
+                    |($($arg,)+)| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    // Without a config header.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+));
+    }};
+}
+
+/// Fails the current case if the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// `proptest::prelude` — everything the `use proptest::prelude::*` idiom
+/// expects.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, one_of, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// The `prop::` module alias (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let s = (0u64..=100, any::<u16>()).prop_map(|(a, b)| (a, b));
+        let mut r1 = TestRng::for_case(7, 3);
+        let mut r2 = TestRng::for_case(7, 3);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case(1, 1);
+        for _ in 0..1000 {
+            let v = (3u16..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (0u64..=255).generate(&mut rng);
+            assert!(w <= 255);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_option() {
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::for_case(9, 9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn collection_vec_respects_len() {
+        let s = collection::vec(any::<u32>(), 2..5);
+        let mut rng = TestRng::for_case(4, 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_form_works(x in 0u64..=10, y in 1u16..4) {
+            prop_assume!(x != 3);
+            prop_assert!(x <= 10);
+            prop_assert_eq!(u64::from(y) * x / x.max(1), u64::from(y) * x / x.max(1));
+            prop_assert_ne!(y, 0);
+        }
+    }
+
+    #[test]
+    fn runner_api_draws() {
+        let s = (0u8..4).prop_map(|v| v + 10).boxed();
+        let mut runner = TestRunner::deterministic();
+        let v = s.new_tree(&mut runner).unwrap().current();
+        assert!((10..14).contains(&v));
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(v) => {
+                    let _ = v;
+                    1
+                }
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0u8..=255).prop_map(Tree::Leaf);
+        let s = leaf.prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::for_case(2, 2);
+        for _ in 0..100 {
+            // 4 recursion levels on top of a leaf bounds depth at 5.
+            assert!(depth(&s.generate(&mut rng)) <= 5);
+        }
+    }
+}

@@ -74,7 +74,10 @@ pub enum BinOp {
 impl BinOp {
     /// Whether the operator produces a width-1 (boolean) result.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Ult | BinOp::Ule | BinOp::Slt | BinOp::Sle)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Ult | BinOp::Ule | BinOp::Slt | BinOp::Sle
+        )
     }
 }
 
@@ -158,7 +161,10 @@ impl Expr {
 
     /// A constant of width `w` (the value is truncated to `w`).
     pub fn const_(value: u64, w: Width) -> ExprRef {
-        Arc::new(Expr::Const { value: w.truncate(value), width: w })
+        Arc::new(Expr::Const {
+            value: w.truncate(value),
+            width: w,
+        })
     }
 
     /// The boolean constant `true` (width-1 one).
@@ -292,7 +298,11 @@ impl Expr {
             return Expr::const_(!value, *width);
         }
         // ¬¬x → x
-        if let Expr::Unary { op: UnOp::Not, arg: inner } = &*arg {
+        if let Expr::Unary {
+            op: UnOp::Not,
+            arg: inner,
+        } = &*arg
+        {
             return inner.clone();
         }
         // Negating a comparison flips the operator instead of wrapping.
@@ -422,7 +432,16 @@ impl Expr {
         // Cheap identities (only ones that are valid for all operands).
         if let Expr::Const { value: b, .. } = &*rhs {
             match (op, *b) {
-                (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::LShr | BinOp::AShr, 0) => {
+                (
+                    BinOp::Add
+                    | BinOp::Sub
+                    | BinOp::Or
+                    | BinOp::Xor
+                    | BinOp::Shl
+                    | BinOp::LShr
+                    | BinOp::AShr,
+                    0,
+                ) => {
                     return lhs;
                 }
                 (BinOp::Mul, 1) | (BinOp::UDiv, 1) => return lhs,
@@ -752,7 +771,11 @@ mod tests {
         let not_lt = Expr::not(lt);
         // ¬(x < 5) ≡ 5 <= x
         match &*not_lt {
-            Expr::Binary { op: BinOp::Ule, lhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Ule,
+                lhs,
+                ..
+            } => {
                 assert_eq!(lhs.as_const(), Some(5));
             }
             other => panic!("expected ule, got {other}"),
@@ -764,9 +787,18 @@ mod tests {
 
     #[test]
     fn casts() {
-        assert_eq!(Expr::zext(c(0xff, Width::W8), Width::W16).as_const(), Some(0xff));
-        assert_eq!(Expr::sext(c(0xff, Width::W8), Width::W16).as_const(), Some(0xffff));
-        assert_eq!(Expr::trunc(c(0x1234, Width::W16), Width::W8).as_const(), Some(0x34));
+        assert_eq!(
+            Expr::zext(c(0xff, Width::W8), Width::W16).as_const(),
+            Some(0xff)
+        );
+        assert_eq!(
+            Expr::sext(c(0xff, Width::W8), Width::W16).as_const(),
+            Some(0xffff)
+        );
+        assert_eq!(
+            Expr::trunc(c(0x1234, Width::W16), Width::W8).as_const(),
+            Some(0x34)
+        );
         // Cast to the same width is the identity.
         let mut t = SymbolTable::new();
         let x = Expr::sym(t.fresh("x", Width::W8));
@@ -790,7 +822,10 @@ mod tests {
         assert_eq!(eval_binop(BinOp::URem, 5, 0, Width::W8), 5);
         assert_eq!(eval_binop(BinOp::SDiv, 0x80, 0xff, Width::W8), 0x80); // MIN/-1 wraps
         assert_eq!(eval_binop(BinOp::UDiv, 7, 2, Width::W8), 3);
-        assert_eq!(eval_binop(BinOp::SDiv, 0xf9, 2, Width::W8), Width::W8.truncate(-3i64 as u64));
+        assert_eq!(
+            eval_binop(BinOp::SDiv, 0xf9, 2, Width::W8),
+            Width::W8.truncate(-3i64 as u64)
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl Interval {
 
     /// The full domain of width `w`.
     pub fn full(w: Width) -> Interval {
-        Interval { lo: 0, hi: w.umax() }
+        Interval {
+            lo: 0,
+            hi: w.umax(),
+        }
     }
 
     /// The canonical empty interval.
@@ -87,7 +90,10 @@ impl Interval {
     /// Intersection of two intervals.
     #[must_use]
     pub fn intersect(&self, other: &Interval) -> Interval {
-        Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
     }
 
     /// Smallest interval containing both (interval hull).
@@ -99,7 +105,10 @@ impl Interval {
         if other.is_empty() {
             return *self;
         }
-        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     fn add(&self, other: &Interval, w: Width) -> Interval {
@@ -117,7 +126,10 @@ impl Interval {
             return Interval::empty();
         }
         if self.lo >= other.hi {
-            Interval { lo: self.lo - other.hi, hi: self.hi - other.lo }
+            Interval {
+                lo: self.lo - other.hi,
+                hi: self.hi - other.lo,
+            }
         } else {
             Interval::full(w) // may wrap below zero
         }
@@ -333,8 +345,8 @@ impl fmt::Display for Interval {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{SymbolTable};
     use crate::expr::ExprRef;
+    use crate::SymbolTable;
 
     fn env_of(pairs: &[(SymId, Interval)]) -> BTreeMap<SymId, Interval> {
         pairs.iter().copied().collect()
@@ -361,7 +373,10 @@ mod tests {
         let a = Interval::new(200, 250);
         let b = Interval::new(10, 20);
         assert_eq!(a.add(&b, w), Interval::full(w)); // can exceed 255
-        assert_eq!(Interval::new(1, 2).add(&Interval::new(3, 4), w), Interval::new(4, 6));
+        assert_eq!(
+            Interval::new(1, 2).add(&Interval::new(3, 4), w),
+            Interval::new(4, 6)
+        );
     }
 
     #[test]
@@ -405,9 +420,20 @@ mod tests {
         // the result must land inside the abstract result.
         let w = Width::W8;
         let ops = [
-            BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::UDiv, BinOp::URem,
-            BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Ult, BinOp::Ule,
-            BinOp::Eq, BinOp::Ne, BinOp::Slt, BinOp::Sle,
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::UDiv,
+            BinOp::URem,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Ult,
+            BinOp::Ule,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Slt,
+            BinOp::Sle,
         ];
         let mut t = SymbolTable::new();
         let xv = t.fresh("x", w);
@@ -416,8 +442,14 @@ mod tests {
         for op in ops {
             for &(a, b) in &samples {
                 let env = env_of(&[
-                    (xv.id(), Interval::new(a.saturating_sub(2), (a + 2).min(255))),
-                    (yv.id(), Interval::new(b.saturating_sub(2), (b + 2).min(255))),
+                    (
+                        xv.id(),
+                        Interval::new(a.saturating_sub(2), (a + 2).min(255)),
+                    ),
+                    (
+                        yv.id(),
+                        Interval::new(b.saturating_sub(2), (b + 2).min(255)),
+                    ),
                 ]);
                 let e = Expr::Binary {
                     op,
@@ -443,7 +475,10 @@ mod tests {
             then: c(10, Width::W8),
             els: c(20, Width::W8),
         };
-        assert_eq!(Interval::of_expr(&e, &BTreeMap::new()), Interval::new(10, 20));
+        assert_eq!(
+            Interval::of_expr(&e, &BTreeMap::new()),
+            Interval::new(10, 20)
+        );
         let env = env_of(&[(cv.id(), Interval::singleton(1))]);
         assert_eq!(Interval::of_expr(&e, &env), Interval::singleton(10));
     }

@@ -86,7 +86,9 @@ impl fmt::Display for Model {
 
 impl FromIterator<(SymId, u64)> for Model {
     fn from_iter<I: IntoIterator<Item = (SymId, u64)>>(iter: I) -> Self {
-        Model { values: iter.into_iter().collect() }
+        Model {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -131,8 +131,7 @@ impl PathCondition {
     /// Returns `true` when the two conditions share their entire constraint
     /// storage (cheap identity test for sibling states).
     pub fn ptr_eq(&self, other: &Self) -> bool {
-        self.trivially_false == other.trivially_false
-            && self.constraints.ptr_eq(&other.constraints)
+        self.trivially_false == other.trivially_false && self.constraints.ptr_eq(&other.constraints)
     }
 }
 
@@ -141,7 +140,9 @@ impl fmt::Debug for PathCondition {
         if self.trivially_false {
             write!(f, "PathCondition[FALSE]")?;
         }
-        f.debug_list().entries(self.iter().map(|c| c.to_string())).finish()
+        f.debug_list()
+            .entries(self.iter().map(|c| c.to_string()))
+            .finish()
     }
 }
 

@@ -79,9 +79,20 @@ fn rebuild_binary(op: BinOp, lhs: ExprRef, rhs: ExprRef) -> ExprRef {
     };
 
     // (x + c1) + c2 → x + (c1 + c2); same for mul/and/or/xor.
-    if let (Some(c2), Expr::Binary { op: inner_op, lhs: x, rhs: inner_rhs }) = (rhs.as_const(), &*lhs) {
+    if let (
+        Some(c2),
+        Expr::Binary {
+            op: inner_op,
+            lhs: x,
+            rhs: inner_rhs,
+        },
+    ) = (rhs.as_const(), &*lhs)
+    {
         if *inner_op == op
-            && matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+            && matches!(
+                op,
+                BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+            )
         {
             if let Some(c1) = inner_rhs.as_const() {
                 let w = x.width();
@@ -94,8 +105,14 @@ fn rebuild_binary(op: BinOp, lhs: ExprRef, rhs: ExprRef) -> ExprRef {
 
     // x + c1 = c2  →  x = c2 - c1   (and the same for Ne, Sub mirrored).
     if matches!(op, BinOp::Eq | BinOp::Ne) {
-        if let (Expr::Binary { op: BinOp::Add, lhs: x, rhs: addend }, Some(c2)) =
-            (&*lhs, rhs.as_const())
+        if let (
+            Expr::Binary {
+                op: BinOp::Add,
+                lhs: x,
+                rhs: addend,
+            },
+            Some(c2),
+        ) = (&*lhs, rhs.as_const())
         {
             if let Some(c1) = addend.as_const() {
                 let w = x.width();
@@ -103,8 +120,14 @@ fn rebuild_binary(op: BinOp, lhs: ExprRef, rhs: ExprRef) -> ExprRef {
                 return apply(op, x.clone(), moved);
             }
         }
-        if let (Expr::Binary { op: BinOp::Sub, lhs: x, rhs: subtrahend }, Some(c2)) =
-            (&*lhs, rhs.as_const())
+        if let (
+            Expr::Binary {
+                op: BinOp::Sub,
+                lhs: x,
+                rhs: subtrahend,
+            },
+            Some(c2),
+        ) = (&*lhs, rhs.as_const())
         {
             if let Some(c1) = subtrahend.as_const() {
                 let w = x.width();
@@ -159,7 +182,11 @@ mod tests {
         let e = Expr::add(Expr::add(x.clone(), c(3, Width::W8)), c(4, Width::W8));
         let s = simplify(&e);
         match &*s {
-            Expr::Binary { op: BinOp::Add, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                lhs,
+                rhs,
+            } => {
                 assert_eq!(lhs, &x);
                 assert_eq!(rhs.as_const(), Some(7));
             }
@@ -175,7 +202,11 @@ mod tests {
         let e = Expr::eq(Expr::add(x.clone(), c(10, Width::W8)), c(13, Width::W8));
         let s = simplify(&e);
         match &*s {
-            Expr::Binary { op: BinOp::Eq, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::Eq,
+                lhs,
+                rhs,
+            } => {
                 assert_eq!(lhs, &x);
                 assert_eq!(rhs.as_const(), Some(3));
             }
@@ -185,7 +216,11 @@ mod tests {
         let e = Expr::ne(Expr::sub(x.clone(), c(5, Width::W8)), c(1, Width::W8));
         let s = simplify(&e);
         match &*s {
-            Expr::Binary { op: BinOp::Ne, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::Ne,
+                lhs,
+                rhs,
+            } => {
                 assert_eq!(lhs, &x);
                 assert_eq!(rhs.as_const(), Some(6));
             }
@@ -197,10 +232,18 @@ mod tests {
     fn constant_canonicalized_right() {
         let mut t = SymbolTable::new();
         let x = Expr::sym(t.fresh("x", Width::W8));
-        let e = Arc::new(Expr::Binary { op: BinOp::Add, lhs: c(9, Width::W8), rhs: x.clone() });
+        let e = Arc::new(Expr::Binary {
+            op: BinOp::Add,
+            lhs: c(9, Width::W8),
+            rhs: x.clone(),
+        });
         let s = simplify(&e);
         match &*s {
-            Expr::Binary { op: BinOp::Add, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                lhs,
+                rhs,
+            } => {
                 assert_eq!(lhs, &x);
                 assert_eq!(rhs.as_const(), Some(9));
             }
@@ -213,11 +256,23 @@ mod tests {
         // Build (x + (2*3)) through raw variants, bypassing constructors.
         let mut t = SymbolTable::new();
         let x = Expr::sym(t.fresh("x", Width::W8));
-        let two_three = Arc::new(Expr::Binary { op: BinOp::Mul, lhs: c(2, Width::W8), rhs: c(3, Width::W8) });
-        let e = Arc::new(Expr::Binary { op: BinOp::Add, lhs: x.clone(), rhs: two_three });
+        let two_three = Arc::new(Expr::Binary {
+            op: BinOp::Mul,
+            lhs: c(2, Width::W8),
+            rhs: c(3, Width::W8),
+        });
+        let e = Arc::new(Expr::Binary {
+            op: BinOp::Add,
+            lhs: x.clone(),
+            rhs: two_three,
+        });
         let s = simplify(&e);
         match &*s {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => assert_eq!(rhs.as_const(), Some(6)),
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => assert_eq!(rhs.as_const(), Some(6)),
             other => panic!("expected x + 6, got {other}"),
         }
     }
@@ -245,7 +300,11 @@ mod tests {
             for v in 0..=255u64 {
                 let mut m = Model::new();
                 m.assign(xv.id(), v);
-                assert_eq!(e.eval(&m), s1.eval(&m), "semantics changed at x={v} for {e}");
+                assert_eq!(
+                    e.eval(&m),
+                    s1.eval(&m),
+                    "semantics changed at x={v} for {e}"
+                );
             }
         }
     }

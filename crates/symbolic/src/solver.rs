@@ -23,10 +23,11 @@ use crate::model::Model;
 use crate::path::PathCondition;
 use crate::table::SymId;
 use crate::width::Width;
-use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
 
 /// Resource limits for a single satisfiability query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +39,9 @@ pub struct SolverBudget {
 
 impl Default for SolverBudget {
     fn default() -> Self {
-        SolverBudget { max_nodes: 2_000_000 }
+        SolverBudget {
+            max_nodes: 2_000_000,
+        }
     }
 }
 
@@ -91,6 +94,22 @@ enum CacheEntry {
 /// One hash bucket of the query cache: (normalized constraint set, answer).
 type CacheBucket = Vec<(Vec<ExprRef>, CacheEntry)>;
 
+/// Number of independently-locked cache shards. Sharding keeps lock
+/// contention negligible when speculative workers and the authoritative
+/// pass query concurrently ([`Solver`] is `Sync`).
+const CACHE_SHARDS: usize = 16;
+
+/// Lock-free work counters (see [`SolverStats`] for the snapshot form).
+#[derive(Debug, Default)]
+struct StatCells {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    sat: AtomicU64,
+    unsat: AtomicU64,
+    unknown: AtomicU64,
+    nodes_visited: AtomicU64,
+}
+
 /// The constraint solver. See the module documentation for the pipeline.
 ///
 /// # Examples
@@ -110,18 +129,18 @@ type CacheBucket = Vec<(Vec<ExprRef>, CacheEntry)>;
 #[derive(Debug)]
 pub struct Solver {
     budget: SolverBudget,
-    stats: RefCell<SolverStats>,
-    cache: RefCell<HashMap<u64, CacheBucket>>,
-    caching: std::cell::Cell<bool>,
+    stats: StatCells,
+    cache: Vec<Mutex<HashMap<u64, CacheBucket>>>,
+    caching: AtomicBool,
 }
 
 impl Default for Solver {
     fn default() -> Self {
         Solver {
             budget: SolverBudget::default(),
-            stats: RefCell::default(),
-            cache: RefCell::default(),
-            caching: std::cell::Cell::new(true),
+            stats: StatCells::default(),
+            cache: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+            caching: AtomicBool::new(true),
         }
     }
 }
@@ -134,34 +153,49 @@ impl Solver {
 
     /// Creates a solver with an explicit budget.
     pub fn with_budget(budget: SolverBudget) -> Self {
-        Solver { budget, ..Self::default() }
+        Solver {
+            budget,
+            ..Self::default()
+        }
     }
 
     /// A snapshot of the work counters.
     pub fn stats(&self) -> SolverStats {
-        *self.stats.borrow()
+        SolverStats {
+            queries: self.stats.queries.load(Relaxed),
+            cache_hits: self.stats.cache_hits.load(Relaxed),
+            sat: self.stats.sat.load(Relaxed),
+            unsat: self.stats.unsat.load(Relaxed),
+            unknown: self.stats.unknown.load(Relaxed),
+            nodes_visited: self.stats.nodes_visited.load(Relaxed),
+        }
     }
 
     /// Clears the query cache (counters are kept).
     pub fn clear_cache(&self) {
-        self.cache.borrow_mut().clear();
+        for shard in &self.cache {
+            shard.lock().expect("cache shard").clear();
+        }
     }
 
     /// Enables or disables the query cache (for ablation measurements).
     /// Disabling also clears it.
     pub fn set_caching(&self, enabled: bool) {
-        self.caching.set(enabled);
+        self.caching.store(enabled, Relaxed);
         if !enabled {
             self.clear_cache();
         }
     }
 
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, CacheBucket>> {
+        &self.cache[key as usize % self.cache.len()]
+    }
+
     /// Decides satisfiability of a path condition.
     pub fn check(&self, pc: &PathCondition) -> SolverResult {
         if pc.is_trivially_false() {
-            let mut s = self.stats.borrow_mut();
-            s.queries += 1;
-            s.unsat += 1;
+            self.stats.queries.fetch_add(1, Relaxed);
+            self.stats.unsat.fetch_add(1, Relaxed);
             return SolverResult::Unsat;
         }
         let constraints: Vec<ExprRef> = pc.iter().cloned().collect();
@@ -174,7 +208,7 @@ impl Solver {
     ///
     /// Panics (in debug builds) when a constraint is not of width 1.
     pub fn check_constraints(&self, constraints: &[ExprRef]) -> SolverResult {
-        self.stats.borrow_mut().queries += 1;
+        self.stats.queries.fetch_add(1, Relaxed);
 
         // Drop trivially-true constraints; bail on trivially-false ones.
         let mut work: Vec<ExprRef> = Vec::with_capacity(constraints.len());
@@ -184,40 +218,38 @@ impl Solver {
                 continue;
             }
             if c.is_false() {
-                self.stats.borrow_mut().unsat += 1;
+                self.stats.unsat.fetch_add(1, Relaxed);
                 return SolverResult::Unsat;
             }
             work.push(c.clone());
         }
         if work.is_empty() {
-            self.stats.borrow_mut().sat += 1;
+            self.stats.sat.fetch_add(1, Relaxed);
             return SolverResult::Sat(Model::new());
         }
 
         // Cache lookup on the order-normalized constraint set.
         let key = cache_key(&mut work);
-        if !self.caching.get() {
+        if !self.caching.load(Relaxed) {
             let result = self.solve_groups(&work);
-            let mut s = self.stats.borrow_mut();
             match &result {
-                SolverResult::Sat(_) => s.sat += 1,
-                SolverResult::Unsat => s.unsat += 1,
-                SolverResult::Unknown => s.unknown += 1,
-            }
+                SolverResult::Sat(_) => self.stats.sat.fetch_add(1, Relaxed),
+                SolverResult::Unsat => self.stats.unsat.fetch_add(1, Relaxed),
+                SolverResult::Unknown => self.stats.unknown.fetch_add(1, Relaxed),
+            };
             return result;
         }
-        if let Some(bucket) = self.cache.borrow().get(&key) {
+        if let Some(bucket) = self.shard(key).lock().expect("cache shard").get(&key) {
             for (stored, entry) in bucket {
                 if stored == &work {
-                    let mut s = self.stats.borrow_mut();
-                    s.cache_hits += 1;
+                    self.stats.cache_hits.fetch_add(1, Relaxed);
                     match entry {
                         CacheEntry::Sat(m) => {
-                            s.sat += 1;
+                            self.stats.sat.fetch_add(1, Relaxed);
                             return SolverResult::Sat(m.clone());
                         }
                         CacheEntry::Unsat => {
-                            s.unsat += 1;
+                            self.stats.unsat.fetch_add(1, Relaxed);
                             return SolverResult::Unsat;
                         }
                     }
@@ -227,25 +259,27 @@ impl Solver {
 
         let result = self.solve_groups(&work);
 
-        match &result {
+        let entry = match &result {
             SolverResult::Sat(m) => {
-                self.stats.borrow_mut().sat += 1;
-                self.cache
-                    .borrow_mut()
-                    .entry(key)
-                    .or_default()
-                    .push((work, CacheEntry::Sat(m.clone())));
+                self.stats.sat.fetch_add(1, Relaxed);
+                Some(CacheEntry::Sat(m.clone()))
             }
             SolverResult::Unsat => {
-                self.stats.borrow_mut().unsat += 1;
-                self.cache
-                    .borrow_mut()
-                    .entry(key)
-                    .or_default()
-                    .push((work, CacheEntry::Unsat));
+                self.stats.unsat.fetch_add(1, Relaxed);
+                Some(CacheEntry::Unsat)
             }
             SolverResult::Unknown => {
-                self.stats.borrow_mut().unknown += 1;
+                self.stats.unknown.fetch_add(1, Relaxed);
+                None
+            }
+        };
+        if let Some(entry) = entry {
+            let mut shard = self.shard(key).lock().expect("cache shard");
+            let bucket = shard.entry(key).or_default();
+            // A concurrent solver may have answered the same query while we
+            // were solving; keep the bucket duplicate-free.
+            if !bucket.iter().any(|(stored, _)| stored == &work) {
+                bucket.push((work, entry));
             }
         }
         result
@@ -268,7 +302,10 @@ impl Solver {
     /// Returns `true` when `cond` holds in every model of `pc`
     /// (i.e. `pc ∧ ¬cond` is unsatisfiable).
     pub fn must_be_true(&self, pc: &PathCondition, cond: &ExprRef) -> bool {
-        matches!(self.check(&pc.with(Expr::not(cond.clone()))), SolverResult::Unsat)
+        matches!(
+            self.check(&pc.with(Expr::not(cond.clone()))),
+            SolverResult::Unsat
+        )
     }
 
     /// Convenience: `check(pc)` is satisfiable (Unknown counts as `false`).
@@ -332,7 +369,7 @@ impl Solver {
         let mut model = Model::new();
         let mut nodes = 0u64;
         let verdict = self.dfs(constraints, &order, 0, &env, &mut model, &mut nodes);
-        self.stats.borrow_mut().nodes_visited += nodes;
+        self.stats.nodes_visited.fetch_add(nodes, Relaxed);
         match verdict {
             Verdict::Sat => SolverResult::Sat(model),
             Verdict::Unsat => SolverResult::Unsat,
@@ -458,7 +495,9 @@ fn collect_var_widths(e: &Expr, out: &mut BTreeMap<SymId, Width>) {
 /// `var ⋈ e` or `e ⋈ var` (through zext casts). Returns `true` when a bound
 /// changed.
 fn refine(c: &Expr, env: &mut BTreeMap<SymId, Interval>) -> bool {
-    let Expr::Binary { op, lhs, rhs } = c else { return false };
+    let Expr::Binary { op, lhs, rhs } = c else {
+        return false;
+    };
     let mut changed = false;
     if let Some(id) = as_var(lhs) {
         let other = Interval::of_expr(rhs, env);
@@ -476,7 +515,11 @@ fn refine(c: &Expr, env: &mut BTreeMap<SymId, Interval>) -> bool {
 fn as_var(e: &Expr) -> Option<SymId> {
     match e {
         Expr::Sym(v) => Some(v.id()),
-        Expr::Cast { op: crate::expr::CastOp::Zext, arg, .. } => match &**arg {
+        Expr::Cast {
+            op: crate::expr::CastOp::Zext,
+            arg,
+            ..
+        } => match &**arg {
             Expr::Sym(v) => Some(v.id()),
             _ => None,
         },
@@ -526,7 +569,9 @@ fn refine_var(
             }
         }
         // other < var  ⇒  var ≥ other.lo + 1
-        (BinOp::Ult, true) => current.intersect(&Interval::new(other.lo().saturating_add(1), u64::MAX)),
+        (BinOp::Ult, true) => {
+            current.intersect(&Interval::new(other.lo().saturating_add(1), u64::MAX))
+        }
         (BinOp::Ule, false) => current.intersect(&Interval::new(0, other.hi())),
         (BinOp::Ule, true) => current.intersect(&Interval::new(other.lo(), u64::MAX)),
         _ => current,
@@ -602,7 +647,7 @@ fn cache_key(work: &mut Vec<ExprRef>) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{SymbolTable};
+    use crate::SymbolTable;
 
     fn c8(v: u64) -> ExprRef {
         Expr::const_(v, Width::W8)
@@ -639,9 +684,17 @@ mod tests {
 
         let paths = [
             PathCondition::new().with(eq0.clone()),
-            PathCondition::new().with(Expr::not(eq0.clone())).with(lt50.clone()).with(gt10.clone()),
-            PathCondition::new().with(Expr::not(eq0.clone())).with(lt50.clone()).with(Expr::not(gt10.clone())),
-            PathCondition::new().with(Expr::not(eq0)).with(Expr::not(lt50)),
+            PathCondition::new()
+                .with(Expr::not(eq0.clone()))
+                .with(lt50.clone())
+                .with(gt10.clone()),
+            PathCondition::new()
+                .with(Expr::not(eq0.clone()))
+                .with(lt50.clone())
+                .with(Expr::not(gt10.clone())),
+            PathCondition::new()
+                .with(Expr::not(eq0))
+                .with(Expr::not(lt50)),
         ];
         let expectations: [&dyn Fn(u64) -> bool; 4] = [
             &|v| v == 0,
@@ -650,7 +703,9 @@ mod tests {
             &|v| v >= 50,
         ];
         for (pc, ok) in paths.iter().zip(expectations) {
-            let m = s.model(pc).unwrap_or_else(|| panic!("path {pc} should be sat"));
+            let m = s
+                .model(pc)
+                .unwrap_or_else(|| panic!("path {pc} should be sat"));
             let v = m.value_of(xv.id()).expect("x constrained on every path");
             assert!(ok(v), "model {v} violates {pc}");
         }
@@ -726,7 +781,13 @@ mod tests {
             .with(Expr::ult(x.clone(), Expr::const_(1000, Width::W32)))
             .with(Expr::ugt(x, Expr::const_(997, Width::W32)));
         let m2 = s.model(&pc2).unwrap();
-        assert_eq!(m2.value_of(xv.id()), Some(998).or(Some(999)).filter(|v| *v == m2.value_of(xv.id()).unwrap()).or(m2.value_of(xv.id())));
+        assert_eq!(
+            m2.value_of(xv.id()),
+            Some(998)
+                .or(Some(999))
+                .filter(|v| *v == m2.value_of(xv.id()).unwrap())
+                .or(m2.value_of(xv.id()))
+        );
         let v = m2.value_of(xv.id()).unwrap();
         assert!(v > 997 && v < 1000);
     }
@@ -748,11 +809,42 @@ mod tests {
     }
 
     #[test]
+    fn solver_is_shareable_across_threads() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<Solver>();
+
+        // Concurrent queries against one shared solver: all agree, and the
+        // counters account for every query.
+        let mut t = SymbolTable::new();
+        let vars: Vec<_> = (0..4)
+            .map(|i| t.fresh(&format!("v{i}"), Width::W8))
+            .collect();
+        let s = Solver::new();
+        std::thread::scope(|scope| {
+            for v in &vars {
+                let s = &s;
+                scope.spawn(move || {
+                    let pc = PathCondition::new().with(Expr::eq(Expr::sym(v.clone()), c8(7)));
+                    for _ in 0..8 {
+                        assert!(s.is_sat(&pc));
+                    }
+                });
+            }
+        });
+        let stats = s.stats();
+        assert_eq!(stats.queries, 32);
+        assert_eq!(stats.sat, 32);
+        assert!(stats.cache_hits >= 28, "{} hits", stats.cache_hits);
+    }
+
+    #[test]
     fn budget_exhaustion_reports_unknown() {
         let mut t = SymbolTable::new();
         // Force a large search: 4 unconstrained-ish 16-bit vars with a
         // constraint only a deep sweep can decide unsat.
-        let vars: Vec<_> = (0..3).map(|i| t.fresh(&format!("v{i}"), Width::W16)).collect();
+        let vars: Vec<_> = (0..3)
+            .map(|i| t.fresh(&format!("v{i}"), Width::W16))
+            .collect();
         let sum = vars
             .iter()
             .map(|v| Expr::sym(v.clone()))
@@ -771,7 +863,9 @@ mod tests {
     fn boolean_drop_variables() {
         // The SDE workload shape: many independent width-1 drop decisions.
         let mut t = SymbolTable::new();
-        let drops: Vec<_> = (0..20).map(|i| t.fresh(&format!("drop{i}"), Width::BOOL)).collect();
+        let drops: Vec<_> = (0..20)
+            .map(|i| t.fresh(&format!("drop{i}"), Width::BOOL))
+            .collect();
         let s = Solver::new();
         let mut pc = PathCondition::new();
         for (i, d) in drops.iter().enumerate() {

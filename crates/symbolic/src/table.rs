@@ -96,8 +96,11 @@ impl fmt::Display for SymVar {
 /// let b = t.fresh("drop", Width::BOOL);
 /// assert_ne!(a.id(), b.id()); // same name, distinct identity
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SymbolTable {
+    /// First id this table allocates; non-zero only for speculative
+    /// [`SymbolTable::forked`] windows.
+    base: u32,
     vars: Vec<SymVar>,
 }
 
@@ -115,18 +118,53 @@ impl SymbolTable {
     /// Allocates a fresh variable with an explicit replay key (see
     /// [`SymVar::replay_key`]).
     pub fn fresh_keyed(&mut self, name: &str, width: Width, node: u16, occurrence: u32) -> SymVar {
-        let id = SymId(u32::try_from(self.vars.len()).expect("symbol table overflow"));
-        let var = SymVar { id, name: Arc::from(name), width, node, occurrence };
+        let offset = u32::try_from(self.vars.len()).expect("symbol table overflow");
+        let id = SymId(
+            self.base
+                .checked_add(offset)
+                .expect("symbol table overflow"),
+        );
+        let var = SymVar {
+            id,
+            name: Arc::from(name),
+            width,
+            node,
+            occurrence,
+        };
         self.vars.push(var.clone());
         var
     }
 
     /// Looks a variable up by id.
+    ///
+    /// In a [`SymbolTable::forked`] window only variables minted by the
+    /// window itself are visible.
     pub fn get(&self, id: SymId) -> Option<&SymVar> {
-        self.vars.get(id.0 as usize)
+        let index = id.0.checked_sub(self.base)?;
+        self.vars.get(index as usize)
     }
 
-    /// Number of variables allocated so far.
+    /// The id the next [`SymbolTable::fresh`] call will return.
+    pub fn next_id(&self) -> SymId {
+        SymId(self.base + u32::try_from(self.vars.len()).expect("symbol table overflow"))
+    }
+
+    /// An empty *allocator window* that continues this table's id
+    /// sequence: its first `fresh` mints exactly [`SymbolTable::next_id`].
+    ///
+    /// This is O(1) — no variables are copied — and is what speculative
+    /// executors use to mint the same [`SymId`]s the authoritative
+    /// sequential pass will mint, so their solver queries land in the
+    /// shared cache. A window can only resolve ids it minted itself.
+    pub fn forked(&self) -> SymbolTable {
+        SymbolTable {
+            base: self.next_id().0,
+            vars: Vec::new(),
+        }
+    }
+
+    /// Number of variables allocated by this table (excluding the ids
+    /// skipped by a [`SymbolTable::forked`] base offset).
     pub fn len(&self) -> usize {
         self.vars.len()
     }
@@ -156,6 +194,23 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.get(a.id()).unwrap().name(), "x");
         assert_eq!(t.get(b.id()).unwrap().width(), Width::W16);
+    }
+
+    #[test]
+    fn forked_window_continues_the_id_sequence() {
+        let mut t = SymbolTable::new();
+        t.fresh("x", Width::W8);
+        t.fresh("y", Width::W8);
+        let mut w = t.forked();
+        assert!(w.is_empty());
+        assert_eq!(w.next_id(), t.next_id());
+        let a = w.fresh("z", Width::BOOL);
+        assert_eq!(a.id().index(), 2, "window mints the table's next id");
+        assert_eq!(w.get(a.id()).unwrap().name(), "z");
+        assert!(w.get(SymId(0)).is_none(), "windows cannot see older vars");
+        // The real table is unaffected and mints the same id next.
+        let b = t.fresh("z", Width::BOOL);
+        assert_eq!(b.id(), a.id());
     }
 
     #[test]

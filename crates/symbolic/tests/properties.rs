@@ -8,7 +8,10 @@
 //! * `must_be_true`/`may_be_true` are consistent.
 
 use proptest::prelude::*;
-use sde_symbolic::{simplify, BinOp, Expr, ExprRef, Interval, Model, PathCondition, Solver, SymVar, SymbolTable, Width};
+use sde_symbolic::{
+    simplify, BinOp, Expr, ExprRef, Interval, Model, PathCondition, Solver, SymVar, SymbolTable,
+    Width,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

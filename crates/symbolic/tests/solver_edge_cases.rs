@@ -96,10 +96,7 @@ fn arithmetic_wraparound_is_respected() {
     let x = Expr::sym(t.fresh("x", Width::W8));
     let solver = Solver::new();
     // x + 1 == 0 has the wrap solution x = 255.
-    let pc = PathCondition::new().with(Expr::eq(
-        Expr::add(x.clone(), c8(1)),
-        c8(0),
-    ));
+    let pc = PathCondition::new().with(Expr::eq(Expr::add(x.clone(), c8(1)), c8(0)));
     let m = solver.model(&pc).expect("satisfiable");
     assert_eq!(m.iter().next().map(|(_, v)| v), Some(255));
 }
@@ -109,20 +106,11 @@ fn must_be_true_on_implied_facts() {
     let mut t = SymbolTable::new();
     let x = Expr::sym(t.fresh("x", Width::W8));
     let solver = Solver::new();
-    let pc = PathCondition::new().with(Expr::eq(
-        Expr::and(x.clone(), c8(0x0f)),
-        c8(0x05),
-    ));
+    let pc = PathCondition::new().with(Expr::eq(Expr::and(x.clone(), c8(0x0f)), c8(0x05)));
     // The low nibble is fixed; bit 0 must be set.
-    assert!(solver.must_be_true(
-        &pc,
-        &Expr::eq(Expr::and(x.clone(), c8(1)), c8(1)),
-    ));
+    assert!(solver.must_be_true(&pc, &Expr::eq(Expr::and(x.clone(), c8(1)), c8(1)),));
     // The high nibble is free.
-    assert!(!solver.must_be_true(
-        &pc,
-        &Expr::eq(Expr::and(x.clone(), c8(0xf0)), c8(0)),
-    ));
+    assert!(!solver.must_be_true(&pc, &Expr::eq(Expr::and(x.clone(), c8(0xf0)), c8(0)),));
 }
 
 #[test]
@@ -167,10 +155,7 @@ fn shift_constraints() {
     let x = Expr::sym(t.fresh("x", Width::W8));
     let solver = Solver::new();
     // (x << 4) == 0x50  →  low nibble of x is 5.
-    let pc = PathCondition::new().with(Expr::eq(
-        Expr::shl(x.clone(), c8(4)),
-        c8(0x50),
-    ));
+    let pc = PathCondition::new().with(Expr::eq(Expr::shl(x.clone(), c8(4)), c8(0x50)));
     let m = solver.model(&pc).expect("satisfiable");
     let v = m.iter().next().map(|(_, v)| v).unwrap();
     assert_eq!(v & 0x0f, 5);

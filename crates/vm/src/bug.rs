@@ -75,7 +75,10 @@ mod tests {
         let r = BugReport {
             kind: BugKind::DivisionByZero,
             message: Arc::from("udiv"),
-            loc: Loc { func: FuncId(0), index: 4 },
+            loc: Loc {
+                func: FuncId(0),
+                index: 4,
+            },
             model: None,
         };
         assert_eq!(r.to_string(), "division by zero at f0@4: udiv");

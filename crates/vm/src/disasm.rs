@@ -58,19 +58,32 @@ fn render(program: &Program, inst: &Inst) -> String {
         Inst::Cast { op, to, dst, src } => {
             format!("{} {dst}, {src}, {to}", format!("{op:?}").to_lowercase())
         }
-        Inst::Select { dst, cond, then, els } => {
+        Inst::Select {
+            dst,
+            cond,
+            then,
+            els,
+        } => {
             format!("select {dst}, {cond} ? {then} : {els}")
         }
         Inst::Load { dst, addr, width } => format!("load.{width} {dst}, [{addr}]"),
         Inst::Store { addr, src } => format!("store [{addr}], {src}"),
         Inst::Jmp { target } => format!("jmp {target}"),
-        Inst::Br { cond, then_target, else_target } => {
+        Inst::Br {
+            cond,
+            then_target,
+            else_target,
+        } => {
             format!("br {cond}, {then_target}, {else_target}")
         }
         Inst::Call { func, args, dst } => {
             let args: Vec<String> = args.iter().map(|r| r.to_string()).collect();
             let dst = dst.map(|d| format!("{d} = ")).unwrap_or_default();
-            format!("{dst}call {}({})", program.function(*func).name(), args.join(", "))
+            format!(
+                "{dst}call {}({})",
+                program.function(*func).name(),
+                args.join(", ")
+            )
         }
         Inst::Ret { val } => match val {
             Some(r) => format!("ret {r}"),

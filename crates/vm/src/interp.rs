@@ -34,7 +34,13 @@ pub struct VmCtx<'a> {
 impl<'a> VmCtx<'a> {
     /// Creates a context at time 0 for node 0.
     pub fn new(solver: &'a Solver, symbols: &'a mut SymbolTable) -> Self {
-        VmCtx { solver, symbols, now: 0, node_id: 0, preset: None }
+        VmCtx {
+            solver,
+            symbols,
+            now: 0,
+            node_id: 0,
+            preset: None,
+        }
     }
 }
 
@@ -92,7 +98,10 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
     let frame = state.frames.last().expect("running state has a frame");
     let func_id = frame.func;
     let pc = frame.pc;
-    let loc = Loc { func: func_id, index: pc };
+    let loc = Loc {
+        func: func_id,
+        index: pc,
+    };
     let inst = program
         .function(func_id)
         .inst(pc)
@@ -117,7 +126,10 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
         ($r:expr) => {{
             match state.frames.last().expect("frame").regs.get($r.0 as usize) {
                 Some(Some(v)) => v.clone(),
-                _ => bug!(BugKind::Internal, format!("read of uninitialized register {}", $r)),
+                _ => bug!(
+                    BugKind::Internal,
+                    format!("read of uninitialized register {}", $r)
+                ),
             }
         }};
     }
@@ -127,7 +139,10 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
             let f = state.frames.last_mut().expect("frame");
             match f.regs.get_mut($r.0 as usize) {
                 Some(slot) => *slot = Some($v),
-                None => bug!(BugKind::Internal, format!("write to out-of-range register {}", $r)),
+                None => bug!(
+                    BugKind::Internal,
+                    format!("write to out-of-range register {}", $r)
+                ),
             }
         }};
     }
@@ -175,7 +190,12 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
             advance!();
             StepResult::Continue
         }
-        Inst::Select { dst, cond, then, els } => {
+        Inst::Select {
+            dst,
+            cond,
+            then,
+            els,
+        } => {
             let c = reg!(cond);
             let t = reg!(then);
             let e = reg!(els);
@@ -190,7 +210,10 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
             let a = reg!(lhs);
             let b = reg!(rhs);
             if a.width() != b.width() {
-                bug!(BugKind::Internal, format!("width mismatch {} vs {}", a.width(), b.width()));
+                bug!(
+                    BugKind::Internal,
+                    format!("width mismatch {} vs {}", a.width(), b.width())
+                );
             }
             // Division safety: fork off the divisor-zero path as a bug.
             if matches!(op, BinOp::UDiv | BinOp::URem | BinOp::SDiv | BinOp::SRem) {
@@ -228,7 +251,11 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
             state.frames.last_mut().expect("frame").pc = target;
             StepResult::Continue
         }
-        Inst::Br { cond, then_target, else_target } => {
+        Inst::Br {
+            cond,
+            then_target,
+            else_target,
+        } => {
             let c = reg!(cond);
             if c.width() != Width::BOOL {
                 bug!(BugKind::Internal, "branch condition is not width-1");
@@ -260,7 +287,10 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
             }
             let callee = program.function(func);
             if usize::from(callee.param_count()) != args.len() {
-                bug!(BugKind::Internal, format!("arity mismatch calling {}", callee.name()));
+                bug!(
+                    BugKind::Internal,
+                    format!("arity mismatch calling {}", callee.name())
+                );
             }
             let mut arg_values = Vec::with_capacity(args.len());
             for a in &args {
@@ -272,7 +302,12 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
             for (i, v) in arg_values.into_iter().enumerate() {
                 regs[i] = Some(v);
             }
-            state.frames.push(Frame { func, pc: 0, regs, ret_dst: dst });
+            state.frames.push(Frame {
+                func,
+                pc: 0,
+                regs,
+                ret_dst: dst,
+            });
             StepResult::Continue
         }
         Inst::Ret { val } => {
@@ -288,7 +323,10 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
             if let Some(dst) = finished.ret_dst {
                 match ret_value.clone() {
                     Some(v) => set_reg!(dst, v),
-                    None => bug!(BugKind::Internal, "callee returned no value into a destination"),
+                    None => bug!(
+                        BugKind::Internal,
+                        "callee returned no value into a destination"
+                    ),
                 }
             }
             StepResult::Continue
@@ -323,7 +361,10 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
                 values.push(reg!(*p));
             }
             advance!();
-            StepResult::Syscall(Syscall::Send { dest: dest_id, payload: values })
+            StepResult::Syscall(Syscall::Send {
+                dest: dest_id,
+                payload: values,
+            })
         }
         Inst::SetTimer { delay, timer } => {
             let d = reg!(delay);
@@ -332,7 +373,10 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
                 None => bug!(BugKind::SymbolicPointer, "timer delay is symbolic"),
             };
             advance!();
-            StepResult::Syscall(Syscall::SetTimer { delay: delay_ms, timer })
+            StepResult::Syscall(Syscall::SetTimer {
+                delay: delay_ms,
+                timer,
+            })
         }
         Inst::Now { dst } => {
             set_reg!(dst, Expr::const_(ctx.now, Width::W64));
@@ -432,10 +476,8 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
                 bug!(BugKind::OutOfBounds { addr: base }, "store");
             }
             for i in 0..nbytes {
-                let byte = Expr::trunc(
-                    Expr::lshr(v.clone(), Expr::const_(8 * i, width)),
-                    Width::W8,
-                );
+                let byte =
+                    Expr::trunc(Expr::lshr(v.clone(), Expr::const_(8 * i, width)), Width::W8);
                 state.heap = state.heap.insert((base + i) as u32, byte);
             }
             advance!();
@@ -549,7 +591,10 @@ pub fn run_to_completion(
     while let Some((mut state, mut effects)) = worklist.pop() {
         loop {
             steps += 1;
-            assert!(steps < 10_000_000, "run_to_completion: step budget exhausted");
+            assert!(
+                steps < 10_000_000,
+                "run_to_completion: step budget exhausted"
+            );
             match step(program, &mut state, ctx) {
                 StepResult::Continue => {}
                 StepResult::Forked(sibling) => {
@@ -626,7 +671,11 @@ mod tests {
         let (solver, mut symbols) = ctx_parts();
         let mut ctx = VmCtx::new(&solver, &mut symbols);
         let state = VmState::fresh(program);
-        run_to_completion(program, state.prepared(program, handler, &[]).unwrap(), &mut ctx)
+        run_to_completion(
+            program,
+            state.prepared(program, handler, &[]).unwrap(),
+            &mut ctx,
+        )
     }
 
     #[test]
@@ -820,7 +869,11 @@ mod tests {
         });
         let p = pb.build().unwrap();
         let out = run(&p, "main");
-        assert!(out.bugged.is_empty(), "{:?}", out.bugged.first().map(|s| s.status().clone()));
+        assert!(
+            out.bugged.is_empty(),
+            "{:?}",
+            out.bugged.first().map(|s| s.status().clone())
+        );
         assert_eq!(out.finished.len(), 1);
         assert_eq!(out.finished[0].0.memory_footprint(), 2);
     }
@@ -891,7 +944,13 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        assert_eq!(effects[1], Syscall::SetTimer { delay: 1000, timer: 3 });
+        assert_eq!(
+            effects[1],
+            Syscall::SetTimer {
+                delay: 1000,
+                timer: 3
+            }
+        );
     }
 
     #[test]
@@ -961,8 +1020,11 @@ mod tests {
         let state = VmState::fresh(&p);
         let out1 = run_to_completion(&p, state.prepared(&p, "first", &[]).unwrap(), &mut ctx);
         let after_first = out1.finished.into_iter().next().unwrap().0;
-        let out2 =
-            run_to_completion(&p, after_first.prepared(&p, "second", &[]).unwrap(), &mut ctx);
+        let out2 = run_to_completion(
+            &p,
+            after_first.prepared(&p, "second", &[]).unwrap(),
+            &mut ctx,
+        );
         assert!(out2.bugged.is_empty());
     }
 

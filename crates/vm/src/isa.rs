@@ -214,13 +214,28 @@ mod tests {
     fn display_forms() {
         assert_eq!(Reg(3).to_string(), "r3");
         assert_eq!(FuncId(1).to_string(), "f1");
-        assert_eq!(Loc { func: FuncId(1), index: 9 }.to_string(), "f1@9");
+        assert_eq!(
+            Loc {
+                func: FuncId(1),
+                index: 9
+            }
+            .to_string(),
+            "f1@9"
+        );
     }
 
     #[test]
     fn instructions_compare() {
-        let a = Inst::Const { dst: Reg(0), value: 1, width: Width::W8 };
-        let b = Inst::Const { dst: Reg(0), value: 1, width: Width::W8 };
+        let a = Inst::Const {
+            dst: Reg(0),
+            value: 1,
+            width: Width::W8,
+        };
+        let b = Inst::Const {
+            dst: Reg(0),
+            value: 1,
+            width: Width::W8,
+        };
         assert_eq!(a, b);
         assert_ne!(a, Inst::Nop);
     }

@@ -50,7 +50,8 @@ impl Preset {
 
     /// Sets the value of one input.
     pub fn insert(&mut self, node: u16, name: &str, occurrence: u32, value: u64) {
-        self.values.insert((node, name.to_string(), occurrence), value);
+        self.values
+            .insert((node, name.to_string(), occurrence), value);
     }
 
     /// The value of one input, if pinned.

@@ -125,7 +125,10 @@ impl fmt::Display for ProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProgramError::UnplacedLabel { function, label } => {
-                write!(f, "label L{label} in function `{function}` was never placed")
+                write!(
+                    f,
+                    "label L{label} in function `{function}` was never placed"
+                )
             }
             ProgramError::DuplicateFunction(name) => {
                 write!(f, "function `{name}` defined twice")
@@ -151,8 +154,16 @@ pub struct Label(u32);
 enum Draft {
     Ready(Inst),
     Jmp(Label),
-    Br { cond: Reg, then_label: Label, else_label: Label },
-    Call { callee: Arc<str>, args: Vec<Reg>, dst: Option<Reg> },
+    Br {
+        cond: Reg,
+        then_label: Label,
+        else_label: Label,
+    },
+    Call {
+        callee: Arc<str>,
+        args: Vec<Reg>,
+        dst: Option<Reg>,
+    },
 }
 
 /// Builds one function: allocates registers, emits instructions, resolves
@@ -182,7 +193,10 @@ impl FunctionBuilder {
     /// Allocates a fresh virtual register.
     pub fn reg(&mut self) -> Reg {
         let r = Reg(self.next_reg);
-        self.next_reg = self.next_reg.checked_add(1).expect("register file overflow");
+        self.next_reg = self
+            .next_reg
+            .checked_add(1)
+            .expect("register file overflow");
         r
     }
 
@@ -216,7 +230,8 @@ impl FunctionBuilder {
 
     /// Emits `dst ← constant`.
     pub fn const_(&mut self, dst: Reg, value: u64, width: Width) {
-        self.drafts.push(Draft::Ready(Inst::Const { dst, value, width }));
+        self.drafts
+            .push(Draft::Ready(Inst::Const { dst, value, width }));
     }
 
     /// Emits `dst ← src`.
@@ -226,7 +241,8 @@ impl FunctionBuilder {
 
     /// Emits `dst ← lhs op rhs`.
     pub fn bin(&mut self, op: sde_symbolic::BinOp, dst: Reg, lhs: Reg, rhs: Reg) {
-        self.drafts.push(Draft::Ready(Inst::Bin { op, dst, lhs, rhs }));
+        self.drafts
+            .push(Draft::Ready(Inst::Bin { op, dst, lhs, rhs }));
     }
 
     /// Emits `dst ← op src`.
@@ -236,17 +252,24 @@ impl FunctionBuilder {
 
     /// Emits a width cast.
     pub fn cast(&mut self, op: sde_symbolic::CastOp, to: Width, dst: Reg, src: Reg) {
-        self.drafts.push(Draft::Ready(Inst::Cast { op, to, dst, src }));
+        self.drafts
+            .push(Draft::Ready(Inst::Cast { op, to, dst, src }));
     }
 
     /// Emits a select (branch-free conditional).
     pub fn select(&mut self, dst: Reg, cond: Reg, then: Reg, els: Reg) {
-        self.drafts.push(Draft::Ready(Inst::Select { dst, cond, then, els }));
+        self.drafts.push(Draft::Ready(Inst::Select {
+            dst,
+            cond,
+            then,
+            els,
+        }));
     }
 
     /// Emits a load of `width` bits from the address in `addr`.
     pub fn load(&mut self, dst: Reg, addr: Reg, width: Width) {
-        self.drafts.push(Draft::Ready(Inst::Load { dst, addr, width }));
+        self.drafts
+            .push(Draft::Ready(Inst::Load { dst, addr, width }));
     }
 
     /// Emits a store of `src` to the address in `addr`.
@@ -261,7 +284,11 @@ impl FunctionBuilder {
 
     /// Emits a conditional branch.
     pub fn br(&mut self, cond: Reg, then_label: Label, else_label: Label) {
-        self.drafts.push(Draft::Br { cond, then_label, else_label });
+        self.drafts.push(Draft::Br {
+            cond,
+            then_label,
+            else_label,
+        });
     }
 
     /// Emits a call to the named function (resolved at build time).
@@ -289,12 +316,16 @@ impl FunctionBuilder {
 
     /// Emits a packet send.
     pub fn send(&mut self, dest: Reg, payload: &[Reg]) {
-        self.drafts.push(Draft::Ready(Inst::Send { dest, payload: payload.to_vec() }));
+        self.drafts.push(Draft::Ready(Inst::Send {
+            dest,
+            payload: payload.to_vec(),
+        }));
     }
 
     /// Emits a timer arm.
     pub fn set_timer(&mut self, delay: Reg, timer: u16) {
-        self.drafts.push(Draft::Ready(Inst::SetTimer { delay, timer }));
+        self.drafts
+            .push(Draft::Ready(Inst::SetTimer { delay, timer }));
     }
 
     /// Emits `dst ← now`.
@@ -309,7 +340,10 @@ impl FunctionBuilder {
 
     /// Emits an assertion.
     pub fn assert(&mut self, cond: Reg, msg: &str) {
-        self.drafts.push(Draft::Ready(Inst::Assert { cond, msg: Arc::from(msg) }));
+        self.drafts.push(Draft::Ready(Inst::Assert {
+            cond,
+            msg: Arc::from(msg),
+        }));
     }
 
     /// Emits an assumption.
@@ -319,7 +353,9 @@ impl FunctionBuilder {
 
     /// Emits an unconditional failure.
     pub fn fail(&mut self, msg: &str) {
-        self.drafts.push(Draft::Ready(Inst::Fail { msg: Arc::from(msg) }));
+        self.drafts.push(Draft::Ready(Inst::Fail {
+            msg: Arc::from(msg),
+        }));
     }
 
     /// Emits a halt (node stops for good).
@@ -339,10 +375,7 @@ impl FunctionBuilder {
         r
     }
 
-    fn finish(
-        self,
-        resolve: &HashMap<Arc<str>, FuncId>,
-    ) -> Result<Function, ProgramError> {
+    fn finish(self, resolve: &HashMap<Arc<str>, FuncId>) -> Result<Function, ProgramError> {
         let name = self.name.clone();
         // Every label must be placed; labels may point one past the end
         // only if nothing jumps there — we reject that for simplicity by
@@ -364,8 +397,14 @@ impl FunctionBuilder {
             .into_iter()
             .map(|d| match d {
                 Draft::Ready(i) => Ok(i),
-                Draft::Jmp(l) => Ok(Inst::Jmp { target: targets[l.0 as usize] }),
-                Draft::Br { cond, then_label, else_label } => Ok(Inst::Br {
+                Draft::Jmp(l) => Ok(Inst::Jmp {
+                    target: targets[l.0 as usize],
+                }),
+                Draft::Br {
+                    cond,
+                    then_label,
+                    else_label,
+                } => Ok(Inst::Br {
                     cond,
                     then_target: targets[then_label.0 as usize],
                     else_target: targets[else_label.0 as usize],
@@ -386,7 +425,13 @@ impl FunctionBuilder {
         // fall-through could reach the end). We check only the last
         // instruction; richer CFG validation is left to tests.
         match insts.last() {
-            Some(Inst::Ret { .. } | Inst::Jmp { .. } | Inst::Br { .. } | Inst::Halt | Inst::Fail { .. }) => {}
+            Some(
+                Inst::Ret { .. }
+                | Inst::Jmp { .. }
+                | Inst::Br { .. }
+                | Inst::Halt
+                | Inst::Fail { .. },
+            ) => {}
             _ => return Err(ProgramError::MissingTerminator(name.to_string())),
         }
 
@@ -500,7 +545,11 @@ mod tests {
         let p = pb.build().unwrap();
         let func = p.function(p.function_id("loop").unwrap());
         match func.inst(1) {
-            Some(Inst::Br { then_target, else_target, .. }) => {
+            Some(Inst::Br {
+                then_target,
+                else_target,
+                ..
+            }) => {
                 assert_eq!(*then_target, 0);
                 assert_eq!(*else_target, 2);
             }
@@ -526,7 +575,10 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         pb.function("f", 0, |f| f.ret(None));
         pb.function("f", 0, |f| f.ret(None));
-        assert_eq!(pb.build().unwrap_err(), ProgramError::DuplicateFunction("f".into()));
+        assert_eq!(
+            pb.build().unwrap_err(),
+            ProgramError::DuplicateFunction("f".into())
+        );
     }
 
     #[test]
@@ -551,7 +603,10 @@ mod tests {
         pb.function("f", 0, |f| {
             f.nop();
         });
-        assert_eq!(pb.build().unwrap_err(), ProgramError::MissingTerminator("f".into()));
+        assert_eq!(
+            pb.build().unwrap_err(),
+            ProgramError::MissingTerminator("f".into())
+        );
     }
 
     #[test]

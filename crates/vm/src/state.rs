@@ -85,7 +85,10 @@ impl VmState {
 
     /// Like [`VmState::fresh`] with an explicit memory size in bytes.
     pub fn fresh_with_memory(program: &Program, memory_size: u32) -> VmState {
-        VmState { memory_size, ..VmState::fresh(program) }
+        VmState {
+            memory_size,
+            ..VmState::fresh(program)
+        }
     }
 
     /// Returns a copy of this state set up to run the named handler with
@@ -111,7 +114,12 @@ impl VmState {
             regs[i] = Some(a.clone());
         }
         let mut next = self.clone();
-        next.frames = vec![Frame { func: func_id, pc: 0, regs, ret_dst: None }];
+        next.frames = vec![Frame {
+            func: func_id,
+            pc: 0,
+            regs,
+            ret_dst: None,
+        }];
         next.status = Status::Running;
         Some(next)
     }
@@ -126,7 +134,11 @@ impl VmState {
     /// Used by the interpreter (`MakeSymbolic`) and by environment-level
     /// failure models minting inputs on a state's behalf.
     pub fn next_input_occurrence(&mut self, name: &str) -> u32 {
-        let n = self.input_counts.get(&name.to_string()).copied().unwrap_or(0);
+        let n = self
+            .input_counts
+            .get(&name.to_string())
+            .copied()
+            .unwrap_or(0);
         self.input_counts = self.input_counts.insert(name.to_string(), n + 1);
         n
     }

@@ -3,16 +3,18 @@
 //! symbolic pointers and preset-driven replay.
 
 use sde_symbolic::{BinOp, CastOp, Expr, Solver, SymbolTable, Width};
-use sde_vm::{
-    run_to_completion, BugKind, Preset, Program, ProgramBuilder, Status, VmCtx, VmState,
-};
+use sde_vm::{run_to_completion, BugKind, Preset, Program, ProgramBuilder, Status, VmCtx, VmState};
 
 fn run(program: &Program, handler: &str) -> sde_vm::HandlerOutcome {
     let solver = Solver::new();
     let mut symbols = SymbolTable::new();
     let mut ctx = VmCtx::new(&solver, &mut symbols);
     let state = VmState::fresh(program);
-    run_to_completion(program, state.prepared(program, handler, &[]).unwrap(), &mut ctx)
+    run_to_completion(
+        program,
+        state.prepared(program, handler, &[]).unwrap(),
+        &mut ctx,
+    )
 }
 
 fn assert_clean(out: &sde_vm::HandlerOutcome) {

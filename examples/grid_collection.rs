@@ -18,12 +18,8 @@ fn main() {
     let (width, height) = (5, 5);
     let topology = Topology::grid(width, height);
     let cfg = CollectConfig::paper_grid(width, height);
-    let failures = FailureConfig::new().drops_on_route_and_neighbors(
-        &topology,
-        cfg.source,
-        cfg.sink,
-        1,
-    );
+    let failures =
+        FailureConfig::new().drops_on_route_and_neighbors(&topology, cfg.source, cfg.sink, 1);
     let programs = sde::os::apps::collect::programs(&topology, &cfg);
     let scenario = Scenario::new(topology.clone(), programs)
         .with_failures(failures)

@@ -48,24 +48,36 @@ fn main() {
     println!("  acked | retries");
     let mut all_acked = true;
     let mut some_retry = false;
-    for s in engine.states().filter(|s| s.node == NodeId(0) && s.is_live()) {
+    for s in engine
+        .states()
+        .filter(|s| s.node == NodeId(0) && s.is_live())
+    {
         let acked = s.vm.memory_byte(layout::ACKED).as_const().unwrap();
         let retries = s.vm.memory_byte(layout::RETRIES).as_const().unwrap();
         println!("  {acked:>5} | {retries:>7}");
         all_acked &= acked == u64::from(cfg.requests);
         some_retry |= retries > 0;
     }
-    assert!(all_acked, "retransmission must mask every failure combination");
+    assert!(
+        all_acked,
+        "retransmission must mask every failure combination"
+    );
     assert!(some_retry, "the retry path must be exercised somewhere");
 
     println!("\nserver branches (node 1):");
     println!("  served | duplicate requests seen");
-    for s in engine.states().filter(|s| s.node == NodeId(1) && s.is_live()) {
+    for s in engine
+        .states()
+        .filter(|s| s.node == NodeId(1) && s.is_live())
+    {
         let served = s.vm.memory_byte(layout::SERVED).as_const().unwrap();
         let dups = s.vm.memory_byte(layout::DUP_REQS).as_const().unwrap();
         println!("  {served:>6} | {dups:>23}");
     }
 
-    println!("\nverified on every branch: all {} requests acknowledged,", cfg.requests);
+    println!(
+        "\nverified on every branch: all {} requests acknowledged,",
+        cfg.requests
+    );
     println!("losses masked by retransmission, duplicates absorbed by the server.");
 }

@@ -52,7 +52,10 @@ fn main() {
             _ => None,
         })
         .collect();
-    assert!(!bugs.is_empty(), "the strict sink must catch the drop-induced gap");
+    assert!(
+        !bugs.is_empty(),
+        "the strict sink must catch the drop-induced gap"
+    );
     let (bug_state, bug_node, report) = &bugs[0];
     println!("\nbug found on {bug_node} (state {bug_state}):");
     println!("  {report}");
@@ -83,7 +86,10 @@ fn main() {
         replay.total_states,
         replay.bugs.len()
     );
-    assert_eq!(replay.total_states, 4, "concrete replay explores one dscenario");
+    assert_eq!(
+        replay.total_states, 4,
+        "concrete replay explores one dscenario"
+    );
     assert!(
         !replay.bugs.is_empty(),
         "the replayed inputs must reproduce the assertion failure"
@@ -98,4 +104,3 @@ fn main() {
         cases.truncated
     );
 }
-

@@ -56,13 +56,15 @@ pub use sde_vm as vm;
 /// The names almost every user needs.
 pub mod prelude {
     pub use sde_core::{
-        run, Algorithm, Engine, RunReport, Scenario, SdeState, StateId, TimeSeries,
+        run, run_parallel, Algorithm, Engine, ParallelStats, RunReport, Scenario, SdeState,
+        StateId, TimeSeries,
     };
     pub use sde_net::{FailureConfig, NodeId, Topology};
     pub use sde_os::apps::collect::CollectConfig;
     pub use sde_os::apps::flood::FloodConfig;
     pub use sde_os::apps::hello::HelloConfig;
     pub use sde_os::apps::pingpong::PingPongConfig;
+    pub use sde_os::apps::sense::SenseConfig;
     pub use sde_symbolic::{Expr, Model, PathCondition, Solver, SymbolTable, Width};
     pub use sde_vm::{Program, ProgramBuilder, VmState};
 }

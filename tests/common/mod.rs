@@ -13,12 +13,8 @@ pub fn grid_collect(w: u16, h: u16, duration_ms: u64, strict: bool) -> Scenario 
         strict_sink: strict,
         ..CollectConfig::paper_grid(w, h)
     };
-    let failures = FailureConfig::new().drops_on_route_and_neighbors(
-        &topology,
-        cfg.source,
-        cfg.sink,
-        1,
-    );
+    let failures =
+        FailureConfig::new().drops_on_route_and_neighbors(&topology, cfg.source, cfg.sink, 1);
     let programs = sde::os::apps::collect::programs(&topology, &cfg);
     Scenario::new(topology, programs)
         .with_failures(failures)
@@ -36,8 +32,7 @@ pub fn line_collect(k: u16, drop_nodes: &[u16], packets: u16, strict: bool) -> S
         packet_count: packets,
         strict_sink: strict,
     };
-    let failures =
-        FailureConfig::new().with_drops(drop_nodes.iter().map(|n| NodeId(*n)), 1);
+    let failures = FailureConfig::new().with_drops(drop_nodes.iter().map(|n| NodeId(*n)), 1);
     let programs = sde::os::apps::collect::programs(&topology, &cfg);
     Scenario::new(topology, programs)
         .with_failures(failures)
@@ -78,7 +73,10 @@ pub fn path_sets(report_states: &sde::core::Engine) -> Vec<(NodeId, Vec<u64>)> {
     use std::collections::BTreeMap;
     let mut by_node: BTreeMap<NodeId, std::collections::BTreeSet<u64>> = BTreeMap::new();
     for s in report_states.states() {
-        by_node.entry(s.node).or_default().insert(s.vm.path_digest());
+        by_node
+            .entry(s.node)
+            .or_default()
+            .insert(s.vm.path_digest());
     }
     by_node
         .into_iter()
@@ -88,7 +86,9 @@ pub fn path_sets(report_states: &sde::core::Engine) -> Vec<(NodeId, Vec<u64>)> {
 
 /// Fingerprints every represented dscenario as a sorted list of
 /// `(node, path_digest)` pairs — comparable across algorithms.
-pub fn dscenario_fingerprints(engine: &sde::core::Engine) -> std::collections::BTreeSet<Vec<(u16, u64)>> {
+pub fn dscenario_fingerprints(
+    engine: &sde::core::Engine,
+) -> std::collections::BTreeSet<Vec<(u16, u64)>> {
     let mut out = std::collections::BTreeSet::new();
     for dscenario in engine.mapper().dscenarios() {
         let mut fp: Vec<(u16, u64)> = dscenario

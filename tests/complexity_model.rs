@@ -45,8 +45,8 @@ fn run_worst_case(k: u16, rounds: u64) -> sde_core::Engine {
     let topology = Topology::disconnected(k);
     let programs: Vec<Program> = (0..k).map(|_| brancher_program(rounds as u16)).collect();
     // Duration admits exactly `rounds` timer firings per node.
-    let scenario = sde_core::Scenario::new(topology, programs)
-        .with_duration_ms(1000 * rounds + 500);
+    let scenario =
+        sde_core::Scenario::new(topology, programs).with_duration_ms(1000 * rounds + 500);
     let mut engine = Engine::new(scenario, Algorithm::Cob);
     engine.run_in_place();
     engine
@@ -114,7 +114,11 @@ fn instruction_bound_dominates_measured_instructions() {
     let model = WorstCase::new(u32::from(k));
     let bound = model.instructions(rounds).to_u128().unwrap();
     let per_handler_overhead = 8u128; // instructions per on_timer body
-    let measured: u128 = engine.states().map(|s| s.vm.instructions_executed() as u128).max().unwrap();
+    let measured: u128 = engine
+        .states()
+        .map(|s| s.vm.instructions_executed() as u128)
+        .max()
+        .unwrap();
     assert!(
         measured <= bound * per_handler_overhead + 16,
         "measured {measured} exceeds scaled bound {bound} × {per_handler_overhead}"

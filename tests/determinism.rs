@@ -61,7 +61,11 @@ fn testgen_is_reproducible() {
         let mut v: Vec<String> = c
             .nodes
             .iter()
-            .flat_map(|n| n.inputs.iter().map(|(k, val)| format!("{}:{k}={val}", n.node)))
+            .flat_map(|n| {
+                n.inputs
+                    .iter()
+                    .map(|(k, val)| format!("{}:{k}={val}", n.node))
+            })
             .collect();
         v.sort();
         v.join(",")

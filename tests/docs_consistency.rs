@@ -37,7 +37,12 @@ fn mentioned(pattern: &str, text: &str) -> BTreeSet<String> {
 
 #[test]
 fn every_documented_example_exists() {
-    for doc in ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/ALGORITHMS.md"] {
+    for doc in [
+        "README.md",
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+        "docs/ALGORITHMS.md",
+    ] {
         let text = read(doc);
         for example in mentioned("--example ", &text) {
             let path = repo_root().join("examples").join(format!("{example}.rs"));
@@ -93,7 +98,15 @@ fn workspace_documents_exist() {
 #[test]
 fn design_lists_every_crate() {
     let design = read("DESIGN.md");
-    for krate in ["sde-pds", "sde-symbolic", "sde-vm", "sde-net", "sde-os", "sde-core", "sde-bench"] {
+    for krate in [
+        "sde-pds",
+        "sde-symbolic",
+        "sde-vm",
+        "sde-net",
+        "sde-os",
+        "sde-core",
+        "sde-bench",
+    ] {
         assert!(design.contains(krate), "DESIGN.md does not mention {krate}");
     }
 }

@@ -18,12 +18,15 @@ fn hello_ring_counts_neighbors() {
     let mut engine = Engine::new(scenario, Algorithm::Sds);
     engine.run_in_place();
     for s in engine.states() {
-        let neighbors = s
-            .vm
-            .memory_byte(sde::os::layout::NEIGHBORS)
-            .as_const()
-            .expect("concrete");
-        assert_eq!(neighbors, 2, "{}: every ring node hears both neighbors", s.id);
+        let neighbors =
+            s.vm.memory_byte(sde::os::layout::NEIGHBORS)
+                .as_const()
+                .expect("concrete");
+        assert_eq!(
+            neighbors, 2,
+            "{}: every ring node hears both neighbors",
+            s.id
+        );
     }
 }
 
@@ -94,8 +97,7 @@ fn packet_duplication_forks_and_delivers_twice() {
     let mut received: Vec<u64> = sinks
         .iter()
         .map(|s| {
-            s.vm
-                .memory_byte(sde::os::layout::RECEIVED)
+            s.vm.memory_byte(sde::os::layout::RECEIVED)
                 .as_const()
                 .expect("concrete counter")
         })
@@ -125,7 +127,11 @@ fn node_reboot_clears_memory_and_reruns_boot() {
     assert_eq!(sinks.len(), 2, "reboot decision forks the sink");
     let mut counts: Vec<u64> = sinks
         .iter()
-        .map(|s| s.vm.memory_byte(sde::os::layout::RECEIVED).as_const().unwrap())
+        .map(|s| {
+            s.vm.memory_byte(sde::os::layout::RECEIVED)
+                .as_const()
+                .unwrap()
+        })
         .collect();
     counts.sort_unstable();
     // Non-rebooting branch accepted both packets; the rebooting branch
@@ -157,7 +163,10 @@ fn time_series_is_monotone_in_totals() {
         assert!(pair[1].virtual_ms >= pair[0].virtual_ms);
         assert!(pair[1].wall_ms >= pair[0].wall_ms);
     }
-    assert_eq!(report.peak_bytes, report.series.peak_bytes().max(report.final_bytes));
+    assert_eq!(
+        report.peak_bytes,
+        report.series.peak_bytes().max(report.final_bytes)
+    );
 }
 
 #[test]
@@ -172,7 +181,10 @@ fn virtual_time_stops_at_duration() {
     );
     engine.run_in_place();
     let source = engine.states().find(|s| s.node == NodeId(2)).unwrap();
-    assert_eq!(source.vm.memory_byte(sde::os::layout::SEQ).as_const(), Some(3));
+    assert_eq!(
+        source.vm.memory_byte(sde::os::layout::SEQ).as_const(),
+        Some(3)
+    );
 }
 
 #[test]
@@ -181,5 +193,8 @@ fn instructions_and_packets_are_counted() {
     let report = sde_core::run(&scenario, Algorithm::Cob);
     assert!(report.instructions > 0);
     assert_eq!(report.packets, 8, "4 nodes × 2 neighbors");
-    assert_eq!(report.events, 4 /* boots */ + 4 /* timers */ + 8 /* delivers */);
+    assert_eq!(
+        report.events,
+        4 /* boots */ + 4 /* timers */ + 8 /* delivers */
+    );
 }

@@ -29,8 +29,10 @@ fn dscenario_members_are_conflict_free() {
             engine.run_in_place();
             let mut checked = 0usize;
             for dscenario in engine.mapper().dscenarios() {
-                let members: Vec<_> =
-                    dscenario.iter().filter_map(|id| engine.state(*id)).collect();
+                let members: Vec<_> = dscenario
+                    .iter()
+                    .filter_map(|id| engine.state(*id))
+                    .collect();
                 for (i, a) in members.iter().enumerate() {
                     for b in members.iter().skip(i + 1) {
                         let conflict = a

@@ -65,7 +65,7 @@ fn single_drop_is_masked_in_every_branch() {
             "{alg}: some branch must exercise the retransmission path"
         );
         assert!(
-            retries.iter().any(|&r| r == 0),
+            retries.contains(&0),
             "{alg}: the failure-free branch must not retry"
         );
     }
@@ -111,7 +111,10 @@ fn witnesses_pin_the_failure_combination() {
     let mut engine = Engine::new(scenario(failures, 2, 8000), Algorithm::Sds);
     engine.run_in_place();
     let cases = sde_core::testgen::generate(&engine, 32);
-    assert!(cases.cases.len() >= 3, "several failure combinations explored");
+    assert!(
+        cases.cases.len() >= 3,
+        "several failure combinations explored"
+    );
     // Each case replays deterministically to its branch.
     for case in cases.cases.iter().take(4) {
         let preset = sde::vm::Preset::from_model(&case.model, engine.symbols());

@@ -14,6 +14,7 @@ use proptest::prelude::*;
 use sde::prelude::*;
 use sde_core::Engine;
 use sde_os::apps::collect::{self, CollectConfig};
+use sde_os::apps::sense::{self, SenseConfig};
 
 #[derive(Debug, Clone)]
 struct RandomScenario {
@@ -25,7 +26,12 @@ struct RandomScenario {
 
 fn random_scenarios() -> impl Strategy<Value = RandomScenario> {
     (0u8..4, 3u16..7, any::<u64>(), 1u16..3).prop_map(|(topology_kind, k, drop_mask, packets)| {
-        RandomScenario { topology_kind, k, drop_mask, packets }
+        RandomScenario {
+            topology_kind,
+            k,
+            drop_mask,
+            packets,
+        }
     })
 }
 
@@ -73,6 +79,139 @@ fn fingerprints(engine: &Engine) -> std::collections::BTreeSet<Vec<(u16, u64)>> 
         out.insert(fp);
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Seeded fuzz: a deterministic u64-seeded generator over the full
+// topology × app × failure-model mix. Unlike the proptest strategies
+// above, a failure here prints the exact seed, so
+// `scenario_from_seed(<seed>)` reproduces the case in isolation.
+// ---------------------------------------------------------------------------
+
+/// splitmix64: tiny, high-quality, dependency-free seed expander.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives a full scenario from one seed: topology (line/ring/grid/mesh),
+/// workload (collect or sense), and failure model (none/drop/duplicate/
+/// reboot on a seed-chosen victim set). Returns a describing label with
+/// the scenario so assertion messages are self-contained.
+fn scenario_from_seed(seed: u64) -> (String, Scenario) {
+    let mut s = seed;
+    let mut next = || splitmix64(&mut s);
+
+    let k = 3 + (next() % 3) as u16; // 3..=5 nodes per dimension
+    let (topo_name, topology) = match next() % 4 {
+        0 => (format!("line{k}"), Topology::line(k)),
+        1 => (format!("ring{k}"), Topology::ring(k)),
+        2 => (format!("grid2x{k}"), Topology::grid(2, k)),
+        _ => ("mesh3".to_string(), Topology::full_mesh(3)),
+    };
+    let n = topology.len() as u16;
+    let source = NodeId(n - 1);
+    let sink = NodeId(0);
+    let packets = 1 + (next() % 2) as u16;
+
+    let (app_name, programs) = if next() % 2 == 0 {
+        let cfg = CollectConfig {
+            source,
+            sink,
+            interval_ms: 1000,
+            packet_count: packets,
+            strict_sink: false,
+        };
+        ("collect", collect::programs(&topology, &cfg))
+    } else {
+        let cfg = SenseConfig {
+            source,
+            sink,
+            interval_ms: 1000,
+            packet_count: packets,
+            max_reading: 31,
+            levels: 1,
+            parity_guard: next() % 2 == 0,
+        };
+        ("sense", sense::programs(&topology, &cfg))
+    };
+
+    // Victims: a nonempty seed-chosen subset of the non-source nodes.
+    let victim_mask = next();
+    let mut victims: Vec<NodeId> = (0..n)
+        .filter(|i| *i != source.0 && victim_mask & (1 << (i % 64)) != 0)
+        .map(NodeId)
+        .collect();
+    if victims.is_empty() {
+        victims.push(sink);
+    }
+    let (failure_name, failures) = match next() % 4 {
+        0 => ("none", FailureConfig::new()),
+        1 => ("drop", FailureConfig::new().with_drops(victims, 1)),
+        2 => (
+            "duplicate",
+            FailureConfig::new().with_duplicates(victims, 1),
+        ),
+        _ => ("reboot", FailureConfig::new().with_reboots(victims, 1)),
+    };
+
+    let label = format!("seed={seed:#x} {topo_name} {app_name} {failure_name} packets={packets}");
+    let scenario = Scenario::new(topology, programs)
+        .with_failures(failures)
+        .with_duration_ms(1000 * u64::from(packets) + 2000)
+        .with_history_tracking(true)
+        .with_state_cap(60_000);
+    (label, scenario)
+}
+
+const FUZZ_SEEDS: u64 = 32;
+
+/// For ≥ 32 seeds: every algorithm's parallel run is bit-identical to its
+/// sequential run (worker count also seed-derived), the three algorithms
+/// represent the same dscenario sets, and mapper invariants hold. On
+/// failure the message leads with the seed.
+#[test]
+fn seeded_scenarios_are_parallel_and_algorithm_equivalent() {
+    for i in 0..FUZZ_SEEDS {
+        let seed = 0xc0ffee ^ (i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let (label, scenario) = scenario_from_seed(seed);
+        let workers = [2usize, 3, 4, 8][(seed % 4) as usize];
+
+        let mut keys = Vec::new();
+        let mut baseline: Option<std::collections::BTreeSet<Vec<(u16, u64)>>> = None;
+        let mut aborted = false;
+        for alg in Algorithm::ALL {
+            let mut engine = Engine::new(scenario.clone(), alg);
+            engine.run_in_place();
+            aborted |= engine.states().count() >= scenario.state_cap;
+            let fp = fingerprints(&engine);
+            assert!(
+                engine.mapper().check_invariants().is_none(),
+                "[{label}] {alg} mapper invariants"
+            );
+            // dscenario-set equivalence across COB/COW/SDS (skipped when
+            // any run hit the cap: partial explorations are incomparable).
+            if !aborted {
+                match &baseline {
+                    None => baseline = Some(fp),
+                    Some(b) => assert_eq!(&fp, b, "[{label}] {alg} dscenarios diverged from COB"),
+                }
+            }
+            keys.push((alg, engine.into_report().equivalence_key()));
+        }
+
+        for (alg, seq_key) in &keys {
+            let par = Engine::new(scenario.clone(), *alg).run_parallel(workers);
+            assert_eq!(
+                &par.equivalence_key(),
+                seq_key,
+                "[{label}] {alg} parallel({workers}) diverged from sequential"
+            );
+        }
+    }
 }
 
 proptest! {

@@ -22,7 +22,10 @@ fn every_test_case_replays_without_forking() {
     let report = testgen::generate(&engine, 64);
     assert!(!report.truncated);
     assert_eq!(report.unsolvable, 0);
-    assert!(report.cases.len() >= 4, "two drop decisions → at least 4 dscenarios");
+    assert!(
+        report.cases.len() >= 4,
+        "two drop decisions → at least 4 dscenarios"
+    );
 
     for case in &report.cases {
         let preset = Preset::from_model(&case.model, engine.symbols());
@@ -54,7 +57,10 @@ fn distributed_bug_witness_replays_the_bug() {
 
     let preset = testgen::preset_for(&engine, bug_states[0])
         .expect("bug state belongs to a feasible dscenario");
-    assert!(!preset.is_empty(), "witness pins at least one drop decision");
+    assert!(
+        !preset.is_empty(),
+        "witness pins at least one drop decision"
+    );
 
     let replay = Engine::new(scenario.clone(), Algorithm::Sds)
         .with_preset(preset)
@@ -111,8 +117,7 @@ fn replayed_sink_counters_match_the_model() {
             .filter(|(name, v)| name == "drop" && *v == 1)
             .count() as u64;
         let preset = Preset::from_model(&case.model, engine.symbols());
-        let mut replay_engine =
-            Engine::new(scenario.clone(), Algorithm::Sds).with_preset(preset);
+        let mut replay_engine = Engine::new(scenario.clone(), Algorithm::Sds).with_preset(preset);
         replay_engine.run_in_place();
         let sink = replay_engine
             .states()

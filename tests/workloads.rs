@@ -14,17 +14,20 @@ use sde_os::layout;
 #[test]
 fn flood_reaches_every_node_on_a_grid() {
     let topology = Topology::grid(4, 4);
-    let cfg = FloodConfig { initiator: NodeId(5), rounds: 1, interval_ms: 1000 };
+    let cfg = FloodConfig {
+        initiator: NodeId(5),
+        rounds: 1,
+        interval_ms: 1000,
+    };
     let programs = flood::programs(&topology, &cfg);
     let scenario = Scenario::new(topology, programs).with_duration_ms(3000);
     let mut engine = Engine::new(scenario, Algorithm::Sds);
     engine.run_in_place();
     for s in engine.states() {
-        let seen = s
-            .vm
-            .memory_byte(layout::SEEN_BASE) // seq 0's seen flag
-            .as_const()
-            .expect("concrete");
+        let seen =
+            s.vm.memory_byte(layout::SEEN_BASE) // seq 0's seen flag
+                .as_const()
+                .expect("concrete");
         assert_eq!(seen, 1, "{}: flood must reach every node", s.node);
     }
     // Exactly one relay per non-initiator node (duplicate suppression).
@@ -40,18 +43,21 @@ fn flood_reaches_every_node_on_a_grid() {
 #[test]
 fn flood_multiple_rounds_count_independently() {
     let topology = Topology::ring(5);
-    let cfg = FloodConfig { initiator: NodeId(0), rounds: 3, interval_ms: 1000 };
+    let cfg = FloodConfig {
+        initiator: NodeId(0),
+        rounds: 3,
+        interval_ms: 1000,
+    };
     let programs = flood::programs(&topology, &cfg);
     let scenario = Scenario::new(topology, programs).with_duration_ms(6000);
     let mut engine = Engine::new(scenario, Algorithm::Cow);
     engine.run_in_place();
     for s in engine.states() {
         for seq in 0..3u32 {
-            let seen = s
-                .vm
-                .memory_byte(layout::SEEN_BASE + seq)
-                .as_const()
-                .unwrap();
+            let seen =
+                s.vm.memory_byte(layout::SEEN_BASE + seq)
+                    .as_const()
+                    .unwrap();
             assert_eq!(seen, 1, "{} seq {seq}", s.node);
         }
     }
@@ -106,8 +112,7 @@ fn collect_counters_balance_along_the_route() {
 #[test]
 fn disconnected_topology_runs_every_node_in_isolation() {
     let topology = Topology::disconnected(4);
-    let programs: Vec<Program> =
-        (0..4).map(|_| sde_os::apps::fig1::program()).collect();
+    let programs: Vec<Program> = (0..4).map(|_| sde_os::apps::fig1::program()).collect();
     let scenario = Scenario::new(topology, programs);
     let report = sde_core::run(&scenario, Algorithm::Sds);
     // Each node explores fig1's 4 paths independently: 16 final states,
