@@ -39,26 +39,38 @@ fn bench_solver_cache(c: &mut Criterion) {
     let probes: Vec<_> = (0..8)
         .map(|_| Expr::sym(t.fresh("probe", Width::BOOL)))
         .collect();
-    for (name, caching) in [("on", true), ("off", false)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &caching,
-            |b, &caching| {
-                b.iter(|| {
-                    let solver = Solver::new();
-                    solver.set_caching(caching);
-                    let mut sat = 0u32;
-                    for _ in 0..16 {
-                        for p in &probes {
-                            if solver.may_be_true(&pc, p) {
-                                sat += 1;
-                            }
+    // One config per layer of the incremental stack (DESIGN.md §6):
+    // everything on, counterexample cache off, whole-query exact matching
+    // only, and fully uncached.
+    type Setup = fn(&Solver);
+    let configs: [(&str, Setup); 4] = [
+        ("full", |_| {}),
+        ("no_cex", |s| s.set_cex_caching(false)),
+        ("exact_only", |s| {
+            s.set_group_caching(false);
+            s.set_cex_caching(false);
+        }),
+        ("off", |s| {
+            s.set_caching(false);
+            s.set_cex_caching(false);
+        }),
+    ];
+    for (name, setup) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &setup, |b, setup| {
+            b.iter(|| {
+                let solver = Solver::new();
+                setup(&solver);
+                let mut sat = 0u32;
+                for _ in 0..16 {
+                    for p in &probes {
+                        if solver.may_be_true(&pc, p) {
+                            sat += 1;
                         }
                     }
-                    black_box(sat)
-                })
-            },
-        );
+                }
+                black_box(sat)
+            })
+        });
     }
     group.finish();
 }

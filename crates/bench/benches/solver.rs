@@ -84,10 +84,66 @@ fn bench_linked_constraints(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_layer_stack(c: &mut Criterion) {
+    // The acceptance bench for the incremental solver stack (DESIGN.md
+    // §6): a stream of *related* queries — each one re-uses seven of
+    // eight independent constraint groups and perturbs the eighth — so
+    // whole-query exact matching never hits (every query key differs)
+    // while per-group caching and counterexample reuse answer almost
+    // everything incrementally.
+    let mut group = c.benchmark_group("solver/layers");
+    let mut t = SymbolTable::new();
+    let vars: Vec<ExprRef> = (0..8)
+        .map(|i| Expr::sym(t.fresh(&format!("x{i}"), Width::W8)))
+        .collect();
+    let mut base = PathCondition::new();
+    for x in &vars {
+        base = base
+            .with(Expr::ult(x.clone(), Expr::const_(200, Width::W8)))
+            .with(Expr::ne(x.clone(), Expr::const_(0, Width::W8)));
+    }
+    let queries: Vec<PathCondition> = (0..24u64)
+        .map(|j| {
+            let x = &vars[(j % 8) as usize];
+            base.clone()
+                .with(Expr::ugt(x.clone(), Expr::const_(1 + j % 64, Width::W8)))
+        })
+        .collect();
+    type Setup = fn(&Solver);
+    let configs: [(&str, Setup); 3] = [
+        ("full_stack", |_| {}),
+        ("exact_match_only", |s| {
+            s.set_group_caching(false);
+            s.set_cex_caching(false);
+        }),
+        ("uncached", |s| {
+            s.set_caching(false);
+            s.set_cex_caching(false);
+        }),
+    ];
+    for (name, setup) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let solver = Solver::new();
+                setup(&solver);
+                let mut sat = 0u32;
+                for q in &queries {
+                    if solver.check(q).is_sat() {
+                        sat += 1;
+                    }
+                }
+                black_box(sat)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_feasibility,
     bench_cache,
-    bench_linked_constraints
+    bench_linked_constraints,
+    bench_layer_stack
 );
 criterion_main!(benches);

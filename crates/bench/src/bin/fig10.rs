@@ -5,7 +5,9 @@
 //! For each scenario size and algorithm the run emits a CSV time series
 //! (`wall_ms, virtual_ms, live_states, total_states, bytes, groups`)
 //! under `bench_out/` — one file per curve of the figure — plus an
-//! end-of-run summary table. Plot `wall_ms` vs `total_states` for the
+//! end-of-run summary table and a machine-readable roll-up of all runs
+//! (states, packets, wall-ms, solver counters) in
+//! `bench_out/BENCH_fig10.json`. Plot `wall_ms` vs `total_states` for the
 //! (a)/(c)/(e) panels and `wall_ms` vs `bytes` for (b)/(d)/(f).
 //!
 //! ```sh
@@ -15,7 +17,10 @@
 //! cargo run -p sde-bench --release --bin fig10 -- --workers 4    # parallel engine
 //! ```
 
-use sde_bench::{paper_scenario, run_with_limits_workers, write_series_csv, Args, RunLimits};
+use sde_bench::{
+    paper_scenario, report_json, run_with_limits_workers, write_bench_json, write_series_csv, Args,
+    RunLimits,
+};
 use sde_core::{human_bytes, Algorithm};
 use std::path::PathBuf;
 
@@ -52,6 +57,7 @@ fn main() {
     // the extra summary line shows what the workers did.
     let workers: Option<usize> = args.get("workers");
 
+    let mut json = Vec::new();
     for nodes in sizes {
         let side = side_for(nodes);
         let scenario = paper_scenario(side);
@@ -93,9 +99,16 @@ fn main() {
             if let Some(p) = &report.parallel {
                 println!("     | {}", p.summary());
             }
+            json.push(report_json(
+                &format!("fig10_{nodes}nodes_{}", report.algorithm.to_lowercase()),
+                &report,
+            ));
         }
         println!();
     }
+    let json_path = out_dir.join("BENCH_fig10.json");
+    write_bench_json(&json_path, &json).expect("write BENCH_fig10 json");
+    println!("recorded: {}", json_path.display());
     println!("plot: x = wall_ms (log), y = total_states (log) → panels (a)(c)(e)");
     println!("      x = wall_ms (log), y = bytes (log)        → panels (b)(d)(f)");
 }

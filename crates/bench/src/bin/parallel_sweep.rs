@@ -52,13 +52,17 @@ fn main() {
         let seq = Engine::new(scenario.clone(), alg).run();
         let _ = writeln!(
             report,
-            "{} seq: wall={:.1?} states={} events={} queries={} hits={} search_nodes={}",
+            "{} seq: wall={:.1?} states={} events={} queries={} hits={} \
+             group={} reuse={} ucore={} search_nodes={}",
             alg.name(),
             seq.wall,
             seq.total_states,
             seq.events,
             seq.solver.queries,
             seq.solver.cache_hits,
+            seq.solver.group_cache_hits,
+            seq.solver.model_reuse_hits,
+            seq.solver.ucore_hits,
             seq.solver.nodes_visited,
         );
         for workers in [1usize, 2, 4, 8] {
@@ -73,11 +77,15 @@ fn main() {
             let speedup = seq.wall.as_secs_f64() / par.wall.as_secs_f64();
             let _ = writeln!(
                 report,
-                "{} w={workers}: wall={:.1?} speedup={speedup:.2}x queries={} hits={} | {}",
+                "{} w={workers}: wall={:.1?} speedup={speedup:.2}x queries={} hits={} \
+                 group={} reuse={} ucore={} | {}",
                 alg.name(),
                 par.wall,
                 par.solver.queries,
                 par.solver.cache_hits,
+                par.solver.group_cache_hits,
+                par.solver.model_reuse_hits,
+                par.solver.ucore_hits,
                 p.summary(),
             );
         }

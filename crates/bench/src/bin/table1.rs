@@ -19,39 +19,92 @@
 //! cargo run -p sde-bench --release --bin table1 -- --cap 500000
 //! cargo run -p sde-bench --release --bin table1 -- --complexity
 //! cargo run -p sde-bench --release --bin table1 -- --workers 4   # parallel engine
+//! cargo run -p sde-bench --release --bin table1 -- --preset tiny # CI smoke (3×3)
+//! cargo run -p sde-bench --release --bin table1 -- --layers exact --tag layers_exact
 //! ```
+//!
+//! Every invocation also writes the rows as machine-readable JSON
+//! (states, packets, wall-ms, full solver counters per run) to
+//! `<out>/BENCH_table1[_<tag>].json`.
 
-use sde_bench::{paper_scenario, run_with_limits_workers, table_header, Args, RunLimits};
+use sde_bench::{
+    paper_scenario, report_json, run_with_limits_layers, symbolic_grid, table_header,
+    write_bench_json, Args, RunLimits, SolverLayers,
+};
 use sde_core::complexity::WorstCase;
 use sde_core::Algorithm;
+use std::path::PathBuf;
 
 fn main() {
     let args = Args::from_env();
-    let side: u16 = args.get("side").unwrap_or(10);
+    // `--preset tiny`: a seconds-scale 3×3 run for CI smoke tests — same
+    // code path, same JSON schema, much smaller caps.
+    let tiny = match args.get::<String>("preset").as_deref() {
+        None => false,
+        Some("tiny") => true,
+        Some(other) => panic!("unknown --preset {other:?} (expected: tiny)"),
+    };
+    let side: u16 = args.get("side").unwrap_or(if tiny { 3 } else { 10 });
     // COB explodes exponentially — the cap stands in for the paper's
     // 40 GB abort. COW/SDS get more head-room so they can finish, as
     // they did in the paper (only COB was ever aborted).
-    let cap_cob: usize = args.get("cap-cob").unwrap_or(120_000);
-    let cap: usize = args.get("cap").unwrap_or(1_000_000);
-    let sample_every: u64 = args.get("sample-every").unwrap_or(512);
+    let cap_cob: usize = args
+        .get("cap-cob")
+        .unwrap_or(if tiny { 6_000 } else { 120_000 });
+    let cap: usize = args
+        .get("cap")
+        .unwrap_or(if tiny { 60_000 } else { 1_000_000 });
+    let sample_every: u64 = args
+        .get("sample-every")
+        .unwrap_or(if tiny { 64 } else { 512 });
     // `--workers N`: run through the parallel engine (reports stay
     // bit-identical; speculative workers warm the solver cache).
     let workers: Option<usize> = args.get("workers");
-
-    let scenario = paper_scenario(side);
+    // `--layers full|exact|off`: the incremental-solver-stack ablation
+    // axis (DESIGN.md §6); `--tag` suffixes the JSON filename so sweeps
+    // with different layer settings land in distinct files.
+    let layers = SolverLayers::parse(
+        &args
+            .get::<String>("layers")
+            .unwrap_or_else(|| "full".to_string()),
+    );
+    let out_dir = PathBuf::from(
+        args.get::<String>("out")
+            .unwrap_or_else(|| "bench_out".to_string()),
+    );
+    let tag = args
+        .get::<String>("tag")
+        .map(|t| format!("_{t}"))
+        .unwrap_or_default();
+    // `--scenario collect|sense`: Table I proper runs the paper's collect
+    // workload (whose drop forks never consult the solver); `sense` swaps
+    // in the solver-bound companion workload so the `--layers` sweep has
+    // real queries to ablate.
+    let workload = args
+        .get::<String>("scenario")
+        .unwrap_or_else(|| "collect".to_string());
+    let scenario = match workload.as_str() {
+        "collect" => paper_scenario(side),
+        "sense" => symbolic_grid(side),
+        other => panic!("unknown --scenario {other:?} (expected collect or sense)"),
+    };
     println!(
-        "Table I — {}-node scenario ({side}x{side} grid), 10 s simulation, \
-         symbolic packet drops on route + neighbors",
+        "Table I — {}-node scenario ({side}x{side} grid), {workload} workload",
         scenario.node_count()
     );
-    println!("state caps (40 GB-limit analogue): COB {cap_cob}, COW/SDS {cap}\n");
+    println!(
+        "state caps (40 GB-limit analogue): COB {cap_cob}, COW/SDS {cap}; \
+         solver layers: {}\n",
+        layers.name()
+    );
     println!("{}", table_header());
     println!("-----+--------------+------------+--------------+----------");
 
     let mut rows = Vec::new();
+    let mut json = Vec::new();
     for alg in Algorithm::ALL {
         let state_cap = if alg == Algorithm::Cob { cap_cob } else { cap };
-        let report = run_with_limits_workers(
+        let report = run_with_limits_layers(
             &scenario,
             alg,
             RunLimits {
@@ -59,13 +112,33 @@ fn main() {
                 sample_every,
             },
             workers,
+            layers,
         );
         println!("{}", report.table_row());
+        let s = &report.solver;
+        println!(
+            "     | solver: queries={} exact={} group={} reuse={} ucore={} nodes={}",
+            s.queries,
+            s.cache_hits,
+            s.group_cache_hits,
+            s.model_reuse_hits,
+            s.ucore_hits,
+            s.nodes_visited
+        );
         if let Some(p) = &report.parallel {
             println!("     | {}", p.summary());
         }
+        let label = format!(
+            "table1_{workload}_side{side}_{}_{}",
+            report.algorithm.to_lowercase(),
+            layers.name()
+        );
+        json.push(report_json(&label, &report));
         rows.push(report);
     }
+    let json_path = out_dir.join(format!("BENCH_table1{tag}.json"));
+    write_bench_json(&json_path, &json).expect("write BENCH_table1 json");
+    println!("\nrecorded: {}", json_path.display());
 
     let (cob, cow, sds) = (&rows[0], &rows[1], &rows[2]);
     println!("\nshape checks against the paper:");

@@ -11,10 +11,11 @@
 //! numbers of the authors' 2011 Xeon testbed; see DESIGN.md for the
 //! substitutions.
 
-use sde_core::{run, Algorithm, Engine, RunReport, Scenario};
+use sde_core::{Algorithm, Engine, RunReport, Scenario};
 use sde_net::{FailureConfig, Topology};
 use sde_os::apps::collect::{self, CollectConfig};
 use sde_os::apps::sense::{self, SenseConfig};
+use sde_symbolic::Solver;
 
 /// The paper's §IV-A scenario for a `side × side` grid: corner-to-corner
 /// static route, one packet per second for ten seconds, symbolic drop of
@@ -77,13 +78,81 @@ pub fn run_with_limits_workers(
     limits: RunLimits,
     workers: Option<usize>,
 ) -> RunReport {
+    run_with_limits_layers(scenario, algorithm, limits, workers, SolverLayers::Full)
+}
+
+/// Which layers of the incremental solver stack (DESIGN.md §6) a bench run
+/// enables — the on/off axis of the cache-ablation sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverLayers {
+    /// Per-group exact caching plus the counterexample cache (default).
+    Full,
+    /// Whole-query exact matching only: independence-partitioned group
+    /// caching and counterexample reuse both disabled. This is the
+    /// pre-incremental baseline the acceptance criteria compare against.
+    ExactOnly,
+    /// Every cache layer disabled; each query is solved from scratch.
+    Off,
+}
+
+impl SolverLayers {
+    /// Parses a `--layers` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on anything but `full`, `exact`, or `off`.
+    pub fn parse(s: &str) -> SolverLayers {
+        match s {
+            "full" => SolverLayers::Full,
+            "exact" => SolverLayers::ExactOnly,
+            "off" => SolverLayers::Off,
+            other => panic!("invalid --layers {other:?} (expected full, exact, or off)"),
+        }
+    }
+
+    /// Stable name for filenames and JSON labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverLayers::Full => "full",
+            SolverLayers::ExactOnly => "exact",
+            SolverLayers::Off => "off",
+        }
+    }
+
+    /// Applies this configuration to a solver's ablation toggles.
+    pub fn apply(self, solver: &Solver) {
+        match self {
+            SolverLayers::Full => {}
+            SolverLayers::ExactOnly => {
+                solver.set_group_caching(false);
+                solver.set_cex_caching(false);
+            }
+            SolverLayers::Off => {
+                solver.set_caching(false);
+                solver.set_cex_caching(false);
+            }
+        }
+    }
+}
+
+/// Like [`run_with_limits_workers`], with an explicit solver-layer
+/// configuration applied before the run starts.
+pub fn run_with_limits_layers(
+    scenario: &Scenario,
+    algorithm: Algorithm,
+    limits: RunLimits,
+    workers: Option<usize>,
+    layers: SolverLayers,
+) -> RunReport {
     let s = scenario
         .clone()
         .with_state_cap(limits.state_cap)
         .with_sample_every(limits.sample_every);
+    let engine = Engine::new(s, algorithm);
+    layers.apply(engine.solver());
     match workers {
-        None => run(&s, algorithm),
-        Some(w) => Engine::new(s, algorithm).run_parallel(w),
+        None => engine.run(),
+        Some(w) => engine.run_parallel(w),
     }
 }
 
@@ -105,6 +174,109 @@ pub fn write_series_csv(report: &RunReport, path: &std::path::Path) -> std::io::
         std::fs::create_dir_all(parent)?;
     }
     std::fs::write(path, report.series.to_csv())
+}
+
+/// Serializes one run report as a JSON object — the machine-readable
+/// record behind `BENCH_table1.json` / `BENCH_fig10.json`. Hand-rolled:
+/// the workspace is dependency-free, and the schema is flat enough that a
+/// serializer would buy nothing.
+///
+/// `history_digest` is emitted as a hex *string*: u64 digests routinely
+/// exceed JSON's 2^53 exact-integer range.
+pub fn report_json(label: &str, report: &RunReport) -> String {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let s = &report.solver;
+    let mut out = format!(
+        concat!(
+            "  {{\n",
+            "    \"label\": \"{}\",\n",
+            "    \"algorithm\": \"{}\",\n",
+            "    \"wall_ms\": {:.3},\n",
+            "    \"virtual_ms\": {},\n",
+            "    \"total_states\": {},\n",
+            "    \"live_states\": {},\n",
+            "    \"final_bytes\": {},\n",
+            "    \"peak_bytes\": {},\n",
+            "    \"instructions\": {},\n",
+            "    \"events\": {},\n",
+            "    \"packets\": {},\n",
+            "    \"aborted\": {},\n",
+            "    \"groups\": {},\n",
+            "    \"duplicate_states\": {},\n",
+            "    \"history_digest\": \"{:#018x}\",\n",
+            "    \"solver\": {{\n",
+            "      \"queries\": {},\n",
+            "      \"cache_hits\": {},\n",
+            "      \"group_cache_hits\": {},\n",
+            "      \"model_reuse_hits\": {},\n",
+            "      \"ucore_hits\": {},\n",
+            "      \"sat\": {},\n",
+            "      \"unsat\": {},\n",
+            "      \"unknown\": {},\n",
+            "      \"nodes_visited\": {}\n",
+            "    }}",
+        ),
+        escape(label),
+        escape(report.algorithm),
+        report.wall.as_secs_f64() * 1000.0,
+        report.virtual_ms,
+        report.total_states,
+        report.live_states,
+        report.final_bytes,
+        report.peak_bytes,
+        report.instructions,
+        report.events,
+        report.packets,
+        report.aborted,
+        report.groups,
+        report.duplicate_states,
+        report.history_digest,
+        s.queries,
+        s.cache_hits,
+        s.group_cache_hits,
+        s.model_reuse_hits,
+        s.ucore_hits,
+        s.sat,
+        s.unsat,
+        s.unknown,
+        s.nodes_visited,
+    );
+    if let Some(p) = &report.parallel {
+        out.push_str(&format!(
+            concat!(
+                ",\n    \"parallel\": {{\n",
+                "      \"workers\": {},\n",
+                "      \"batches\": {},\n",
+                "      \"speculated_batches\": {},\n",
+                "      \"spec_groups\": {},\n",
+                "      \"spec_events\": {},\n",
+                "      \"spec_instructions\": {},\n",
+                "      \"utilization\": {:.4}\n",
+                "    }}",
+            ),
+            p.workers,
+            p.batches,
+            p.speculated_batches,
+            p.spec_groups,
+            p.spec_events,
+            p.spec_instructions,
+            p.utilization(),
+        ));
+    }
+    out.push_str("\n  }");
+    out
+}
+
+/// Writes pre-rendered [`report_json`] objects as a JSON array to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing the file.
+pub fn write_bench_json(path: &std::path::Path, objects: &[String]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, format!("[\n{}\n]\n", objects.join(",\n")))
 }
 
 /// Parses `--key value`-style arguments (tiny, dependency-free).
@@ -183,6 +355,70 @@ mod tests {
         );
         assert!(r.aborted, "a 50-state cap must abort COB");
         assert!(r.total_states >= 50);
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let s = paper_scenario(3);
+        let r = run_with_limits(
+            &s,
+            Algorithm::Sds,
+            RunLimits {
+                state_cap: 10_000,
+                sample_every: 64,
+            },
+        );
+        let obj = report_json("sds_full", &r);
+        for key in [
+            "\"label\"",
+            "\"wall_ms\"",
+            "\"packets\"",
+            "\"group_cache_hits\"",
+            "\"model_reuse_hits\"",
+            "\"ucore_hits\"",
+        ] {
+            assert!(obj.contains(key), "missing {key} in {obj}");
+        }
+        let dir = std::env::temp_dir().join("sde-bench-json-test");
+        let path = dir.join("BENCH_test.json");
+        write_bench_json(&path, &[obj.clone(), obj]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("[\n"));
+        assert!(content.trim_end().ends_with(']'));
+        // Braces must balance and never go negative — the cheap
+        // well-formedness proxy short of carrying a JSON parser.
+        let mut depth = 0i64;
+        for c in content.chars() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced brackets in {content}");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced brackets in {content}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn layer_toggles_are_answer_preserving_and_observable() {
+        let s = symbolic_grid(2);
+        let limits = RunLimits::default();
+        let full = run_with_limits_layers(&s, Algorithm::Sds, limits, None, SolverLayers::Full);
+        let exact =
+            run_with_limits_layers(&s, Algorithm::Sds, limits, None, SolverLayers::ExactOnly);
+        let off = run_with_limits_layers(&s, Algorithm::Sds, limits, None, SolverLayers::Off);
+        // Cache layers may only change solver counters, never the run.
+        assert_eq!(full.equivalence_key(), exact.equivalence_key());
+        assert_eq!(full.equivalence_key(), off.equivalence_key());
+        assert!(full.solver.group_cache_hits > 0, "{:?}", full.solver);
+        assert_eq!(exact.solver.group_cache_hits, 0, "{:?}", exact.solver);
+        assert_eq!(off.solver.cache_hits, 0, "{:?}", off.solver);
+        assert_eq!(off.solver.group_cache_hits, 0, "{:?}", off.solver);
+        assert_eq!(off.solver.model_reuse_hits, 0, "{:?}", off.solver);
+        assert_eq!(off.solver.ucore_hits, 0, "{:?}", off.solver);
     }
 
     #[test]

@@ -75,10 +75,19 @@ impl SdeState {
     /// Configuration digest *including* the communication history — the
     /// paper's duplicate criterion covers "heap, stack, program counter,
     /// path constraints, and the communication history" (§III-A).
+    ///
+    /// The three components are folded with an fxhash-style ordered
+    /// combine (`rotate ⊕ value, × odd constant`) rather than plain XOR of
+    /// rotations: XOR would let a vm-digest difference cancel against a
+    /// history-digest difference, making two genuinely different states
+    /// collide by construction rather than by hash accident.
     pub fn config_digest(&self) -> u64 {
-        self.vm.config_digest()
-            ^ self.history.digest().rotate_left(17)
-            ^ u64::from(self.node.0).rotate_left(41)
+        const K: u64 = 0x517c_c1b7_2722_0a95; // fxhash's 64-bit multiplier
+        let mix = |h: u64, v: u64| (h.rotate_left(5) ^ v).wrapping_mul(K);
+        let mut d = mix(0, self.vm.config_digest());
+        d = mix(d, self.history.digest());
+        d = mix(d, u64::from(self.node.0));
+        d
     }
 
     /// Deterministic approximation of this state's memory footprint.

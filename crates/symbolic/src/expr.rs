@@ -7,6 +7,7 @@
 
 use crate::model::Model;
 use crate::table::{SymId, SymVar};
+use crate::vars::VarSet;
 use crate::width::Width;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -92,25 +93,12 @@ pub enum CastOp {
     Trunc,
 }
 
-/// A bit-vector expression term.
+/// The structural shape of an expression node (see [`Expr`]).
 ///
-/// Construct terms with the associated functions ([`Expr::add`],
-/// [`Expr::eq`], …) rather than the enum variants: the constructors
-/// constant-fold and apply cheap algebraic identities, which keeps terms
-/// small and keeps the solver fast.
-///
-/// # Examples
-///
-/// ```
-/// use sde_symbolic::{Expr, SymbolTable, Width};
-///
-/// let mut t = SymbolTable::new();
-/// let x = Expr::sym(t.fresh("x", Width::W8));
-/// let e = Expr::add(x, Expr::const_(0, Width::W8));
-/// assert!(matches!(&*e, Expr::Sym(_))); // x + 0 folds to x
-/// ```
+/// Pattern-match on [`Expr::kind`] to destructure a term; equality and
+/// hashing of [`Expr`] are defined purely over this shape.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum Expr {
+pub enum ExprKind {
     /// A constant of the given width (value is kept truncated).
     Const {
         /// The constant's value, truncated to `width`.
@@ -156,12 +144,117 @@ pub enum Expr {
     },
 }
 
+/// A bit-vector expression term.
+///
+/// Construct terms with the associated functions ([`Expr::add`],
+/// [`Expr::eq`], …) rather than raw [`ExprKind`]s: the constructors
+/// constant-fold and apply cheap algebraic identities, which keeps terms
+/// small and keeps the solver fast.
+///
+/// Every node memoizes, at construction time, its result [`Width`], its
+/// free-variable [`VarSet`], and its tree node count — so the solver's
+/// independence partitioner and the path condition never walk the DAG to
+/// answer "which variables does this term mention?" (the first layer of
+/// the incremental solver stack, DESIGN.md §6). Equality and hashing
+/// ignore the memos: they are functions of the shape.
+///
+/// # Examples
+///
+/// ```
+/// use sde_symbolic::{Expr, ExprKind, SymbolTable, Width};
+///
+/// let mut t = SymbolTable::new();
+/// let x = Expr::sym(t.fresh("x", Width::W8));
+/// let e = Expr::add(x, Expr::const_(0, Width::W8));
+/// assert!(matches!(e.kind(), ExprKind::Sym(_))); // x + 0 folds to x
+/// ```
+#[derive(Debug, Clone)]
+pub struct Expr {
+    kind: ExprKind,
+    width: Width,
+    vars: VarSet,
+    nodes: u32,
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        // The memo fields are functions of `kind`; comparing them would
+        // only repeat work (and `vars` comparison is not pointer-cheap).
+        self.kind == other.kind
+    }
+}
+
+impl Eq for Expr {}
+
+impl std::hash::Hash for Expr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.kind.hash(state);
+    }
+}
+
+impl From<ExprKind> for Expr {
+    fn from(kind: ExprKind) -> Expr {
+        Expr::from_kind(kind)
+    }
+}
+
 impl Expr {
+    /// Builds a node from a raw shape, computing the width/variable/size
+    /// memos from the (already memoized) children in O(children).
+    ///
+    /// This bypasses the smart constructors' folding — use it only where
+    /// a specific shape is required (simplifier rules, tests).
+    pub fn from_kind(kind: ExprKind) -> Expr {
+        let width = match &kind {
+            ExprKind::Const { width, .. } => *width,
+            ExprKind::Sym(v) => v.width(),
+            ExprKind::Unary { arg, .. } => arg.width,
+            ExprKind::Binary { op, lhs, .. } => {
+                if op.is_comparison() {
+                    Width::BOOL
+                } else {
+                    lhs.width
+                }
+            }
+            ExprKind::Ite { then, .. } => then.width,
+            ExprKind::Cast { to, .. } => *to,
+        };
+        let vars = match &kind {
+            ExprKind::Const { .. } => VarSet::empty(),
+            ExprKind::Sym(v) => v.var_set(),
+            ExprKind::Unary { arg, .. } | ExprKind::Cast { arg, .. } => arg.vars.clone(),
+            ExprKind::Binary { lhs, rhs, .. } => lhs.vars.union(&rhs.vars),
+            ExprKind::Ite { cond, then, els } => cond.vars.union(&then.vars).union(&els.vars),
+        };
+        let nodes = match &kind {
+            ExprKind::Const { .. } | ExprKind::Sym(_) => 1u32,
+            ExprKind::Unary { arg, .. } | ExprKind::Cast { arg, .. } => arg.nodes.saturating_add(1),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                lhs.nodes.saturating_add(rhs.nodes).saturating_add(1)
+            }
+            ExprKind::Ite { cond, then, els } => cond
+                .nodes
+                .saturating_add(then.nodes)
+                .saturating_add(els.nodes)
+                .saturating_add(1),
+        };
+        Expr {
+            kind,
+            width,
+            vars,
+            nodes,
+        }
+    }
+
+    fn mk(kind: ExprKind) -> ExprRef {
+        Arc::new(Expr::from_kind(kind))
+    }
+
     // ----- constructors ---------------------------------------------------
 
     /// A constant of width `w` (the value is truncated to `w`).
     pub fn const_(value: u64, w: Width) -> ExprRef {
-        Arc::new(Expr::Const {
+        Self::mk(ExprKind::Const {
             value: w.truncate(value),
             width: w,
         })
@@ -179,7 +272,7 @@ impl Expr {
 
     /// A symbolic variable term.
     pub fn sym(var: SymVar) -> ExprRef {
-        Arc::new(Expr::Sym(var))
+        Self::mk(ExprKind::Sym(var))
     }
 
     /// Wrapping addition.
@@ -294,19 +387,19 @@ impl Expr {
 
     /// Bitwise complement; boolean negation on width-1 values.
     pub fn not(arg: ExprRef) -> ExprRef {
-        if let Expr::Const { value, width } = &*arg {
+        if let ExprKind::Const { value, width } = arg.kind() {
             return Expr::const_(!value, *width);
         }
         // ¬¬x → x
-        if let Expr::Unary {
+        if let ExprKind::Unary {
             op: UnOp::Not,
             arg: inner,
-        } = &*arg
+        } = arg.kind()
         {
             return inner.clone();
         }
         // Negating a comparison flips the operator instead of wrapping.
-        if let Expr::Binary { op, lhs, rhs } = &*arg {
+        if let ExprKind::Binary { op, lhs, rhs } = arg.kind() {
             if arg.width() == Width::BOOL {
                 let flipped = match op {
                     BinOp::Eq => Some(BinOp::Ne),
@@ -326,15 +419,15 @@ impl Expr {
                 }
             }
         }
-        Arc::new(Expr::Unary { op: UnOp::Not, arg })
+        Self::mk(ExprKind::Unary { op: UnOp::Not, arg })
     }
 
     /// Two's-complement negation.
     pub fn neg(arg: ExprRef) -> ExprRef {
-        if let Expr::Const { value, width } = &*arg {
+        if let ExprKind::Const { value, width } = arg.kind() {
             return Expr::const_(value.wrapping_neg(), *width);
         }
-        Arc::new(Expr::Unary { op: UnOp::Neg, arg })
+        Self::mk(ExprKind::Unary { op: UnOp::Neg, arg })
     }
 
     /// Boolean conjunction of width-1 terms.
@@ -364,13 +457,13 @@ impl Expr {
     pub fn ite(cond: ExprRef, then: ExprRef, els: ExprRef) -> ExprRef {
         debug_assert_eq!(cond.width(), Width::BOOL);
         debug_assert_eq!(then.width(), els.width());
-        if let Expr::Const { value, .. } = &*cond {
+        if let ExprKind::Const { value, .. } = cond.kind() {
             return if *value == 1 { then } else { els };
         }
         if then == els {
             return then;
         }
-        Arc::new(Expr::Ite { cond, then, els })
+        Self::mk(ExprKind::Ite { cond, then, els })
     }
 
     /// Zero-extends to `to`.
@@ -403,14 +496,14 @@ impl Expr {
         if arg.width() == to {
             return arg;
         }
-        if let Expr::Const { value, width } = &*arg {
+        if let ExprKind::Const { value, width } = arg.kind() {
             let v = match op {
                 CastOp::Zext | CastOp::Trunc => to.truncate(*value),
                 CastOp::Sext => to.truncate(width.to_signed(*value) as u64),
             };
             return Expr::const_(v, to);
         }
-        Arc::new(Expr::Cast { op, to, arg })
+        Self::mk(ExprKind::Cast { op, to, arg })
     }
 
     fn binary(op: BinOp, lhs: ExprRef, rhs: ExprRef) -> ExprRef {
@@ -425,12 +518,14 @@ impl Expr {
         let out_w = if op.is_comparison() { Width::BOOL } else { w };
 
         // Constant folding.
-        if let (Expr::Const { value: a, .. }, Expr::Const { value: b, .. }) = (&*lhs, &*rhs) {
+        if let (ExprKind::Const { value: a, .. }, ExprKind::Const { value: b, .. }) =
+            (lhs.kind(), rhs.kind())
+        {
             return Expr::const_(eval_binop(op, *a, *b, w), out_w);
         }
 
         // Cheap identities (only ones that are valid for all operands).
-        if let Expr::Const { value: b, .. } = &*rhs {
+        if let ExprKind::Const { value: b, .. } = rhs.kind() {
             match (op, *b) {
                 (
                     BinOp::Add
@@ -453,7 +548,7 @@ impl Expr {
                 _ => {}
             }
         }
-        if let Expr::Const { value: a, .. } = &*lhs {
+        if let ExprKind::Const { value: a, .. } = lhs.kind() {
             match (op, *a) {
                 (BinOp::Add | BinOp::Or | BinOp::Xor, 0) => return rhs,
                 (BinOp::Mul, 1) => return rhs,
@@ -473,104 +568,72 @@ impl Expr {
             }
         }
 
-        Arc::new(Expr::Binary { op, lhs, rhs })
+        Self::mk(ExprKind::Binary { op, lhs, rhs })
     }
 
     // ----- inspection -----------------------------------------------------
 
-    /// The term's width.
+    /// The term's structural shape — pattern-match this to destructure.
+    pub fn kind(&self) -> &ExprKind {
+        &self.kind
+    }
+
+    /// The term's width (memoized; O(1)).
     pub fn width(&self) -> Width {
-        match self {
-            Expr::Const { width, .. } => *width,
-            Expr::Sym(v) => v.width(),
-            Expr::Unary { arg, .. } => arg.width(),
-            Expr::Binary { op, lhs, .. } => {
-                if op.is_comparison() {
-                    Width::BOOL
-                } else {
-                    lhs.width()
-                }
-            }
-            Expr::Ite { then, .. } => then.width(),
-            Expr::Cast { to, .. } => *to,
-        }
+        self.width
+    }
+
+    /// The term's free variables with their widths (memoized; O(1)).
+    pub fn vars(&self) -> &VarSet {
+        &self.vars
     }
 
     /// Returns the constant value when the term is a constant.
     pub fn as_const(&self) -> Option<u64> {
-        match self {
-            Expr::Const { value, .. } => Some(*value),
+        match &self.kind {
+            ExprKind::Const { value, .. } => Some(*value),
             _ => None,
         }
     }
 
     /// Returns `true` when the term is the width-1 constant 1.
     pub fn is_true(&self) -> bool {
-        matches!(self, Expr::Const { value: 1, width } if *width == Width::BOOL)
+        matches!(&self.kind, ExprKind::Const { value: 1, width } if *width == Width::BOOL)
     }
 
     /// Returns `true` when the term is the width-1 constant 0.
     pub fn is_false(&self) -> bool {
-        matches!(self, Expr::Const { value: 0, width } if *width == Width::BOOL)
+        matches!(&self.kind, ExprKind::Const { value: 0, width } if *width == Width::BOOL)
     }
 
     /// Collects the ids of all symbolic variables in the term.
+    ///
+    /// Reads the memoized [`Expr::vars`] set — no DAG walk.
     pub fn collect_vars(&self, out: &mut BTreeSet<SymId>) {
-        match self {
-            Expr::Const { .. } => {}
-            Expr::Sym(v) => {
-                out.insert(v.id());
-            }
-            Expr::Unary { arg, .. } => arg.collect_vars(out),
-            Expr::Binary { lhs, rhs, .. } => {
-                lhs.collect_vars(out);
-                rhs.collect_vars(out);
-            }
-            Expr::Ite { cond, then, els } => {
-                cond.collect_vars(out);
-                then.collect_vars(out);
-                els.collect_vars(out);
-            }
-            Expr::Cast { arg, .. } => arg.collect_vars(out),
-        }
+        out.extend(self.vars.ids());
     }
 
-    /// Returns `true` when the term contains no symbolic variables.
+    /// Returns `true` when the term contains no symbolic variables
+    /// (memoized; O(1)).
     pub fn is_concrete(&self) -> bool {
-        match self {
-            Expr::Const { .. } => true,
-            Expr::Sym(_) => false,
-            Expr::Unary { arg, .. } => arg.is_concrete(),
-            Expr::Binary { lhs, rhs, .. } => lhs.is_concrete() && rhs.is_concrete(),
-            Expr::Ite { cond, then, els } => {
-                cond.is_concrete() && then.is_concrete() && els.is_concrete()
-            }
-            Expr::Cast { arg, .. } => arg.is_concrete(),
-        }
+        self.vars.is_empty()
     }
 
     /// Number of nodes in the term (tree view; shared nodes counted per
-    /// occurrence). Used for memory accounting.
+    /// occurrence, saturating at `u32::MAX`). Memoized; used for memory
+    /// accounting and solver budgets.
     pub fn node_count(&self) -> usize {
-        match self {
-            Expr::Const { .. } | Expr::Sym(_) => 1,
-            Expr::Unary { arg, .. } => 1 + arg.node_count(),
-            Expr::Binary { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
-            Expr::Ite { cond, then, els } => {
-                1 + cond.node_count() + then.node_count() + els.node_count()
-            }
-            Expr::Cast { arg, .. } => 1 + arg.node_count(),
-        }
+        self.nodes as usize
     }
 
     /// Evaluates the term under a (possibly partial) assignment.
     ///
     /// Returns `None` when an unassigned variable is reached.
     pub fn eval(&self, model: &Model) -> Option<u64> {
-        match self {
-            Expr::Const { value, .. } => Some(*value),
-            Expr::Sym(v) => model.value_of(v.id()),
-            Expr::Unary { op, arg } => {
+        match &self.kind {
+            ExprKind::Const { value, .. } => Some(*value),
+            ExprKind::Sym(v) => model.value_of(v.id()),
+            ExprKind::Unary { op, arg } => {
                 let a = arg.eval(model)?;
                 let w = arg.width();
                 Some(match op {
@@ -578,7 +641,7 @@ impl Expr {
                     UnOp::Neg => w.truncate(a.wrapping_neg()),
                 })
             }
-            Expr::Binary { op, lhs, rhs } => {
+            ExprKind::Binary { op, lhs, rhs } => {
                 // Short-circuit boolean operators so that a partial
                 // assignment can still decide the result.
                 let w = lhs.width();
@@ -592,7 +655,7 @@ impl Expr {
                 }
                 Some(eval_binop(*op, a?, b?, w))
             }
-            Expr::Ite { cond, then, els } => {
+            ExprKind::Ite { cond, then, els } => {
                 match cond.eval(model) {
                     Some(1) => then.eval(model),
                     Some(_) => els.eval(model),
@@ -604,7 +667,7 @@ impl Expr {
                     }
                 }
             }
-            Expr::Cast { op, to, arg } => {
+            ExprKind::Cast { op, to, arg } => {
                 let a = arg.eval(model)?;
                 Some(match op {
                     CastOp::Zext | CastOp::Trunc => to.truncate(a),
@@ -682,17 +745,17 @@ pub(crate) fn eval_binop(op: BinOp, a: u64, b: u64, w: Width) -> u64 {
 
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Expr::Const { value, width } => write!(f, "{value}:{width}"),
-            Expr::Sym(v) => write!(f, "{v}"),
-            Expr::Unary { op, arg } => {
+        match &self.kind {
+            ExprKind::Const { value, width } => write!(f, "{value}:{width}"),
+            ExprKind::Sym(v) => write!(f, "{v}"),
+            ExprKind::Unary { op, arg } => {
                 let name = match op {
                     UnOp::Not => "not",
                     UnOp::Neg => "neg",
                 };
                 write!(f, "({name} {arg})")
             }
-            Expr::Binary { op, lhs, rhs } => {
+            ExprKind::Binary { op, lhs, rhs } => {
                 let name = match op {
                     BinOp::Add => "add",
                     BinOp::Sub => "sub",
@@ -716,8 +779,8 @@ impl fmt::Display for Expr {
                 };
                 write!(f, "({name} {lhs} {rhs})")
             }
-            Expr::Ite { cond, then, els } => write!(f, "(ite {cond} {then} {els})"),
-            Expr::Cast { op, to, arg } => {
+            ExprKind::Ite { cond, then, els } => write!(f, "(ite {cond} {then} {els})"),
+            ExprKind::Cast { op, to, arg } => {
                 let name = match op {
                     CastOp::Zext => "zext",
                     CastOp::Sext => "sext",
@@ -770,15 +833,15 @@ mod tests {
         let lt = Expr::ult(x.clone(), c(5, Width::W8));
         let not_lt = Expr::not(lt);
         // ¬(x < 5) ≡ 5 <= x
-        match &*not_lt {
-            Expr::Binary {
+        match not_lt.kind() {
+            ExprKind::Binary {
                 op: BinOp::Ule,
                 lhs,
                 ..
             } => {
                 assert_eq!(lhs.as_const(), Some(5));
             }
-            other => panic!("expected ule, got {other}"),
+            other => panic!("expected ule, got {other:?}"),
         }
         // Double negation cancels.
         let eq = Expr::eq(x.clone(), c(1, Width::W8));
@@ -876,6 +939,42 @@ mod tests {
         assert!(vars.contains(&yv.id()));
         assert!(!e.is_concrete());
         assert!(c(1, Width::W8).is_concrete());
+    }
+
+    #[test]
+    fn memos_match_recomputation() {
+        let mut t = SymbolTable::new();
+        let xv = t.fresh("x", Width::W8);
+        let yv = t.fresh("y", Width::W8);
+        let x = Expr::sym(xv.clone());
+        let y = Expr::sym(yv.clone());
+        let e = Expr::ite(
+            Expr::ult(x.clone(), y.clone()),
+            Expr::add(x.clone(), y.clone()),
+            Expr::zext(Expr::trunc(y.clone(), Width::BOOL), Width::W8),
+        );
+        // vars memo = {x, y} with widths.
+        assert_eq!(e.vars().len(), 2);
+        assert!(e.vars().contains(xv.id()));
+        let widths: Vec<Width> = e.vars().iter().map(|(_, w)| w).collect();
+        assert_eq!(widths, [Width::W8, Width::W8]);
+        // node count memo matches a manual tree count:
+        // ite(1) + ult(1)+x+y + add(1)+x+y + zext(1)+trunc(1)+y = 10
+        assert_eq!(e.node_count(), 10);
+        // width memo matches the shape.
+        assert_eq!(e.width(), Width::W8);
+        // Equality ignores memos: an identical shape built via from_kind
+        // compares equal.
+        let raw = Expr::from_kind(e.kind().clone());
+        assert_eq!(&raw, &*e);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |e: &Expr| {
+            let mut s = DefaultHasher::new();
+            e.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&raw), h(&e));
     }
 
     #[test]

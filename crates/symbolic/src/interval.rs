@@ -1,6 +1,6 @@
 //! Unsigned interval abstract domain used for solver pruning.
 
-use crate::expr::{BinOp, CastOp, Expr, UnOp};
+use crate::expr::{BinOp, CastOp, Expr, ExprKind, UnOp};
 use crate::table::SymId;
 use crate::width::Width;
 use std::collections::BTreeMap;
@@ -158,13 +158,13 @@ impl Interval {
     ///
     /// Variables missing from `env` take their full width domain.
     pub fn of_expr(expr: &Expr, env: &BTreeMap<SymId, Interval>) -> Interval {
-        match expr {
-            Expr::Const { value, .. } => Interval::singleton(*value),
-            Expr::Sym(v) => env
+        match expr.kind() {
+            ExprKind::Const { value, .. } => Interval::singleton(*value),
+            ExprKind::Sym(v) => env
                 .get(&v.id())
                 .copied()
                 .unwrap_or_else(|| Interval::full(v.width())),
-            Expr::Unary { op, arg } => {
+            ExprKind::Unary { op, arg } => {
                 let w = arg.width();
                 let a = Self::of_expr(arg, env);
                 if a.is_empty() {
@@ -182,7 +182,7 @@ impl Interval {
                     }
                 }
             }
-            Expr::Binary { op, lhs, rhs } => {
+            ExprKind::Binary { op, lhs, rhs } => {
                 let w = lhs.width();
                 let a = Self::of_expr(lhs, env);
                 let b = Self::of_expr(rhs, env);
@@ -285,7 +285,7 @@ impl Interval {
                     }
                 }
             }
-            Expr::Ite { cond, then, els } => {
+            ExprKind::Ite { cond, then, els } => {
                 let c = Self::of_expr(cond, env);
                 if c == Interval::singleton(1) {
                     Self::of_expr(then, env)
@@ -295,7 +295,7 @@ impl Interval {
                     Self::of_expr(then, env).hull(&Self::of_expr(els, env))
                 }
             }
-            Expr::Cast { op, to, arg } => {
+            ExprKind::Cast { op, to, arg } => {
                 let a = Self::of_expr(arg, env);
                 if a.is_empty() {
                     return Interval::empty();
@@ -451,11 +451,11 @@ mod tests {
                         Interval::new(b.saturating_sub(2), (b + 2).min(255)),
                     ),
                 ]);
-                let e = Expr::Binary {
+                let e = Expr::from_kind(ExprKind::Binary {
                     op,
                     lhs: Expr::sym(xv.clone()),
                     rhs: Expr::sym(yv.clone()),
-                };
+                });
                 let abs = Interval::of_expr(&e, &env);
                 let concrete = crate::expr::eval_binop(op, a, b, w);
                 assert!(
@@ -470,11 +470,11 @@ mod tests {
     fn ite_hull() {
         let mut t = SymbolTable::new();
         let cv = t.fresh("c", Width::BOOL);
-        let e = Expr::Ite {
+        let e = Expr::from_kind(ExprKind::Ite {
             cond: Expr::sym(cv.clone()),
             then: c(10, Width::W8),
             els: c(20, Width::W8),
-        };
+        });
         assert_eq!(
             Interval::of_expr(&e, &BTreeMap::new()),
             Interval::new(10, 20)

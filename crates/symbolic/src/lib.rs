@@ -40,13 +40,15 @@ mod path;
 mod simplify;
 mod solver;
 mod table;
+mod vars;
 mod width;
 
-pub use expr::{BinOp, CastOp, Expr, ExprRef, UnOp};
+pub use expr::{BinOp, CastOp, Expr, ExprKind, ExprRef, UnOp};
 pub use interval::Interval;
 pub use model::Model;
 pub use path::PathCondition;
 pub use simplify::simplify;
 pub use solver::{Solver, SolverBudget, SolverResult, SolverStats};
 pub use table::{SymId, SymVar, SymbolTable};
+pub use vars::VarSet;
 pub use width::Width;

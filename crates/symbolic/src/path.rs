@@ -92,6 +92,9 @@ impl PathCondition {
     }
 
     /// Collects the ids of all symbolic variables mentioned.
+    ///
+    /// Reads each constraint's memoized [`Expr::vars`](crate::Expr::vars)
+    /// set — O(total set size), no DAG walks.
     pub fn collect_vars(&self, out: &mut BTreeSet<SymId>) {
         for c in self.iter() {
             c.collect_vars(out);
@@ -123,7 +126,8 @@ impl PathCondition {
     }
 
     /// Total number of expression nodes across all constraints (for memory
-    /// accounting).
+    /// accounting). O(#constraints): per-constraint counts are memoized at
+    /// construction time.
     pub fn node_count(&self) -> usize {
         self.iter().map(|c| c.node_count()).sum()
     }

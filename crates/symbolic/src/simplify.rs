@@ -10,7 +10,7 @@
 //! * constant migration in equalities: `x + c1 = c2 → x = c2 - c1`
 //! * comparison canonicalization: constants move to the right-hand side.
 
-use crate::expr::{BinOp, CastOp, Expr, ExprRef, UnOp};
+use crate::expr::{BinOp, CastOp, Expr, ExprKind, ExprRef, UnOp};
 
 /// Returns an equivalent, usually smaller term.
 ///
@@ -20,40 +20,40 @@ use crate::expr::{BinOp, CastOp, Expr, ExprRef, UnOp};
 /// # Examples
 ///
 /// ```
-/// use sde_symbolic::{simplify, Expr, SymbolTable, Width};
+/// use sde_symbolic::{simplify, Expr, ExprKind, SymbolTable, Width};
 ///
 /// let mut t = SymbolTable::new();
 /// let x = Expr::sym(t.fresh("x", Width::W8));
-/// let e = Expr::Binary {
+/// let e = Expr::from_kind(ExprKind::Binary {
 ///     op: sde_symbolic::BinOp::Add,
 ///     lhs: Expr::const_(2, Width::W8),
 ///     rhs: Expr::const_(3, Width::W8),
-/// };
+/// });
 /// assert_eq!(simplify(&std::sync::Arc::new(e)).as_const(), Some(5));
 /// # let _ = x;
 /// ```
 pub fn simplify(expr: &ExprRef) -> ExprRef {
-    match &**expr {
-        Expr::Const { .. } | Expr::Sym(_) => expr.clone(),
-        Expr::Unary { op, arg } => {
+    match expr.kind() {
+        ExprKind::Const { .. } | ExprKind::Sym(_) => expr.clone(),
+        ExprKind::Unary { op, arg } => {
             let arg = simplify(arg);
             match op {
                 UnOp::Not => Expr::not(arg),
                 UnOp::Neg => Expr::neg(arg),
             }
         }
-        Expr::Binary { op, lhs, rhs } => {
+        ExprKind::Binary { op, lhs, rhs } => {
             let lhs = simplify(lhs);
             let rhs = simplify(rhs);
             rebuild_binary(*op, lhs, rhs)
         }
-        Expr::Ite { cond, then, els } => {
+        ExprKind::Ite { cond, then, els } => {
             let cond = simplify(cond);
             let then = simplify(then);
             let els = simplify(els);
             Expr::ite(cond, then, els)
         }
-        Expr::Cast { op, to, arg } => {
+        ExprKind::Cast { op, to, arg } => {
             let arg = simplify(arg);
             match op {
                 CastOp::Zext => Expr::zext(arg, *to),
@@ -81,12 +81,12 @@ fn rebuild_binary(op: BinOp, lhs: ExprRef, rhs: ExprRef) -> ExprRef {
     // (x + c1) + c2 → x + (c1 + c2); same for mul/and/or/xor.
     if let (
         Some(c2),
-        Expr::Binary {
+        ExprKind::Binary {
             op: inner_op,
             lhs: x,
             rhs: inner_rhs,
         },
-    ) = (rhs.as_const(), &*lhs)
+    ) = (rhs.as_const(), lhs.kind())
     {
         if *inner_op == op
             && matches!(
@@ -106,13 +106,13 @@ fn rebuild_binary(op: BinOp, lhs: ExprRef, rhs: ExprRef) -> ExprRef {
     // x + c1 = c2  →  x = c2 - c1   (and the same for Ne, Sub mirrored).
     if matches!(op, BinOp::Eq | BinOp::Ne) {
         if let (
-            Expr::Binary {
+            ExprKind::Binary {
                 op: BinOp::Add,
                 lhs: x,
                 rhs: addend,
             },
             Some(c2),
-        ) = (&*lhs, rhs.as_const())
+        ) = (lhs.kind(), rhs.as_const())
         {
             if let Some(c1) = addend.as_const() {
                 let w = x.width();
@@ -121,13 +121,13 @@ fn rebuild_binary(op: BinOp, lhs: ExprRef, rhs: ExprRef) -> ExprRef {
             }
         }
         if let (
-            Expr::Binary {
+            ExprKind::Binary {
                 op: BinOp::Sub,
                 lhs: x,
                 rhs: subtrahend,
             },
             Some(c2),
-        ) = (&*lhs, rhs.as_const())
+        ) = (lhs.kind(), rhs.as_const())
         {
             if let Some(c1) = subtrahend.as_const() {
                 let w = x.width();
@@ -181,8 +181,8 @@ mod tests {
         let x = Expr::sym(t.fresh("x", Width::W8));
         let e = Expr::add(Expr::add(x.clone(), c(3, Width::W8)), c(4, Width::W8));
         let s = simplify(&e);
-        match &*s {
-            Expr::Binary {
+        match s.kind() {
+            ExprKind::Binary {
                 op: BinOp::Add,
                 lhs,
                 rhs,
@@ -190,7 +190,7 @@ mod tests {
                 assert_eq!(lhs, &x);
                 assert_eq!(rhs.as_const(), Some(7));
             }
-            other => panic!("expected x + 7, got {other}"),
+            other => panic!("expected x + 7, got {other:?}"),
         }
     }
 
@@ -201,8 +201,8 @@ mod tests {
         // x + 10 == 13  →  x == 3
         let e = Expr::eq(Expr::add(x.clone(), c(10, Width::W8)), c(13, Width::W8));
         let s = simplify(&e);
-        match &*s {
-            Expr::Binary {
+        match s.kind() {
+            ExprKind::Binary {
                 op: BinOp::Eq,
                 lhs,
                 rhs,
@@ -210,13 +210,13 @@ mod tests {
                 assert_eq!(lhs, &x);
                 assert_eq!(rhs.as_const(), Some(3));
             }
-            other => panic!("expected x == 3, got {other}"),
+            other => panic!("expected x == 3, got {other:?}"),
         }
         // x - 5 != 1  →  x != 6
         let e = Expr::ne(Expr::sub(x.clone(), c(5, Width::W8)), c(1, Width::W8));
         let s = simplify(&e);
-        match &*s {
-            Expr::Binary {
+        match s.kind() {
+            ExprKind::Binary {
                 op: BinOp::Ne,
                 lhs,
                 rhs,
@@ -224,7 +224,7 @@ mod tests {
                 assert_eq!(lhs, &x);
                 assert_eq!(rhs.as_const(), Some(6));
             }
-            other => panic!("expected x != 6, got {other}"),
+            other => panic!("expected x != 6, got {other:?}"),
         }
     }
 
@@ -232,14 +232,14 @@ mod tests {
     fn constant_canonicalized_right() {
         let mut t = SymbolTable::new();
         let x = Expr::sym(t.fresh("x", Width::W8));
-        let e = Arc::new(Expr::Binary {
+        let e = Arc::new(Expr::from_kind(ExprKind::Binary {
             op: BinOp::Add,
             lhs: c(9, Width::W8),
             rhs: x.clone(),
-        });
+        }));
         let s = simplify(&e);
-        match &*s {
-            Expr::Binary {
+        match s.kind() {
+            ExprKind::Binary {
                 op: BinOp::Add,
                 lhs,
                 rhs,
@@ -247,7 +247,7 @@ mod tests {
                 assert_eq!(lhs, &x);
                 assert_eq!(rhs.as_const(), Some(9));
             }
-            other => panic!("expected x + 9, got {other}"),
+            other => panic!("expected x + 9, got {other:?}"),
         }
     }
 
@@ -256,24 +256,24 @@ mod tests {
         // Build (x + (2*3)) through raw variants, bypassing constructors.
         let mut t = SymbolTable::new();
         let x = Expr::sym(t.fresh("x", Width::W8));
-        let two_three = Arc::new(Expr::Binary {
+        let two_three = Arc::new(Expr::from_kind(ExprKind::Binary {
             op: BinOp::Mul,
             lhs: c(2, Width::W8),
             rhs: c(3, Width::W8),
-        });
-        let e = Arc::new(Expr::Binary {
+        }));
+        let e = Arc::new(Expr::from_kind(ExprKind::Binary {
             op: BinOp::Add,
             lhs: x.clone(),
             rhs: two_three,
-        });
+        }));
         let s = simplify(&e);
-        match &*s {
-            Expr::Binary {
+        match s.kind() {
+            ExprKind::Binary {
                 op: BinOp::Add,
                 rhs,
                 ..
             } => assert_eq!(rhs.as_const(), Some(6)),
-            other => panic!("expected x + 6, got {other}"),
+            other => panic!("expected x + 6, got {other:?}"),
         }
     }
 

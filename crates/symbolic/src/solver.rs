@@ -3,28 +3,66 @@
 //! Pipeline per query (mirroring KLEE's solver stack in miniature):
 //!
 //! 1. **Simplification** — constraints are already simplified on entry to
-//!    the path condition; trivially false sets short-circuit.
-//! 2. **Caching** — an exact-match cache over the (order-normalized)
-//!    constraint set.
-//! 3. **Independence partitioning** — constraints are grouped by shared
-//!    variables (union–find); each group is solved separately and models
-//!    are merged. A branch condition usually touches one or two variables,
-//!    so this is the main cost saver.
-//! 4. **Interval refinement** — per-variable unsigned bounds are tightened
-//!    from comparison constraints, shrinking enumeration domains.
-//! 5. **Backtracking enumeration** — variables ordered by domain size;
+//!    the path condition; trivially false sets short-circuit, and concrete
+//!    constraints are folded away before any cache is consulted.
+//! 2. **Independence partitioning** — constraints are grouped by shared
+//!    variables (union–find over the memoized [`Expr::vars`] sets, no DAG
+//!    walks); each group is solved separately and models are merged. A
+//!    branch condition usually touches one or two variables, so this is
+//!    the main cost saver — and it is what makes the caches below
+//!    effective, because group-sized keys recur far more often than whole
+//!    path conditions do.
+//! 3. **Exact caching** — an exact-match cache over each (order-normalized)
+//!    constraint group. Sibling states share every group of their common
+//!    path-condition prefix, so extending a path by one branch costs one
+//!    new group solve, not a re-solve of the whole condition. With
+//!    [`Solver::set_group_caching`]`(false)` the cache falls back to
+//!    whole-query granularity (one key per full constraint set).
+//! 4. **Counterexample caching** — satisfying models and UNSAT cores from
+//!    earlier group solves answer *related* (not identical) groups:
+//!    a cached UNSAT core that is a subset of the query proves UNSAT; a
+//!    cached model that evaluates every query constraint to true proves
+//!    SAT. See "Determinism" below for when this layer is consulted.
+//! 5. **Interval refinement** — per-variable unsigned bounds are tightened
+//!    from comparison constraints, shrinking enumeration domains. The
+//!    refinement tracks which constraints touched each variable's bounds,
+//!    so an emptied interval yields an UNSAT core for layer 4.
+//! 6. **Backtracking enumeration** — variables ordered by domain size;
 //!    candidate values are tried likely-first (bounds, 0, 1) and partial
 //!    evaluation prunes violated constraints early. A node budget caps the
 //!    search; exhaustion yields [`SolverResult::Unknown`].
+//!
+//! # Determinism
+//!
+//! Queries come in two grades. *Verdict-grade* queries ([`Solver::check`],
+//! [`Solver::may_be_true`], [`Solver::must_be_true`], [`Solver::is_sat`])
+//! only need a correct SAT/UNSAT answer, so they may be answered by any
+//! cache layer. *Witness-grade* queries ([`Solver::model`],
+//! [`Solver::check_constraints`]) return models that become externally
+//! visible test cases and bug witnesses, which must not depend on cache
+//! fill order; they therefore skip counterexample **model reuse** (a
+//! reused model is whichever related model happened to be cached first)
+//! but still use UNSAT-core probing, whose observable outcome (no model)
+//! is the same as a fresh solve. The exact cache stores only
+//! solver-computed answers — never counterexample-derived ones — so its
+//! contents are reproducible regardless of query order.
+//!
+//! Each cache layer is individually switchable for ablation measurements:
+//! [`Solver::set_caching`] (exact cache master switch),
+//! [`Solver::set_group_caching`] (per-group vs whole-query granularity),
+//! and [`Solver::set_cex_caching`] (counterexample layer).
+//!
+//! [`Expr::vars`]: crate::Expr::vars
 
-use crate::expr::{BinOp, Expr, ExprRef};
+use crate::expr::{BinOp, CastOp, Expr, ExprKind, ExprRef};
 use crate::interval::Interval;
 use crate::model::Model;
 use crate::path::PathCondition;
 use crate::table::SymId;
+use crate::vars::VarSet;
 use crate::width::Width;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Mutex;
@@ -73,8 +111,18 @@ impl SolverResult {
 pub struct SolverStats {
     /// Total queries received (including cache hits).
     pub queries: u64,
-    /// Queries answered from the cache.
+    /// Queries answered *entirely* from the exact cache (every independent
+    /// group examined was a cache hit; no solving or counterexample
+    /// reasoning was needed).
     pub cache_hits: u64,
+    /// Independent constraint groups answered from the exact group cache.
+    pub group_cache_hits: u64,
+    /// Groups answered SAT by re-evaluating a cached model from a related
+    /// earlier query (counterexample cache, verdict-grade queries only).
+    pub model_reuse_hits: u64,
+    /// Groups answered UNSAT because a cached UNSAT core is a subset of
+    /// the group (counterexample cache).
+    pub ucore_hits: u64,
     /// Queries decided satisfiable.
     pub sat: u64,
     /// Queries decided unsatisfiable.
@@ -91,7 +139,16 @@ enum CacheEntry {
     Unsat,
 }
 
-/// One hash bucket of the query cache: (normalized constraint set, answer).
+impl CacheEntry {
+    fn to_result(&self) -> SolverResult {
+        match self {
+            CacheEntry::Sat(m) => SolverResult::Sat(m.clone()),
+            CacheEntry::Unsat => SolverResult::Unsat,
+        }
+    }
+}
+
+/// One hash bucket of the exact cache: (normalized constraint set, answer).
 type CacheBucket = Vec<(Vec<ExprRef>, CacheEntry)>;
 
 /// Number of independently-locked cache shards. Sharding keeps lock
@@ -99,15 +156,56 @@ type CacheBucket = Vec<(Vec<ExprRef>, CacheEntry)>;
 /// pass query concurrently ([`Solver`] is `Sync`).
 const CACHE_SHARDS: usize = 16;
 
+/// Per-shard capacity of each counterexample side (models / cores); FIFO
+/// eviction. The caps bound probe cost: a counterexample lookup scans at
+/// most `shards(vars) × cap` entries.
+const CEX_CAP: usize = 64;
+
+/// One shard of the counterexample cache. Entries are indexed by the
+/// variables they mention: an entry is inserted into the shard of every
+/// variable in its var-set, and a query probes the shards of its own
+/// variables — any related entry must share a variable with the query, so
+/// no probe can miss an applicable entry.
+#[derive(Debug, Default)]
+struct CexShard {
+    /// Satisfying models from earlier group solves, with the var-set of
+    /// the group they solved. Newest are probed first.
+    models: VecDeque<(VarSet, Model)>,
+    /// UNSAT cores from earlier group solves.
+    cores: VecDeque<CoreEntry>,
+}
+
+/// An UNSAT core: a hash-sorted subset of some earlier group's constraints
+/// that is unsatisfiable on its own. Any superset is unsatisfiable too.
+#[derive(Debug, Clone)]
+struct CoreEntry {
+    hashes: Vec<u64>,
+    constraints: Vec<ExprRef>,
+}
+
 /// Lock-free work counters (see [`SolverStats`] for the snapshot form).
 #[derive(Debug, Default)]
 struct StatCells {
     queries: AtomicU64,
     cache_hits: AtomicU64,
+    group_cache_hits: AtomicU64,
+    model_reuse_hits: AtomicU64,
+    ucore_hits: AtomicU64,
     sat: AtomicU64,
     unsat: AtomicU64,
     unknown: AtomicU64,
     nodes_visited: AtomicU64,
+}
+
+/// One independent constraint group: hash-sorted constraints, their
+/// individual hashes (aligned), the exact-cache key derived from them, and
+/// the union of their memoized var-sets.
+#[derive(Debug)]
+struct Group {
+    constraints: Vec<ExprRef>,
+    hashes: Vec<u64>,
+    key: u64,
+    vars: VarSet,
 }
 
 /// The constraint solver. See the module documentation for the pipeline.
@@ -131,7 +229,10 @@ pub struct Solver {
     budget: SolverBudget,
     stats: StatCells,
     cache: Vec<Mutex<HashMap<u64, CacheBucket>>>,
+    cex: Vec<Mutex<CexShard>>,
     caching: AtomicBool,
+    group_caching: AtomicBool,
+    cex_caching: AtomicBool,
 }
 
 impl Default for Solver {
@@ -140,7 +241,10 @@ impl Default for Solver {
             budget: SolverBudget::default(),
             stats: StatCells::default(),
             cache: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+            cex: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
             caching: AtomicBool::new(true),
+            group_caching: AtomicBool::new(true),
+            cex_caching: AtomicBool::new(true),
         }
     }
 }
@@ -164,6 +268,9 @@ impl Solver {
         SolverStats {
             queries: self.stats.queries.load(Relaxed),
             cache_hits: self.stats.cache_hits.load(Relaxed),
+            group_cache_hits: self.stats.group_cache_hits.load(Relaxed),
+            model_reuse_hits: self.stats.model_reuse_hits.load(Relaxed),
+            ucore_hits: self.stats.ucore_hits.load(Relaxed),
             sat: self.stats.sat.load(Relaxed),
             unsat: self.stats.unsat.load(Relaxed),
             unknown: self.stats.unknown.load(Relaxed),
@@ -171,19 +278,49 @@ impl Solver {
         }
     }
 
-    /// Clears the query cache (counters are kept).
+    /// Clears the exact and counterexample caches (counters are kept).
     pub fn clear_cache(&self) {
         for shard in &self.cache {
             shard.lock().expect("cache shard").clear();
         }
+        for shard in &self.cex {
+            let mut s = shard.lock().expect("cex shard");
+            s.models.clear();
+            s.cores.clear();
+        }
     }
 
-    /// Enables or disables the query cache (for ablation measurements).
-    /// Disabling also clears it.
+    /// Enables or disables the exact query cache (for ablation
+    /// measurements). Disabling also clears it.
     pub fn set_caching(&self, enabled: bool) {
         self.caching.store(enabled, Relaxed);
         if !enabled {
-            self.clear_cache();
+            for shard in &self.cache {
+                shard.lock().expect("cache shard").clear();
+            }
+        }
+    }
+
+    /// Chooses the exact cache's granularity: per independent group
+    /// (default) or whole-query (the pre-incremental behavior, kept as an
+    /// ablation point). No effect while caching is disabled entirely.
+    ///
+    /// Both granularities key on order-normalized constraint sets, so the
+    /// cache stays consistent across switches and no clear is needed.
+    pub fn set_group_caching(&self, enabled: bool) {
+        self.group_caching.store(enabled, Relaxed);
+    }
+
+    /// Enables or disables the counterexample cache (model reuse and
+    /// UNSAT-core probing). Disabling also clears it.
+    pub fn set_cex_caching(&self, enabled: bool) {
+        self.cex_caching.store(enabled, Relaxed);
+        if !enabled {
+            for shard in &self.cex {
+                let mut s = shard.lock().expect("cex shard");
+                s.models.clear();
+                s.cores.clear();
+            }
         }
     }
 
@@ -199,90 +336,20 @@ impl Solver {
             return SolverResult::Unsat;
         }
         let constraints: Vec<ExprRef> = pc.iter().cloned().collect();
-        self.check_constraints(&constraints)
+        self.solve_query(&constraints, false)
     }
 
     /// Decides satisfiability of an explicit constraint list (conjunction).
+    ///
+    /// This is a *witness-grade* query (see the module docs): any returned
+    /// model is independent of counterexample-cache contents, so callers
+    /// may surface it as a test case.
     ///
     /// # Panics
     ///
     /// Panics (in debug builds) when a constraint is not of width 1.
     pub fn check_constraints(&self, constraints: &[ExprRef]) -> SolverResult {
-        self.stats.queries.fetch_add(1, Relaxed);
-
-        // Drop trivially-true constraints; bail on trivially-false ones.
-        let mut work: Vec<ExprRef> = Vec::with_capacity(constraints.len());
-        for c in constraints {
-            debug_assert_eq!(c.width(), Width::BOOL);
-            if c.is_true() {
-                continue;
-            }
-            if c.is_false() {
-                self.stats.unsat.fetch_add(1, Relaxed);
-                return SolverResult::Unsat;
-            }
-            work.push(c.clone());
-        }
-        if work.is_empty() {
-            self.stats.sat.fetch_add(1, Relaxed);
-            return SolverResult::Sat(Model::new());
-        }
-
-        // Cache lookup on the order-normalized constraint set.
-        let key = cache_key(&mut work);
-        if !self.caching.load(Relaxed) {
-            let result = self.solve_groups(&work);
-            match &result {
-                SolverResult::Sat(_) => self.stats.sat.fetch_add(1, Relaxed),
-                SolverResult::Unsat => self.stats.unsat.fetch_add(1, Relaxed),
-                SolverResult::Unknown => self.stats.unknown.fetch_add(1, Relaxed),
-            };
-            return result;
-        }
-        if let Some(bucket) = self.shard(key).lock().expect("cache shard").get(&key) {
-            for (stored, entry) in bucket {
-                if stored == &work {
-                    self.stats.cache_hits.fetch_add(1, Relaxed);
-                    match entry {
-                        CacheEntry::Sat(m) => {
-                            self.stats.sat.fetch_add(1, Relaxed);
-                            return SolverResult::Sat(m.clone());
-                        }
-                        CacheEntry::Unsat => {
-                            self.stats.unsat.fetch_add(1, Relaxed);
-                            return SolverResult::Unsat;
-                        }
-                    }
-                }
-            }
-        }
-
-        let result = self.solve_groups(&work);
-
-        let entry = match &result {
-            SolverResult::Sat(m) => {
-                self.stats.sat.fetch_add(1, Relaxed);
-                Some(CacheEntry::Sat(m.clone()))
-            }
-            SolverResult::Unsat => {
-                self.stats.unsat.fetch_add(1, Relaxed);
-                Some(CacheEntry::Unsat)
-            }
-            SolverResult::Unknown => {
-                self.stats.unknown.fetch_add(1, Relaxed);
-                None
-            }
-        };
-        if let Some(entry) = entry {
-            let mut shard = self.shard(key).lock().expect("cache shard");
-            let bucket = shard.entry(key).or_default();
-            // A concurrent solver may have answered the same query while we
-            // were solving; keep the bucket duplicate-free.
-            if !bucket.iter().any(|(stored, _)| stored == &work) {
-                bucket.push((work, entry));
-            }
-        }
-        result
+        self.solve_query(constraints, true)
     }
 
     /// Returns `true` when `pc ∧ cond` may be satisfiable.
@@ -315,8 +382,17 @@ impl Solver {
 
     /// Returns a witness model of `pc`, or `None` when unsatisfiable or
     /// unknown.
+    ///
+    /// Witness-grade: the model does not depend on counterexample-cache
+    /// contents (module docs).
     pub fn model(&self, pc: &PathCondition) -> Option<Model> {
-        match self.check(pc) {
+        if pc.is_trivially_false() {
+            self.stats.queries.fetch_add(1, Relaxed);
+            self.stats.unsat.fetch_add(1, Relaxed);
+            return None;
+        }
+        let constraints: Vec<ExprRef> = pc.iter().cloned().collect();
+        match self.solve_query(&constraints, true) {
             SolverResult::Sat(m) => Some(m),
             _ => None,
         }
@@ -324,38 +400,304 @@ impl Solver {
 
     // ----- internals ------------------------------------------------------
 
-    fn solve_groups(&self, constraints: &[ExprRef]) -> SolverResult {
-        let groups = independent_groups(constraints);
-        let mut combined = Model::new();
-        for group in groups {
-            match self.solve_group(&group) {
-                SolverResult::Sat(m) => combined.extend(&m),
-                SolverResult::Unsat => return SolverResult::Unsat,
-                SolverResult::Unknown => return SolverResult::Unknown,
+    /// Full pipeline for one query. `witness` selects witness-grade
+    /// determinism (no counterexample model reuse; module docs).
+    fn solve_query(&self, constraints: &[ExprRef], witness: bool) -> SolverResult {
+        self.stats.queries.fetch_add(1, Relaxed);
+
+        // Layer 1: fold out concrete constraints; bail on a false one.
+        let mut work: Vec<ExprRef> = Vec::with_capacity(constraints.len());
+        for c in constraints {
+            debug_assert_eq!(c.width(), Width::BOOL);
+            if c.is_concrete() {
+                if c.eval(&Model::new()) == Some(1) {
+                    continue;
+                }
+                self.stats.unsat.fetch_add(1, Relaxed);
+                return SolverResult::Unsat;
+            }
+            work.push(c.clone());
+        }
+        if work.is_empty() {
+            self.stats.sat.fetch_add(1, Relaxed);
+            return SolverResult::Sat(Model::new());
+        }
+
+        // Canonical order + per-constraint hashes (shared by both cache
+        // granularities and the partitioner).
+        let (hashes, query_key) = canonicalize(&mut work);
+
+        let caching = self.caching.load(Relaxed);
+        let group_caching = caching && self.group_caching.load(Relaxed);
+        let cex = self.cex_caching.load(Relaxed);
+
+        // Whole-query granularity (ablation fallback): one exact-cache key
+        // for the entire normalized constraint set.
+        if caching && !group_caching {
+            if let Some(entry) = self.exact_lookup(query_key, &work) {
+                self.stats.cache_hits.fetch_add(1, Relaxed);
+                let result = entry.to_result();
+                self.tally(&result);
+                return result;
             }
         }
-        SolverResult::Sat(combined)
-    }
 
-    fn solve_group(&self, constraints: &[ExprRef]) -> SolverResult {
-        // Variable inventory with widths.
-        let mut var_widths: BTreeMap<SymId, Width> = BTreeMap::new();
-        for c in constraints {
-            collect_var_widths(c, &mut var_widths);
+        // Layer 2: partition, then solve each group through the remaining
+        // layers independently.
+        let groups = partition(&work, &hashes);
+        let mut combined = Model::new();
+        let mut all_groups_cached = true;
+        let mut outcome = None;
+        for group in &groups {
+            let (result, from_exact) = self.solve_one_group(group, group_caching, cex, witness);
+            all_groups_cached &= from_exact;
+            match result {
+                SolverResult::Sat(m) => combined.extend(&m),
+                SolverResult::Unsat => {
+                    outcome = Some(SolverResult::Unsat);
+                    break;
+                }
+                SolverResult::Unknown => {
+                    all_groups_cached = false;
+                    outcome = Some(SolverResult::Unknown);
+                    break;
+                }
+            }
+        }
+        let result = outcome.unwrap_or(SolverResult::Sat(combined));
+
+        // `cache_hits` keeps its historical meaning: the query was answered
+        // without any solving — here, every group examined hit the exact
+        // group cache (an early UNSAT group counts; later groups were not
+        // needed).
+        if group_caching && all_groups_cached {
+            self.stats.cache_hits.fetch_add(1, Relaxed);
         }
 
-        // Interval refinement from direct comparisons.
+        if caching && !group_caching {
+            match &result {
+                SolverResult::Sat(m) => {
+                    self.exact_store(query_key, &work, CacheEntry::Sat(m.clone()));
+                }
+                SolverResult::Unsat => {
+                    self.exact_store(query_key, &work, CacheEntry::Unsat);
+                }
+                SolverResult::Unknown => {}
+            }
+        }
+
+        self.tally(&result);
+        result
+    }
+
+    fn tally(&self, result: &SolverResult) {
+        match result {
+            SolverResult::Sat(_) => self.stats.sat.fetch_add(1, Relaxed),
+            SolverResult::Unsat => self.stats.unsat.fetch_add(1, Relaxed),
+            SolverResult::Unknown => self.stats.unknown.fetch_add(1, Relaxed),
+        };
+    }
+
+    /// Layers 3–6 for one independent group. Returns the verdict and
+    /// whether it came from the exact group cache.
+    fn solve_one_group(
+        &self,
+        group: &Group,
+        group_caching: bool,
+        cex: bool,
+        witness: bool,
+    ) -> (SolverResult, bool) {
+        // Layer 3: exact group cache.
+        if group_caching {
+            if let Some(entry) = self.exact_lookup(group.key, &group.constraints) {
+                self.stats.group_cache_hits.fetch_add(1, Relaxed);
+                return (entry.to_result(), true);
+            }
+        }
+
+        // Layer 4: counterexample cache. UNSAT-core probing is sound for
+        // both query grades (a "no" answer carries no witness); model
+        // reuse is verdict-grade only (module docs: Determinism).
+        if cex {
+            if self.ucore_implies_unsat(group) {
+                self.stats.ucore_hits.fetch_add(1, Relaxed);
+                return (SolverResult::Unsat, false);
+            }
+            if !witness {
+                if let Some(m) = self.reuse_model(group) {
+                    self.stats.model_reuse_hits.fetch_add(1, Relaxed);
+                    return (SolverResult::Sat(m), false);
+                }
+            }
+        }
+
+        // Layers 5–6: solve for real.
+        let (result, core) = self.solve_group(&group.constraints);
+
+        // The exact cache stores only solver-computed answers (never
+        // counterexample-derived ones), keeping its contents independent of
+        // query order.
+        if group_caching {
+            match &result {
+                SolverResult::Sat(m) => {
+                    self.exact_store(group.key, &group.constraints, CacheEntry::Sat(m.clone()));
+                }
+                SolverResult::Unsat => {
+                    self.exact_store(group.key, &group.constraints, CacheEntry::Unsat);
+                }
+                SolverResult::Unknown => {}
+            }
+        }
+        if cex {
+            match &result {
+                SolverResult::Sat(m) => self.cex_store_model(&group.vars, m),
+                SolverResult::Unsat => {
+                    let indices: Vec<usize> =
+                        core.unwrap_or_else(|| (0..group.constraints.len()).collect());
+                    self.cex_store_core(group, &indices);
+                }
+                SolverResult::Unknown => {}
+            }
+        }
+        (result, false)
+    }
+
+    fn exact_lookup(&self, key: u64, set: &[ExprRef]) -> Option<CacheEntry> {
+        let shard = self.shard(key).lock().expect("cache shard");
+        let bucket = shard.get(&key)?;
+        bucket
+            .iter()
+            .find(|(stored, _)| stored.as_slice() == set)
+            .map(|(_, entry)| entry.clone())
+    }
+
+    fn exact_store(&self, key: u64, set: &[ExprRef], entry: CacheEntry) {
+        let mut shard = self.shard(key).lock().expect("cache shard");
+        let bucket = shard.entry(key).or_default();
+        // A concurrent solver may have answered the same query while we
+        // were solving; keep the bucket duplicate-free.
+        if !bucket.iter().any(|(stored, _)| stored.as_slice() == set) {
+            bucket.push((set.to_vec(), entry));
+        }
+    }
+
+    // ----- counterexample cache -------------------------------------------
+
+    /// Returns `true` when some cached UNSAT core is a subset of the
+    /// group's constraints (then the group is UNSAT by monotonicity of
+    /// conjunction).
+    fn ucore_implies_unsat(&self, group: &Group) -> bool {
+        for s in cex_shards_of(&group.vars) {
+            let shard = self.cex[s].lock().expect("cex shard");
+            for core in shard.cores.iter().rev() {
+                if core_is_subset(core, group) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Tries to satisfy the group by re-evaluating cached models of
+    /// variable-related groups (KLEE's counterexample-cache "superset
+    /// model still works" trick). Returns the model restricted to the
+    /// group's variables, so unrelated assignments cannot leak.
+    fn reuse_model(&self, group: &Group) -> Option<Model> {
+        for s in cex_shards_of(&group.vars) {
+            let shard = self.cex[s].lock().expect("cex shard");
+            for (vars, model) in shard.models.iter().rev() {
+                if !vars.intersects(&group.vars) {
+                    continue;
+                }
+                let restricted = model.restrict(&group.vars);
+                if group
+                    .constraints
+                    .iter()
+                    .all(|c| c.eval(&restricted) == Some(1))
+                {
+                    return Some(restricted);
+                }
+            }
+        }
+        None
+    }
+
+    fn cex_store_model(&self, vars: &VarSet, model: &Model) {
+        for s in cex_shards_of(vars) {
+            let mut shard = self.cex[s].lock().expect("cex shard");
+            shard.models.push_back((vars.clone(), model.clone()));
+            while shard.models.len() > CEX_CAP {
+                shard.models.pop_front();
+            }
+        }
+    }
+
+    fn cex_store_core(&self, group: &Group, indices: &[usize]) {
+        // Group constraints are hash-sorted and `indices` ascend, so the
+        // core inherits the sorted order required by `core_is_subset`.
+        let entry = CoreEntry {
+            hashes: indices.iter().map(|&i| group.hashes[i]).collect(),
+            constraints: indices
+                .iter()
+                .map(|&i| group.constraints[i].clone())
+                .collect(),
+        };
+        let vars = indices.iter().fold(VarSet::empty(), |acc, &i| {
+            acc.union(group.constraints[i].vars())
+        });
+        for s in cex_shards_of(&vars) {
+            let mut shard = self.cex[s].lock().expect("cex shard");
+            shard.cores.push_back(entry.clone());
+            while shard.cores.len() > CEX_CAP {
+                shard.cores.pop_front();
+            }
+        }
+    }
+
+    // ----- ground solving -------------------------------------------------
+
+    /// Interval refinement plus backtracking enumeration for one group.
+    /// On UNSAT additionally returns the indices of an unsatisfiable core
+    /// (when one smaller than the whole group could be derived from the
+    /// refinement's provenance tracking).
+    fn solve_group(&self, constraints: &[ExprRef]) -> (SolverResult, Option<Vec<usize>>) {
+        // Variable inventory with widths, read off the memoized var-sets.
+        let mut var_widths: BTreeMap<SymId, Width> = BTreeMap::new();
+        for c in constraints {
+            for (id, w) in c.vars().iter() {
+                var_widths.insert(id, w);
+            }
+        }
+
+        // Interval refinement from direct comparisons, with per-variable
+        // provenance (a bitmask of contributing constraint indices) when
+        // the group is small enough to index into a u64.
         let mut env: BTreeMap<SymId, Interval> = var_widths
             .iter()
             .map(|(id, w)| (*id, Interval::full(*w)))
             .collect();
+        let mut deps: Option<BTreeMap<SymId, u64>> = if constraints.len() <= 64 {
+            Some(BTreeMap::new())
+        } else {
+            None
+        };
         for _ in 0..4 {
             let mut changed = false;
-            for c in constraints {
-                changed |= refine(c, &mut env);
+            for (i, c) in constraints.iter().enumerate() {
+                changed |= refine(i, c, &mut env, &mut deps);
             }
-            if env.values().any(|i| i.is_empty()) {
-                return SolverResult::Unsat;
+            let emptied = env.iter().find(|(_, iv)| iv.is_empty()).map(|(id, _)| *id);
+            if let Some(id) = emptied {
+                let core = deps
+                    .as_ref()
+                    .and_then(|d| d.get(&id).copied())
+                    .filter(|mask| *mask != 0)
+                    .map(|mask| {
+                        (0..constraints.len())
+                            .filter(|i| mask & (1u64 << i) != 0)
+                            .collect()
+                    });
+                return (SolverResult::Unsat, core);
             }
             if !changed {
                 break;
@@ -371,9 +713,11 @@ impl Solver {
         let verdict = self.dfs(constraints, &order, 0, &env, &mut model, &mut nodes);
         self.stats.nodes_visited.fetch_add(nodes, Relaxed);
         match verdict {
-            Verdict::Sat => SolverResult::Sat(model),
-            Verdict::Unsat => SolverResult::Unsat,
-            Verdict::Budget => SolverResult::Unknown,
+            Verdict::Sat => (SolverResult::Sat(model), None),
+            // An exhaustive refutation uses every constraint; the whole
+            // group is the (trivial) core.
+            Verdict::Unsat => (SolverResult::Unsat, None),
+            Verdict::Budget => (SolverResult::Unknown, None),
         }
     }
 
@@ -471,56 +815,62 @@ fn candidate_values(dom: Interval) -> impl Iterator<Item = u64> {
         .chain((lo..=hi).filter(move |v| prefix_set.binary_search(v).is_err()))
 }
 
-fn collect_var_widths(e: &Expr, out: &mut BTreeMap<SymId, Width>) {
-    match e {
-        Expr::Const { .. } => {}
-        Expr::Sym(v) => {
-            out.insert(v.id(), v.width());
-        }
-        Expr::Unary { arg, .. } => collect_var_widths(arg, out),
-        Expr::Binary { lhs, rhs, .. } => {
-            collect_var_widths(lhs, out);
-            collect_var_widths(rhs, out);
-        }
-        Expr::Ite { cond, then, els } => {
-            collect_var_widths(cond, out);
-            collect_var_widths(then, out);
-            collect_var_widths(els, out);
-        }
-        Expr::Cast { arg, .. } => collect_var_widths(arg, out),
-    }
-}
-
 /// Tightens a variable's interval from a top-level comparison of the shape
 /// `var ⋈ e` or `e ⋈ var` (through zext casts). Returns `true` when a bound
-/// changed.
-fn refine(c: &Expr, env: &mut BTreeMap<SymId, Interval>) -> bool {
-    let Expr::Binary { op, lhs, rhs } = c else {
+/// changed. `idx` is the constraint's index within its group; a successful
+/// tightening records it (plus the other side's transitive contributors)
+/// in the provenance masks.
+fn refine(
+    idx: usize,
+    c: &Expr,
+    env: &mut BTreeMap<SymId, Interval>,
+    deps: &mut Option<BTreeMap<SymId, u64>>,
+) -> bool {
+    let ExprKind::Binary { op, lhs, rhs } = c.kind() else {
         return false;
     };
     let mut changed = false;
     if let Some(id) = as_var(lhs) {
         let other = Interval::of_expr(rhs, env);
-        changed |= refine_var(id, *op, other, false, env);
+        if refine_var(id, *op, other, false, env) {
+            record_dep(deps, id, idx, rhs);
+            changed = true;
+        }
     }
     if let Some(id) = as_var(rhs) {
         let other = Interval::of_expr(lhs, env);
-        changed |= refine_var(id, *op, other, true, env);
+        if refine_var(id, *op, other, true, env) {
+            record_dep(deps, id, idx, lhs);
+            changed = true;
+        }
     }
     changed
+}
+
+/// Marks constraint `idx` (and everything that shaped the other side's
+/// bounds) as a contributor to `id`'s interval. The mask over-approximates:
+/// replaying refinement on just the masked constraints reproduces `id`'s
+/// bounds, so an emptied interval yields a sound UNSAT core.
+fn record_dep(deps: &mut Option<BTreeMap<SymId, u64>>, id: SymId, idx: usize, other: &Expr) {
+    let Some(deps) = deps else { return };
+    let mut mask = deps.get(&id).copied().unwrap_or(0) | (1u64 << idx);
+    for v in other.vars().ids() {
+        mask |= deps.get(&v).copied().unwrap_or(0);
+    }
+    deps.insert(id, mask);
 }
 
 /// Unwraps `Sym` and `Zext(Sym)` (zero extension preserves unsigned
 /// ordering, so bounds transfer directly).
 fn as_var(e: &Expr) -> Option<SymId> {
-    match e {
-        Expr::Sym(v) => Some(v.id()),
-        Expr::Cast {
-            op: crate::expr::CastOp::Zext,
+    match e.kind() {
+        ExprKind::Sym(v) => Some(v.id()),
+        ExprKind::Cast {
+            op: CastOp::Zext,
             arg,
             ..
-        } => match &**arg {
-            Expr::Sym(v) => Some(v.id()),
+        } => match arg.kind() {
+            ExprKind::Sym(v) => Some(v.id()),
             _ => None,
         },
         _ => None,
@@ -584,64 +934,125 @@ fn refine_var(
     }
 }
 
-/// Groups constraints into independent clusters by shared variables.
-fn independent_groups(constraints: &[ExprRef]) -> Vec<Vec<ExprRef>> {
-    // Union–find over constraint indices, joined through variables.
-    let n = constraints.len();
-    let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
-        if parent[i] != i {
-            let root = find(parent, parent[i]);
-            parent[i] = root;
-        }
-        parent[i]
+/// Sorts `work` into the canonical (per-constraint-hash) order used for
+/// all exact-cache comparisons and returns the aligned hash list plus the
+/// whole-query key (hash of the sorted hashes).
+fn canonicalize(work: &mut Vec<ExprRef>) -> (Vec<u64>, u64) {
+    let mut pairs: Vec<(u64, ExprRef)> = work
+        .drain(..)
+        .map(|c| {
+            let mut h = DefaultHasher::new();
+            c.hash(&mut h);
+            (h.finish(), c)
+        })
+        .collect();
+    pairs.sort_by_key(|(h, _)| *h);
+    let mut h = DefaultHasher::new();
+    let mut hashes = Vec::with_capacity(pairs.len());
+    for (hh, c) in pairs {
+        hh.hash(&mut h);
+        hashes.push(hh);
+        work.push(c);
     }
-    let mut var_owner: HashMap<SymId, usize> = HashMap::new();
-    for (i, c) in constraints.iter().enumerate() {
-        let mut vars = BTreeSet::new();
-        c.collect_vars(&mut vars);
-        for v in vars {
-            match var_owner.get(&v) {
-                Some(&j) => {
-                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-                    if ri != rj {
-                        parent[ri] = rj;
-                    }
-                }
-                None => {
-                    var_owner.insert(v, i);
-                }
+    (hashes, h.finish())
+}
+
+/// Groups the (canonically ordered) constraints into independent clusters
+/// by shared variables: union–find over [`SymId`]s, read straight off the
+/// memoized var-sets. Groups are ordered by first constituent constraint;
+/// constraints within a group keep the canonical order, so each group's
+/// key is itself order-normalized.
+fn partition(work: &[ExprRef], hashes: &[u64]) -> Vec<Group> {
+    fn find(parent: &mut HashMap<SymId, SymId>, mut x: SymId) -> SymId {
+        loop {
+            let p = *parent.get(&x).unwrap_or(&x);
+            if p == x {
+                return x;
+            }
+            // Path halving.
+            let gp = *parent.get(&p).unwrap_or(&p);
+            parent.insert(x, gp);
+            x = gp;
+        }
+    }
+
+    let mut parent: HashMap<SymId, SymId> = HashMap::new();
+    for c in work {
+        let mut ids = c.vars().ids();
+        let first = ids.next().expect("concrete constraints were folded out");
+        for v in ids {
+            let (rf, rv) = (find(&mut parent, first), find(&mut parent, v));
+            if rf != rv {
+                parent.insert(rv, rf);
             }
         }
     }
-    let mut groups: BTreeMap<usize, Vec<ExprRef>> = BTreeMap::new();
-    for (i, c) in constraints.iter().enumerate() {
-        let root = find(&mut parent, i);
-        groups.entry(root).or_default().push(c.clone());
+
+    let mut root_index: HashMap<SymId, usize> = HashMap::new();
+    let mut groups: Vec<Group> = Vec::new();
+    for (i, c) in work.iter().enumerate() {
+        let first = c
+            .vars()
+            .min_var()
+            .expect("concrete constraints were folded out");
+        let root = find(&mut parent, first);
+        let gi = *root_index.entry(root).or_insert_with(|| {
+            groups.push(Group {
+                constraints: Vec::new(),
+                hashes: Vec::new(),
+                key: 0,
+                vars: VarSet::empty(),
+            });
+            groups.len() - 1
+        });
+        let group = &mut groups[gi];
+        group.constraints.push(c.clone());
+        group.hashes.push(hashes[i]);
+        let merged = group.vars.union(c.vars());
+        group.vars = merged;
     }
-    groups.into_values().collect()
+    for group in &mut groups {
+        let mut h = DefaultHasher::new();
+        for hh in &group.hashes {
+            hh.hash(&mut h);
+        }
+        group.key = h.finish();
+    }
+    groups
 }
 
-/// Order-insensitive hash of a constraint set; also sorts `work` into the
-/// canonical order used for exact cache comparison.
-fn cache_key(work: &mut Vec<ExprRef>) -> u64 {
-    let mut hashes: Vec<(u64, usize)> = work
-        .iter()
-        .enumerate()
-        .map(|(i, c)| {
-            let mut h = DefaultHasher::new();
-            c.hash(&mut h);
-            (h.finish(), i)
-        })
-        .collect();
-    hashes.sort_unstable();
-    let reordered: Vec<ExprRef> = hashes.iter().map(|(_, i)| work[*i].clone()).collect();
-    *work = reordered;
-    let mut h = DefaultHasher::new();
-    for (hh, _) in &hashes {
-        hh.hash(&mut h);
+/// The shard indices a var-set maps to in the counterexample cache
+/// (deduplicated via a bitmask — `CACHE_SHARDS` is 16, so a `u16` covers
+/// every shard).
+fn cex_shards_of(vars: &VarSet) -> impl Iterator<Item = usize> {
+    let mask: u16 = vars
+        .ids()
+        .fold(0, |m, v| m | 1 << (v.index() as usize % CACHE_SHARDS));
+    (0..CACHE_SHARDS).filter(move |s| mask & (1 << s) != 0)
+}
+
+/// Subset test over hash-sorted constraint lists: every core constraint
+/// must occur in the group. Equal-hash runs are scanned for true equality,
+/// so hash collisions cannot cause a false "subset".
+fn core_is_subset(core: &CoreEntry, group: &Group) -> bool {
+    if core.hashes.len() > group.hashes.len() {
+        return false;
     }
-    h.finish()
+    let mut j = 0;
+    'outer: for (i, h) in core.hashes.iter().enumerate() {
+        while j < group.hashes.len() && group.hashes[j] < *h {
+            j += 1;
+        }
+        let mut k = j;
+        while k < group.hashes.len() && group.hashes[k] == *h {
+            if group.constraints[k] == core.constraints[i] {
+                continue 'outer;
+            }
+            k += 1;
+        }
+        return false;
+    }
+    true
 }
 
 #[cfg(test)]
@@ -781,13 +1192,6 @@ mod tests {
             .with(Expr::ult(x.clone(), Expr::const_(1000, Width::W32)))
             .with(Expr::ugt(x, Expr::const_(997, Width::W32)));
         let m2 = s.model(&pc2).unwrap();
-        assert_eq!(
-            m2.value_of(xv.id()),
-            Some(998)
-                .or(Some(999))
-                .filter(|v| *v == m2.value_of(xv.id()).unwrap())
-                .or(m2.value_of(xv.id()))
-        );
         let v = m2.value_of(xv.id()).unwrap();
         assert!(v > 997 && v < 1000);
     }
@@ -806,6 +1210,155 @@ mod tests {
         s.clear_cache();
         assert!(s.is_sat(&pc));
         assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn group_cache_answers_shared_prefixes() {
+        // Two queries share the {x == 1} group; only the disjoint part of
+        // the second query needs solving.
+        let mut t = SymbolTable::new();
+        let x = Expr::sym(t.fresh("x", Width::W8));
+        let y = Expr::sym(t.fresh("y", Width::W8));
+        let z = Expr::sym(t.fresh("z", Width::W8));
+        let s = Solver::new();
+        let base = PathCondition::new().with(Expr::eq(x, c8(1)));
+        assert!(s.is_sat(&base.with(Expr::eq(y.clone(), c8(2)))));
+        let stats = s.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.group_cache_hits, 0);
+
+        // Shares group {x == 1}; group {z == 3} is new, so the query is
+        // not a whole-query cache hit.
+        assert!(s.is_sat(&base.with(Expr::eq(z, c8(3)))));
+        let stats = s.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.group_cache_hits, 1);
+
+        // Both groups now cached → counts as a full cache hit.
+        assert!(s.is_sat(&base.with(Expr::eq(y, c8(2)))));
+        let stats = s.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.group_cache_hits, 3);
+    }
+
+    #[test]
+    fn cached_model_answers_related_query() {
+        let mut t = SymbolTable::new();
+        let x = Expr::sym(t.fresh("x", Width::W8));
+        let s = Solver::new();
+        // Solving x > 3 ∧ x < 10 caches a model with 3 < x < 10 …
+        let pc = PathCondition::new()
+            .with(Expr::ugt(x.clone(), c8(3)))
+            .with(Expr::ult(x.clone(), c8(10)));
+        assert!(s.is_sat(&pc));
+        assert_eq!(s.stats().model_reuse_hits, 0);
+        // … which also satisfies the looser x < 10 (a different group, so
+        // the exact cache misses but the counterexample cache answers).
+        assert!(s.is_sat(&PathCondition::new().with(Expr::ult(x.clone(), c8(10)))));
+        let stats = s.stats();
+        assert_eq!(stats.model_reuse_hits, 1);
+        assert_eq!(stats.group_cache_hits, 0);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn cached_core_answers_superset_query() {
+        let mut t = SymbolTable::new();
+        let xv = t.fresh("x", Width::W8);
+        let yv = t.fresh("y", Width::W8);
+        let (x, y) = (Expr::sym(xv), Expr::sym(yv));
+        let s = Solver::new();
+        // x < 10 ∧ x > 20 is UNSAT; the interval provenance yields its
+        // two constraints as a core.
+        let contradiction = PathCondition::new()
+            .with(Expr::ult(x.clone(), c8(10)))
+            .with(Expr::ugt(x.clone(), c8(20)));
+        assert!(s.check(&contradiction).is_unsat());
+        assert_eq!(s.stats().ucore_hits, 0);
+        // Adding y == x links y into the same group, so the exact cache
+        // misses — but the cached core is a subset, proving UNSAT.
+        assert!(s.check(&contradiction.with(Expr::eq(y, x))).is_unsat());
+        let stats = s.stats();
+        assert_eq!(stats.ucore_hits, 1);
+        assert_eq!(stats.group_cache_hits, 0);
+    }
+
+    #[test]
+    fn witness_queries_bypass_model_reuse() {
+        let mut t = SymbolTable::new();
+        let x = Expr::sym(t.fresh("x", Width::W8));
+        let s = Solver::new();
+        // Warm the counterexample cache with a model of x > 3 ∧ x < 10.
+        let pc = PathCondition::new()
+            .with(Expr::ugt(x.clone(), c8(3)))
+            .with(Expr::ult(x.clone(), c8(10)));
+        assert!(s.is_sat(&pc));
+        // A witness-grade query over the related x < 10 must solve fresh:
+        // its model may become an externally visible test case and must
+        // not depend on what happened to be cached.
+        let result = s.check_constraints(&[Expr::ult(x.clone(), c8(10))]);
+        assert!(result.is_sat());
+        let stats = s.stats();
+        assert_eq!(stats.model_reuse_hits, 0);
+        // UNSAT-core probing is allowed for witness-grade queries: the
+        // observable answer (no model) is identical either way.
+        assert!(s
+            .check(
+                &PathCondition::new()
+                    .with(Expr::ult(x.clone(), c8(3)))
+                    .with(Expr::ugt(x.clone(), c8(20)))
+            )
+            .is_unsat());
+        let unsat_again = s.check_constraints(&[
+            Expr::ult(x.clone(), c8(3)),
+            Expr::ugt(x.clone(), c8(20)),
+            Expr::ne(x, c8(99)),
+        ]);
+        assert!(unsat_again.is_unsat());
+        assert_eq!(s.stats().ucore_hits, 1);
+    }
+
+    #[test]
+    fn ablation_toggles_disable_each_layer() {
+        let mut t = SymbolTable::new();
+        let x = Expr::sym(t.fresh("x", Width::W8));
+        let pc = PathCondition::new()
+            .with(Expr::ugt(x.clone(), c8(3)))
+            .with(Expr::ult(x.clone(), c8(10)));
+        let related = PathCondition::new().with(Expr::ult(x.clone(), c8(10)));
+
+        // Whole-query granularity: repeats hit, but group stats stay zero.
+        let s = Solver::new();
+        s.set_group_caching(false);
+        assert!(s.is_sat(&pc));
+        assert!(s.is_sat(&pc));
+        let stats = s.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.group_cache_hits, 0);
+
+        // Counterexample layer off: related queries solve fresh.
+        let s = Solver::new();
+        s.set_cex_caching(false);
+        assert!(s.is_sat(&pc));
+        assert!(s.is_sat(&related));
+        let stats = s.stats();
+        assert_eq!(stats.model_reuse_hits, 0);
+        assert_eq!(stats.ucore_hits, 0);
+
+        // Everything off: no layer answers anything.
+        let s = Solver::new();
+        s.set_caching(false);
+        s.set_cex_caching(false);
+        assert!(s.is_sat(&pc));
+        assert!(s.is_sat(&pc));
+        assert!(s.is_sat(&related));
+        let stats = s.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.group_cache_hits, 0);
+        assert_eq!(stats.model_reuse_hits, 0);
+        assert_eq!(stats.ucore_hits, 0);
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.sat, 3);
     }
 
     #[test]

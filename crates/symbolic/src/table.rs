@@ -1,5 +1,6 @@
 //! Symbolic variable identities.
 
+use crate::vars::VarSet;
 use crate::Width;
 use std::fmt;
 use std::sync::Arc;
@@ -67,6 +68,12 @@ impl SymVar {
     /// The run-independent replay key `(node, name, occurrence)`.
     pub fn replay_key(&self) -> (u16, String, u32) {
         (self.node, self.name.to_string(), self.occurrence)
+    }
+
+    /// The variable's singleton [`VarSet`] — the leaf of the memoized
+    /// var-set computation in [`Expr::from_kind`](crate::Expr::from_kind).
+    pub(crate) fn var_set(&self) -> VarSet {
+        VarSet::singleton(self.id, self.width)
     }
 }
 

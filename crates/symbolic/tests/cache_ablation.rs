@@ -1,0 +1,218 @@
+//! Differential tests for the incremental solver stack (DESIGN.md §6):
+//! every cache layer must be answer-preserving. A seeded sweep of random
+//! constraint sets is solved by four solvers — all layers on, each layer
+//! off, all layers off — and the verdicts must agree query for query,
+//! with every returned model actually satisfying its query.
+
+use sde_symbolic::{
+    Expr, ExprRef, PathCondition, Solver, SolverResult, SymVar, SymbolTable, Width,
+};
+
+/// Deterministic xorshift64 generator: the sweep is fully reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// One random width-1 constraint over the variable pool: comparisons of
+/// variables against constants, each other, and small affine terms — the
+/// shapes path conditions are made of.
+fn random_constraint(rng: &mut Rng, vars: &[SymVar]) -> ExprRef {
+    let var = Expr::sym(vars[rng.below(vars.len())].clone());
+    let other = Expr::sym(vars[rng.below(vars.len())].clone());
+    let k = Expr::const_(rng.below(64) as u64, Width::W8);
+    let lhs = match rng.below(3) {
+        0 => var.clone(),
+        1 => Expr::add(
+            var.clone(),
+            Expr::const_(1 + rng.below(16) as u64, Width::W8),
+        ),
+        _ => var.clone(),
+    };
+    let rhs = match rng.below(3) {
+        0 => k.clone(),
+        1 => other,
+        _ => k,
+    };
+    match rng.below(5) {
+        0 => Expr::eq(lhs, rhs),
+        1 => Expr::ne(lhs, rhs),
+        2 => Expr::ult(lhs, rhs),
+        3 => Expr::ule(lhs, rhs),
+        _ => Expr::ugt(lhs, rhs),
+    }
+}
+
+fn verdict(r: &SolverResult) -> &'static str {
+    match r {
+        SolverResult::Sat(_) => "sat",
+        SolverResult::Unsat => "unsat",
+        SolverResult::Unknown => "unknown",
+    }
+}
+
+fn assert_model_satisfies(pc: &PathCondition, r: &SolverResult, label: &str, round: usize) {
+    if let SolverResult::Sat(m) = r {
+        assert_eq!(
+            pc.eval(m),
+            Some(true),
+            "round {round}: {label} returned model {m} that does not satisfy {pc}"
+        );
+    }
+}
+
+/// The core differential property: four solvers with different cache
+/// layers enabled answer an identical stream of random queries; whenever
+/// the cache-free baseline decides a query, every cached configuration
+/// must reach the same verdict, and every model must satisfy its query.
+/// (A cache layer *may* decide a query the baseline abandons as Unknown —
+/// that is the documented budget caveat — but with the default budget and
+/// these domains no query goes Unknown.)
+#[test]
+fn cache_layers_preserve_verdicts() {
+    let mut table = SymbolTable::new();
+    let vars: Vec<SymVar> = (0..4)
+        .map(|i| table.fresh(&format!("v{i}"), Width::W8))
+        .collect();
+    let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+    let pool: Vec<ExprRef> = (0..40)
+        .map(|_| random_constraint(&mut rng, &vars))
+        .collect();
+
+    let all_on = Solver::new();
+    let no_group = Solver::new();
+    no_group.set_group_caching(false);
+    let no_cex = Solver::new();
+    no_cex.set_cex_caching(false);
+    let all_off = Solver::new();
+    all_off.set_caching(false);
+    all_off.set_cex_caching(false);
+    let configs: [(&str, &Solver); 3] = [
+        ("all-layers-on", &all_on),
+        ("group-caching-off", &no_group),
+        ("cex-caching-off", &no_cex),
+    ];
+
+    for round in 0..400 {
+        let n = 1 + rng.below(5);
+        let constraints: Vec<ExprRef> = (0..n)
+            .map(|_| pool[rng.below(pool.len())].clone())
+            .collect();
+        let mut pc = PathCondition::new();
+        for c in &constraints {
+            pc = pc.with(c.clone());
+        }
+
+        // Verdict-grade baseline and comparisons (exercises model reuse).
+        let baseline = all_off.check(&pc);
+        assert_ne!(
+            verdict(&baseline),
+            "unknown",
+            "round {round}: baseline unexpectedly exhausted its budget on {pc}"
+        );
+        assert_model_satisfies(&pc, &baseline, "baseline", round);
+        for (label, solver) in configs {
+            let got = solver.check(&pc);
+            assert_eq!(
+                verdict(&got),
+                verdict(&baseline),
+                "round {round}: {label} disagrees with the cache-free baseline on {pc}"
+            );
+            assert_model_satisfies(&pc, &got, label, round);
+        }
+
+        // Witness-grade spot checks on the raw (unsimplified) constraint
+        // list: the full stack must agree with a cache-free witness solve.
+        if round % 7 == 0 {
+            let witness_baseline = all_off.check_constraints(&constraints);
+            let witness_full = all_on.check_constraints(&constraints);
+            assert_eq!(
+                verdict(&witness_full),
+                verdict(&witness_baseline),
+                "round {round}: witness-grade verdict diverged on {constraints:?}"
+            );
+            if let SolverResult::Sat(m) = &witness_full {
+                for c in &constraints {
+                    assert_eq!(
+                        c.eval(m),
+                        Some(1),
+                        "round {round}: witness model violates {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    // The sweep must actually have exercised every layer, or the
+    // equivalence above proves nothing.
+    let stats = all_on.stats();
+    assert!(stats.cache_hits > 0, "no whole-query cache hits: {stats:?}");
+    assert!(stats.group_cache_hits > 0, "no group cache hits: {stats:?}");
+    assert!(
+        stats.model_reuse_hits > 0,
+        "no counterexample model reuse: {stats:?}"
+    );
+    assert!(stats.ucore_hits > 0, "no UNSAT-core hits: {stats:?}");
+    let legacy = no_group.stats();
+    assert!(
+        legacy.cache_hits > 0 && legacy.group_cache_hits == 0,
+        "whole-query fallback must hit without group entries: {legacy:?}"
+    );
+    let uncached = all_off.stats();
+    assert!(
+        uncached.cache_hits == 0
+            && uncached.group_cache_hits == 0
+            && uncached.model_reuse_hits == 0
+            && uncached.ucore_hits == 0,
+        "the baseline must answer everything from scratch: {uncached:?}"
+    );
+}
+
+/// Focused check of the counterexample model path: a model cached for a
+/// *tighter* query answers a *looser* related one, and the reused model
+/// provably satisfies the new query (restricted to its variables).
+#[test]
+fn reused_models_satisfy_the_new_query() {
+    let mut table = SymbolTable::new();
+    let xv = table.fresh("x", Width::W8);
+    let x = Expr::sym(xv.clone());
+    let s = Solver::new();
+
+    let tight = PathCondition::new()
+        .with(Expr::ugt(x.clone(), Expr::const_(40, Width::W8)))
+        .with(Expr::ult(x.clone(), Expr::const_(43, Width::W8)));
+    let SolverResult::Sat(first) = s.check(&tight) else {
+        panic!("41 < x < 43 is satisfiable");
+    };
+    assert_eq!(tight.eval(&first), Some(true));
+
+    let loose = PathCondition::new().with(Expr::ugt(x.clone(), Expr::const_(40, Width::W8)));
+    let SolverResult::Sat(reused) = s.check(&loose) else {
+        panic!("x > 40 is satisfiable");
+    };
+    assert_eq!(
+        s.stats().model_reuse_hits,
+        1,
+        "loose query must reuse the cached model"
+    );
+    assert_eq!(
+        loose.eval(&reused),
+        Some(true),
+        "reused model must satisfy the query"
+    );
+    // The reused model is the cached one restricted to the query's
+    // variables — no assignments for foreign variables leak through.
+    let yv = table.fresh("y", Width::W8);
+    assert_eq!(reused.value_of(yv.id()), None);
+    assert_eq!(reused.value_of(xv.id()), first.value_of(xv.id()));
+}

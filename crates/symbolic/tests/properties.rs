@@ -9,8 +9,8 @@
 
 use proptest::prelude::*;
 use sde_symbolic::{
-    simplify, BinOp, Expr, ExprRef, Interval, Model, PathCondition, Solver, SymVar, SymbolTable,
-    Width,
+    simplify, BinOp, Expr, ExprKind, ExprRef, Interval, Model, PathCondition, Solver, SymVar,
+    SymbolTable, Width,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -59,7 +59,7 @@ fn raw_expr(vars: (SymVar, SymVar), depth: u32) -> BoxedStrategy<ExprRef> {
                 }
             };
             let (a, b) = (fix(a), fix(b));
-            Arc::new(Expr::Binary { op, lhs: a, rhs: b })
+            Arc::new(Expr::from_kind(ExprKind::Binary { op, lhs: a, rhs: b }))
         })
     })
     .boxed()
@@ -111,11 +111,11 @@ proptest! {
         let xv = xlo + xv % (xhi - xlo + 1);
         let yv = ylo + yv % (yhi - ylo + 1);
         let (_t, x, y) = two_vars();
-        let e = Arc::new(Expr::Binary {
+        let e = Arc::new(Expr::from_kind(ExprKind::Binary {
             op: OPS[op_idx],
             lhs: Expr::sym(x.clone()),
             rhs: Expr::sym(y.clone()),
-        });
+        }));
         let env: BTreeMap<_, _> = [
             (x.id(), Interval::new(xlo, xhi)),
             (y.id(), Interval::new(ylo, yhi)),

@@ -229,21 +229,24 @@ impl VmState {
     /// [`VmState::config_eq`].
     pub fn config_digest(&self) -> u64 {
         let mut h = DefaultHasher::new();
-        // Heap: XOR of per-entry hashes (iteration order is unspecified).
+        // Heap: multiset sum of per-entry hashes (iteration order is
+        // unspecified, so the combine must be commutative — but unlike
+        // XOR, addition keeps repeated or pairwise-equal entries from
+        // cancelling to zero).
         let mut heap_acc: u64 = 0;
         for (k, v) in self.heap.iter() {
             let mut eh = DefaultHasher::new();
             k.hash(&mut eh);
             v.hash(&mut eh);
-            heap_acc ^= eh.finish();
+            heap_acc = heap_acc.wrapping_add(mix64(eh.finish()));
         }
         heap_acc.hash(&mut h);
-        // Path constraints: order-insensitive combination.
+        // Path constraints: the same order-insensitive multiset combine.
         let mut pc_acc: u64 = 0;
         for c in self.path.iter() {
             let mut ch = DefaultHasher::new();
             c.hash(&mut ch);
-            pc_acc ^= ch.finish();
+            pc_acc = pc_acc.wrapping_add(mix64(ch.finish()));
         }
         pc_acc.hash(&mut h);
         // Frames: ordered.
@@ -288,6 +291,15 @@ impl VmState {
         theirs.sort();
         mine == theirs
     }
+}
+
+/// Finalizing mixer (splitmix64 tail) applied to each entry hash before
+/// the commutative fold in [`VmState::config_digest`], so that structured
+/// near-collisions in `DefaultHasher` outputs don't survive the sum.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 #[cfg(test)]

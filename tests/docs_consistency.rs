@@ -72,9 +72,17 @@ fn every_documented_test_file_exists() {
             let path = repo_root().join("tests").join(format!("{t}.rs"));
             // `tests/` may also be referenced as a directory; only check
             // names that look like files (mentioned captures the stem).
+            // Integration tests live both at the workspace root and under
+            // `crates/<crate>/tests/`.
             if !t.is_empty() {
+                let in_crate_tests = std::fs::read_dir(repo_root().join("crates"))
+                    .map(|dir| {
+                        dir.filter_map(Result::ok)
+                            .any(|e| e.path().join("tests").join(format!("{t}.rs")).exists())
+                    })
+                    .unwrap_or(false);
                 assert!(
-                    path.exists() || repo_root().join("tests").join(&t).exists(),
+                    path.exists() || repo_root().join("tests").join(&t).exists() || in_crate_tests,
                     "{doc} mentions missing test `{t}`"
                 );
             }

