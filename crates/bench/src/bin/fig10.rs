@@ -15,11 +15,16 @@
 //! cargo run -p sde-bench --release --bin fig10 -- --nodes 100    # one size
 //! cargo run -p sde-bench --release --bin fig10 -- --all          # 25 + 49 + 100
 //! cargo run -p sde-bench --release --bin fig10 -- --workers 4    # parallel engine
+//! cargo run -p sde-bench --release --bin fig10 -- --nodes 25 --trace f.jsonl
 //! ```
+//!
+//! `--trace <path>` additionally records a structured event trace per
+//! run (deterministic JSONL at `<stem>_<nodes>nodes_<alg>.jsonl` plus a
+//! Chrome `trace_event` twin).
 
 use sde_bench::{
-    paper_scenario, report_json, run_with_limits_workers, write_bench_json, write_series_csv, Args,
-    RunLimits,
+    paper_scenario, report_json, run_with_limits_traced, run_with_limits_workers, trace_file_for,
+    write_bench_json, write_series_csv, write_trace, Args, RunLimits, SolverLayers,
 };
 use sde_core::{human_bytes, Algorithm};
 use std::path::PathBuf;
@@ -56,6 +61,8 @@ fn main() {
     // bit-identical per RunReport::equivalence_key (wall_ms excepted);
     // the extra summary line shows what the workers did.
     let workers: Option<usize> = args.get("workers");
+    // `--trace <base>`: record a structured trace per run.
+    let trace_base: Option<PathBuf> = args.get::<String>("trace").map(PathBuf::from);
 
     let mut json = Vec::new();
     for nodes in sizes {
@@ -68,15 +75,26 @@ fn main() {
         );
         for alg in Algorithm::ALL {
             let state_cap = if alg == Algorithm::Cob { cap_cob } else { cap };
-            let report = run_with_limits_workers(
-                &scenario,
-                alg,
-                RunLimits {
-                    state_cap,
-                    sample_every: 256,
-                },
-                workers,
-            );
+            let limits = RunLimits {
+                state_cap,
+                sample_every: 256,
+            };
+            let report = match &trace_base {
+                None => run_with_limits_workers(&scenario, alg, limits, workers),
+                Some(base) => {
+                    let (report, events) =
+                        run_with_limits_traced(&scenario, alg, limits, workers, SolverLayers::Full);
+                    let label = format!("{nodes}nodes_{}", report.algorithm.to_lowercase());
+                    let trace_path = trace_file_for(base, &label);
+                    write_trace(&trace_path, &events).expect("write trace");
+                    println!(
+                        "     | trace: {} ({} events)",
+                        trace_path.display(),
+                        events.len()
+                    );
+                    report
+                }
+            };
             let file = out_dir.join(format!(
                 "fig10_{nodes}nodes_{}.csv",
                 report.algorithm.to_lowercase()

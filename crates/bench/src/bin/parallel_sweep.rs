@@ -13,12 +13,34 @@
 //! ```sh
 //! cargo run -p sde-bench --release --bin parallel_sweep
 //! cargo run -p sde-bench --release --bin parallel_sweep -- --side 3 --out bench_out
+//! cargo run -p sde-bench --release --bin parallel_sweep -- --trace sweep.jsonl
 //! ```
+//!
+//! `--trace <base>` records a deterministic JSONL trace of the
+//! sequential baseline and of every parallel point, and asserts the
+//! parallel traces are **byte-identical** across worker counts (the
+//! engine merges speculative-worker events in job submission order).
 
-use sde_bench::{symbolic_grid, Args};
-use sde_core::{Algorithm, Engine};
+use sde_bench::{symbolic_grid, trace_file_for, write_trace, Args};
+use sde_core::{Algorithm, Engine, RunReport};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Runs `engine` with a recorder attached; returns the report plus the
+/// deterministic JSONL rendering of the captured events.
+fn run_recorded(
+    engine: Engine,
+    workers: Option<usize>,
+) -> (RunReport, Vec<sde_core::trace::TimedEvent>) {
+    let sink = Arc::new(sde_core::RingSink::default());
+    let engine = engine.with_trace_sink(sink.clone() as Arc<dyn sde_core::TraceSink>);
+    let report = match workers {
+        None => engine.run(),
+        Some(w) => engine.run_parallel(w),
+    };
+    (report, sink.take())
+}
 
 fn main() {
     let args = Args::from_env();
@@ -30,6 +52,7 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    let trace_base: Option<PathBuf> = args.get::<String>("trace").map(PathBuf::from);
 
     let scenario = symbolic_grid(side).with_state_cap(200_000);
     let mut report = String::new();
@@ -49,7 +72,16 @@ fn main() {
     );
 
     for alg in [Algorithm::Cow, Algorithm::Sds] {
-        let seq = Engine::new(scenario.clone(), alg).run();
+        let seq = match &trace_base {
+            None => Engine::new(scenario.clone(), alg).run(),
+            Some(base) => {
+                let (seq, events) = run_recorded(Engine::new(scenario.clone(), alg), None);
+                let file = trace_file_for(base, &format!("{}_seq", seq.algorithm.to_lowercase()));
+                write_trace(&file, &events).expect("write seq trace");
+                let _ = writeln!(report, "{} seq trace: {}", alg.name(), file.display());
+                seq
+            }
+        };
         let _ = writeln!(
             report,
             "{} seq: wall={:.1?} states={} events={} queries={} hits={} \
@@ -65,8 +97,31 @@ fn main() {
             seq.solver.ucore_hits,
             seq.solver.nodes_visited,
         );
+        let mut first_parallel_jsonl: Option<String> = None;
         for workers in [1usize, 2, 4, 8] {
-            let par = Engine::new(scenario.clone(), alg).run_parallel(workers);
+            let par = match &trace_base {
+                None => Engine::new(scenario.clone(), alg).run_parallel(workers),
+                Some(base) => {
+                    let (par, events) =
+                        run_recorded(Engine::new(scenario.clone(), alg), Some(workers));
+                    let jsonl = sde_core::trace::to_jsonl(&events, true);
+                    match &first_parallel_jsonl {
+                        None => first_parallel_jsonl = Some(jsonl),
+                        Some(reference) => assert_eq!(
+                            reference.as_str(),
+                            jsonl.as_str(),
+                            "{} trace diverged at {workers} workers",
+                            alg.name()
+                        ),
+                    }
+                    let file = trace_file_for(
+                        base,
+                        &format!("{}_w{workers}", par.algorithm.to_lowercase()),
+                    );
+                    write_trace(&file, &events).expect("write parallel trace");
+                    par
+                }
+            };
             assert_eq!(
                 par.equivalence_key(),
                 seq.equivalence_key(),
@@ -87,6 +142,13 @@ fn main() {
                 par.solver.model_reuse_hits,
                 par.solver.ucore_hits,
                 p.summary(),
+            );
+        }
+        if trace_base.is_some() {
+            let _ = writeln!(
+                report,
+                "{} parallel traces byte-identical at 1/2/4/8 workers",
+                alg.name()
             );
         }
         let _ = writeln!(report);

@@ -21,15 +21,20 @@
 //! cargo run -p sde-bench --release --bin table1 -- --workers 4   # parallel engine
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny # CI smoke (3×3)
 //! cargo run -p sde-bench --release --bin table1 -- --layers exact --tag layers_exact
+//! cargo run -p sde-bench --release --bin table1 -- --preset tiny --trace out.jsonl
 //! ```
+//!
+//! `--trace <path>` records a structured event trace per algorithm
+//! (deterministic JSONL at `<stem>_<alg>.jsonl` plus a Chrome
+//! `trace_event` twin); inspect it with the `lineage` bin.
 //!
 //! Every invocation also writes the rows as machine-readable JSON
 //! (states, packets, wall-ms, full solver counters per run) to
 //! `<out>/BENCH_table1[_<tag>].json`.
 
 use sde_bench::{
-    paper_scenario, report_json, run_with_limits_layers, symbolic_grid, table_header,
-    write_bench_json, Args, RunLimits, SolverLayers,
+    paper_scenario, report_json, run_with_limits_layers, run_with_limits_traced, symbolic_grid,
+    table_header, trace_file_for, write_bench_json, write_trace, Args, RunLimits, SolverLayers,
 };
 use sde_core::complexity::WorstCase;
 use sde_core::Algorithm;
@@ -80,6 +85,8 @@ fn main() {
     // workload (whose drop forks never consult the solver); `sense` swaps
     // in the solver-bound companion workload so the `--layers` sweep has
     // real queries to ablate.
+    // `--trace <base>`: record a structured trace per algorithm.
+    let trace_base: Option<PathBuf> = args.get::<String>("trace").map(PathBuf::from);
     let workload = args
         .get::<String>("scenario")
         .unwrap_or_else(|| "collect".to_string());
@@ -104,17 +111,33 @@ fn main() {
     let mut json = Vec::new();
     for alg in Algorithm::ALL {
         let state_cap = if alg == Algorithm::Cob { cap_cob } else { cap };
-        let report = run_with_limits_layers(
-            &scenario,
-            alg,
-            RunLimits {
-                state_cap,
-                sample_every,
-            },
-            workers,
-            layers,
-        );
+        let limits = RunLimits {
+            state_cap,
+            sample_every,
+        };
+        let (report, trace_line) = match &trace_base {
+            None => (
+                run_with_limits_layers(&scenario, alg, limits, workers, layers),
+                None,
+            ),
+            Some(base) => {
+                let (report, events) =
+                    run_with_limits_traced(&scenario, alg, limits, workers, layers);
+                let file = trace_file_for(base, &report.algorithm.to_lowercase());
+                write_trace(&file, &events).expect("write trace");
+                let line = format!(
+                    "     | trace: {} ({} events, {} forks)",
+                    file.display(),
+                    events.len(),
+                    report.trace.forks_total()
+                );
+                (report, Some(line))
+            }
+        };
         println!("{}", report.table_row());
+        if let Some(line) = trace_line {
+            println!("{line}");
+        }
         let s = &report.solver;
         println!(
             "     | solver: queries={} exact={} group={} reuse={} ucore={} nodes={}",

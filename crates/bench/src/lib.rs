@@ -156,6 +156,66 @@ pub fn run_with_limits_layers(
     }
 }
 
+/// Like [`run_with_limits_layers`], with a [`sde_trace::RingSink`]
+/// recorder attached: returns the report plus every captured trace event.
+/// Eviction is never silent — a warning is printed if the ring filled up.
+pub fn run_with_limits_traced(
+    scenario: &Scenario,
+    algorithm: Algorithm,
+    limits: RunLimits,
+    workers: Option<usize>,
+    layers: SolverLayers,
+) -> (RunReport, Vec<sde_trace::TimedEvent>) {
+    let s = scenario
+        .clone()
+        .with_state_cap(limits.state_cap)
+        .with_sample_every(limits.sample_every);
+    let sink = std::sync::Arc::new(sde_trace::RingSink::default());
+    let engine = Engine::new(s, algorithm)
+        .with_trace_sink(sink.clone() as std::sync::Arc<dyn sde_trace::TraceSink>);
+    layers.apply(engine.solver());
+    let report = match workers {
+        None => engine.run(),
+        Some(w) => engine.run_parallel(w),
+    };
+    if sink.dropped() > 0 {
+        eprintln!(
+            "warning: trace ring evicted {} events (capacity {}); the file is truncated",
+            sink.dropped(),
+            sde_trace::DEFAULT_RING_CAPACITY
+        );
+    }
+    (report, sink.take())
+}
+
+/// Derives a per-run trace filename from the `--trace` base path:
+/// `out.jsonl` + `cob` → `out_cob.jsonl`.
+pub fn trace_file_for(base: &std::path::Path, label: &str) -> std::path::PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("jsonl");
+    base.with_file_name(format!("{stem}_{label}.{ext}"))
+}
+
+/// Writes one recorded run to disk: deterministic JSONL at `path` plus a
+/// Chrome `trace_event` twin at `<path stem>.chrome.json` (load it in
+/// `chrome://tracing` or Perfetto).
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing either file.
+pub fn write_trace(
+    path: &std::path::Path,
+    events: &[sde_trace::TimedEvent],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    sde_trace::write_jsonl(path, events, true)?;
+    sde_trace::write_chrome_trace(&path.with_extension("chrome.json"), events)
+}
+
 /// Formats the Table I header.
 pub fn table_header() -> String {
     format!(

@@ -47,6 +47,31 @@ struct Store {
     events: EventQueue<(StateId, NodeEvent)>,
     next_state: u64,
     total_states: usize,
+    /// Trace sink shared with the engine ([`NoopSink`](sde_trace::NoopSink)
+    /// unless a recorder was attached); `traced` caches `enabled()`.
+    sink: Arc<dyn sde_trace::TraceSink>,
+    traced: bool,
+    /// Attribution for the next [`StateStore::fork`] call. Mapper-driven
+    /// forks are the default; the failure models set their own reason
+    /// around `fork_local`'s store fork.
+    fork_reason: sde_trace::ForkReason,
+    /// Fork counts indexed by [`sde_trace::ForkReason::ALL`] — always on,
+    /// they feed [`sde_trace::TraceSummary`].
+    forks: [u64; 5],
+    /// Children forked since the engine last cleared it; drained into
+    /// `MapBranch`/`MapSend` decision events (populated only when traced).
+    fork_scratch: Vec<u64>,
+}
+
+fn reason_index(reason: sde_trace::ForkReason) -> usize {
+    use sde_trace::ForkReason::*;
+    match reason {
+        Branch => 0,
+        Mapping => 1,
+        Drop => 2,
+        Duplicate => 3,
+        Reboot => 4,
+    }
 }
 
 impl Store {
@@ -55,6 +80,26 @@ impl Store {
         self.next_state += 1;
         self.total_states += 1;
         id
+    }
+
+    /// Count (and, when traced, record) one fork edge.
+    fn note_fork(
+        &mut self,
+        parent: StateId,
+        child: StateId,
+        node: NodeId,
+        reason: sde_trace::ForkReason,
+    ) {
+        self.forks[reason_index(reason)] += 1;
+        if self.traced {
+            self.fork_scratch.push(child.0);
+            self.sink.record(sde_trace::TraceEvent::Fork {
+                parent: parent.0,
+                child: child.0,
+                node: node.0,
+                reason,
+            });
+        }
     }
 
     /// Copies every pending event of `from` for `to` (same times).
@@ -84,8 +129,10 @@ impl StateStore for Store {
             .get(&original)
             .unwrap_or_else(|| panic!("fork of non-resident state {original}"))
             .fork_as(id);
+        let node = copy.node;
         self.states.insert(id, copy);
         self.duplicate_events(original, id);
+        self.note_fork(original, id, node, self.fork_reason);
         id
     }
 
@@ -115,6 +162,12 @@ pub struct Engine {
     started: Instant,
     preset: Option<sde_vm::Preset>,
     parallel: Option<ParallelStats>,
+    /// Trace sink (default [`sde_trace::NoopSink`]); `traced` caches
+    /// `enabled()` so untraced sites pay one branch.
+    sink: Arc<dyn sde_trace::TraceSink>,
+    traced: bool,
+    /// Always-on counter digest surfaced through [`RunReport::trace`].
+    trace: sde_trace::TraceSummary,
 }
 
 impl Engine {
@@ -131,6 +184,11 @@ impl Engine {
                 events: EventQueue::new(),
                 next_state: 0,
                 total_states: 0,
+                sink: Arc::new(sde_trace::NoopSink),
+                traced: false,
+                fork_reason: sde_trace::ForkReason::Mapping,
+                forks: [0; 5],
+                fork_scratch: Vec::new(),
             },
             now: 0,
             next_packet: 0,
@@ -143,7 +201,29 @@ impl Engine {
             started: Instant::now(),
             preset: None,
             parallel: None,
+            sink: Arc::new(sde_trace::NoopSink),
+            traced: false,
+            trace: sde_trace::TraceSummary::default(),
         }
+    }
+
+    /// Attaches a trace sink (e.g. an [`sde_trace::RingSink`]): every
+    /// dispatch, fork, mapping decision, packet event and solver query of
+    /// the run is recorded through it. The sink is installed thread-locally
+    /// for the run so the solver and the event queue — which sit below the
+    /// engine in the crate graph — reach it too.
+    ///
+    /// Traced parallel runs drain the speculation barrier *before* the
+    /// authoritative pass (instead of overlapping them), which makes the
+    /// solver-layer attribution in the trace a pure function of the
+    /// scenario — byte-identical traces at any worker count.
+    #[must_use]
+    pub fn with_trace_sink(mut self, sink: Arc<dyn sde_trace::TraceSink>) -> Engine {
+        self.traced = sink.enabled();
+        self.store.traced = self.traced;
+        self.sink = Arc::clone(&sink);
+        self.store.sink = sink;
+        self
     }
 
     /// Runs the scenario to completion (event queue drained, virtual
@@ -156,8 +236,12 @@ impl Engine {
     /// Like [`Engine::run`] but keeps the engine alive so the final state
     /// set can be inspected (test-case generation, invariant checks).
     pub fn run_in_place(&mut self) {
+        let _trace_guard = self
+            .traced
+            .then(|| sde_trace::install(Arc::clone(&self.sink)));
         self.started = Instant::now();
         self.boot();
+        self.trace.boot_wall_us = self.started.elapsed().as_micros() as u64;
         self.sample();
 
         loop {
@@ -184,6 +268,7 @@ impl Engine {
         }
 
         self.sample();
+        self.trace.run_wall_us = self.started.elapsed().as_micros() as u64;
     }
 
     /// Runs the scenario with `workers` speculative helper threads and
@@ -226,10 +311,24 @@ impl Engine {
     /// forking, nothing to solve) and for single-group batches (nothing
     /// to overlap). Worker utilization and per-phase wall times are
     /// reported in [`RunReport::parallel`].
+    ///
+    /// **Tracing.** With a recording sink attached
+    /// ([`Engine::with_trace_sink`]), two things change — neither affects
+    /// the committed execution: (a) workers record into per-job buffers
+    /// that the main thread merges at the barrier *in job submission
+    /// order*, with racy per-query detail erased to `SpecQuery` events;
+    /// (b) the barrier is drained *before* the authoritative pass, so the
+    /// cache state the pass observes — and therefore the solver-layer
+    /// attribution in the trace — is identical at every worker count.
     pub fn run_parallel_in_place(&mut self, workers: usize) {
+        let _trace_guard = self
+            .traced
+            .then(|| sde_trace::install(Arc::clone(&self.sink)));
+        let traced = self.traced;
         let workers = workers.max(1);
         self.started = Instant::now();
         self.boot();
+        self.trace.boot_wall_us = self.started.elapsed().as_micros() as u64;
         self.sample();
         let mut pstats = ParallelStats {
             workers,
@@ -251,7 +350,17 @@ impl Engine {
                     // channel, and jobs still go to exactly one worker.
                     let job = job_rx.lock().expect("job queue").recv();
                     let Ok(job) = job else { break };
-                    let outcome = speculate_group(job, &solver);
+                    let outcome = if traced {
+                        // Buffer this job's solver events for the ordered
+                        // merge at the barrier.
+                        let buffer = Arc::new(sde_trace::BufferSink::new());
+                        let _g = sde_trace::install(buffer.clone());
+                        let mut outcome = speculate_group(job, &solver);
+                        outcome.trace = buffer.drain();
+                        outcome
+                    } else {
+                        speculate_group(job, &solver)
+                    };
                     if done_tx.send(outcome).is_err() {
                         break;
                     }
@@ -304,6 +413,7 @@ impl Engine {
                                 continue;
                             }
                             let job = SpecJob {
+                                index: jobs_sent,
                                 now: batch_time,
                                 state: state.clone(),
                                 events,
@@ -317,43 +427,60 @@ impl Engine {
                         }
                     }
                 }
+                if traced && jobs_sent > 0 {
+                    self.sink.record(sde_trace::TraceEvent::Speculate {
+                        time: batch_time,
+                        jobs: jobs_sent as u64,
+                    });
+                }
                 pstats.dispatch_wall += dispatch_started.elapsed();
 
-                // --- phase 3: the authoritative pass — literally the
-                //     sequential loop, bounded to this timestamp ---
-                let serial_started = Instant::now();
-                loop {
-                    if self.store.total_states > self.scenario.state_cap {
-                        self.aborted = true;
-                        break;
+                let drain_barrier = |pstats: &mut ParallelStats| -> Vec<SpecOutcome> {
+                    let mut outcomes = Vec::with_capacity(jobs_sent);
+                    for _ in 0..jobs_sent {
+                        if let Ok(outcome) = done_rx.recv() {
+                            pstats.spec_events += outcome.events;
+                            pstats.spec_instructions += outcome.instructions;
+                            pstats.spec_busy += outcome.busy;
+                            outcomes.push(outcome);
+                        }
                     }
-                    if self.store.events.peek_time() != Some(batch_time) {
-                        break;
-                    }
-                    let event = self.store.events.pop().expect("peeked event");
-                    self.now = event.time;
-                    let (state_id, kind) = event.payload;
-                    self.dispatch(state_id, kind);
-                    self.events_processed += 1;
-                    if self
-                        .events_processed
-                        .is_multiple_of(self.scenario.sample_every)
-                    {
-                        self.sample();
-                    }
-                }
-                pstats.serial_wall += serial_started.elapsed();
+                    outcomes
+                };
 
-                // --- phase 4: barrier ---
-                let barrier_started = Instant::now();
-                for _ in 0..jobs_sent {
-                    if let Ok(outcome) = done_rx.recv() {
-                        pstats.spec_events += outcome.events;
-                        pstats.spec_instructions += outcome.instructions;
-                        pstats.spec_busy += outcome.busy;
+                // --- phases 3+4: authoritative pass and barrier ---
+                //
+                // Untraced: commit overlaps the speculation (the fast
+                // path). Traced: barrier first — the merged speculation
+                // events land in submission order and the commit pass
+                // observes the fully-warmed cache, making solver-layer
+                // attribution worker-count-independent.
+                if traced {
+                    let barrier_started = Instant::now();
+                    let mut outcomes = drain_barrier(&mut pstats);
+                    outcomes.sort_unstable_by_key(|o| o.index);
+                    for outcome in &outcomes {
+                        for ev in &outcome.trace {
+                            if let sde_trace::TraceEvent::Query { groups, .. } = ev {
+                                self.sink
+                                    .record(sde_trace::TraceEvent::SpecQuery { groups: *groups });
+                            }
+                        }
                     }
+                    pstats.barrier_wall += barrier_started.elapsed();
+
+                    let serial_started = Instant::now();
+                    self.commit_batch(batch_time);
+                    pstats.serial_wall += serial_started.elapsed();
+                } else {
+                    let serial_started = Instant::now();
+                    self.commit_batch(batch_time);
+                    pstats.serial_wall += serial_started.elapsed();
+
+                    let barrier_started = Instant::now();
+                    drain_barrier(&mut pstats);
+                    pstats.barrier_wall += barrier_started.elapsed();
                 }
-                pstats.barrier_wall += barrier_started.elapsed();
 
                 if self.aborted {
                     break 'run;
@@ -365,6 +492,32 @@ impl Engine {
         self.sample();
         pstats.run_wall = self.started.elapsed();
         self.parallel = Some(pstats);
+        self.trace.run_wall_us = self.started.elapsed().as_micros() as u64;
+    }
+
+    /// Phase 3 of [`Engine::run_parallel_in_place`]: the authoritative
+    /// pass — literally the sequential loop, bounded to `batch_time`.
+    fn commit_batch(&mut self, batch_time: u64) {
+        loop {
+            if self.store.total_states > self.scenario.state_cap {
+                self.aborted = true;
+                break;
+            }
+            if self.store.events.peek_time() != Some(batch_time) {
+                break;
+            }
+            let event = self.store.events.pop().expect("peeked event");
+            self.now = event.time;
+            let (state_id, kind) = event.payload;
+            self.dispatch(state_id, kind);
+            self.events_processed += 1;
+            if self
+                .events_processed
+                .is_multiple_of(self.scenario.sample_every)
+            {
+                self.sample();
+            }
+        }
     }
 
     /// Access to the mapper (for invariant checks and test generation).
@@ -420,6 +573,13 @@ impl Engine {
             );
             self.store.states.insert(id, state);
             registry.push((id, node));
+            self.trace.boots += 1;
+            if self.traced {
+                self.sink.record(sde_trace::TraceEvent::Boot {
+                    state: id.0,
+                    node: node.0,
+                });
+            }
             self.store.events.push(0, (id, NodeEvent::Boot));
         }
         self.mapper.on_boot(&registry);
@@ -436,6 +596,24 @@ impl Engine {
             .is_some_and(SdeState::is_idle)
         {
             return;
+        }
+        let dispatch_kind = match kind {
+            NodeEvent::Boot => sde_trace::DispatchKind::Boot,
+            NodeEvent::Timer(_) => sde_trace::DispatchKind::Timer,
+            NodeEvent::Deliver(_) => sde_trace::DispatchKind::Deliver,
+        };
+        match dispatch_kind {
+            sde_trace::DispatchKind::Boot => self.trace.dispatch_boot += 1,
+            sde_trace::DispatchKind::Timer => self.trace.dispatch_timer += 1,
+            sde_trace::DispatchKind::Deliver => self.trace.dispatch_deliver += 1,
+        }
+        if self.traced {
+            self.sink.record(sde_trace::TraceEvent::Dispatch {
+                state: state_id.0,
+                node: self.store.states[&state_id].node.0,
+                kind: dispatch_kind,
+                time: self.now,
+            });
         }
         match kind {
             NodeEvent::Boot => self.run_handler(state_id, handlers::ON_BOOT, &[]),
@@ -467,6 +645,7 @@ impl Engine {
                 // Replay: the preset decides; no fork.
                 let _ = var;
                 if preset.get(node.0, "drop", occurrence).unwrap_or(0) == 1 {
+                    self.note_drop(state_id, node, packet.id);
                     return; // dropped
                 }
             } else {
@@ -476,7 +655,8 @@ impl Engine {
                 // symbolic drop = one fork opportunity).
                 let s = self.store.states.get_mut(&state_id).expect("resident");
                 s.vm.constrain(Expr::not(Expr::sym(var)));
-                let _ = dropped_id; // dropped branch never runs on_recv
+                // The dropped branch never runs on_recv.
+                self.note_drop(dropped_id, node, packet.id);
             }
         }
 
@@ -546,12 +726,35 @@ impl Engine {
         self.run_recv(receiving, &packet, deliveries);
     }
 
-    /// Runs `on_recv` on `state` `times` times in a row.
+    /// Counts (and, when traced, records) a failure-model packet drop.
+    fn note_drop(&mut self, state: StateId, node: NodeId, packet: PacketId) {
+        self.trace.packets_dropped += 1;
+        if self.traced {
+            self.sink.record(sde_trace::TraceEvent::Drop {
+                state: state.0,
+                node: node.0,
+                packet: packet.0,
+            });
+        }
+    }
+
+    /// Runs `on_recv` on `state` `times` times in a row. Each handler
+    /// invocation is one delivery (a duplicated packet counts twice).
     fn run_recv(&mut self, state: StateId, packet: &Packet, times: u32) {
+        let node = self.store.states[&state].node;
         let mut args: Vec<ExprRef> = Vec::with_capacity(1 + packet.payload.len());
         args.push(Expr::const_(u64::from(packet.src.0), Width::W16));
         args.extend(packet.payload.iter().cloned());
         for _ in 0..times {
+            self.trace.packets_delivered += 1;
+            if self.traced {
+                self.sink.record(sde_trace::TraceEvent::Deliver {
+                    state: state.0,
+                    node: node.0,
+                    packet: packet.id.0,
+                    duplicate: times > 1,
+                });
+            }
             self.run_handler(state, handlers::ON_RECV, &args);
         }
     }
@@ -568,7 +771,15 @@ impl Engine {
         occurrence: u32,
     ) -> StateId {
         let node = self.store.states[&parent].node;
+        // Attribute the fork to its failure model; mapper forks performed
+        // by `on_branch` below revert to the default `Mapping` reason.
+        self.store.fork_reason = match kind {
+            1 => sde_trace::ForkReason::Drop,
+            2 => sde_trace::ForkReason::Duplicate,
+            _ => sde_trace::ForkReason::Reboot,
+        };
         let child = self.store.fork(parent);
+        self.store.fork_reason = sde_trace::ForkReason::Mapping;
         {
             let c = self.store.states.get_mut(&child).expect("resident");
             c.vm.constrain(cond.clone());
@@ -578,7 +789,17 @@ impl Engine {
             let p = self.store.states.get_mut(&parent).expect("resident");
             p.vm.record_external_branch(kind, occurrence, false);
         }
+        self.store.fork_scratch.clear();
         self.mapper.on_branch(parent, child, node, &mut self.store);
+        if self.traced {
+            let forked = std::mem::take(&mut self.store.fork_scratch);
+            self.sink.record(sde_trace::TraceEvent::MapBranch {
+                parent: parent.0,
+                child: child.0,
+                node: node.0,
+                forked,
+            });
+        }
         child
     }
 
@@ -624,6 +845,8 @@ impl Engine {
                         let mut sibling = st.fork_as(sib_id);
                         sibling.vm = sibling_vm;
                         self.store.duplicate_events(st.id, sib_id);
+                        self.store
+                            .note_fork(st.id, sib_id, st.node, sde_trace::ForkReason::Branch);
                         let bugged = matches!(sibling.vm.status(), Status::Bugged(_));
                         if bugged {
                             if let Status::Bugged(report) = sibling.vm.status().clone() {
@@ -635,8 +858,18 @@ impl Engine {
                             }
                         }
                         self.store.states.insert(sib_id, sibling);
+                        self.store.fork_scratch.clear();
                         self.mapper
                             .on_branch(st.id, sib_id, st.node, &mut self.store);
+                        if self.traced {
+                            let forked = std::mem::take(&mut self.store.fork_scratch);
+                            self.sink.record(sde_trace::TraceEvent::MapBranch {
+                                parent: st.id.0,
+                                child: sib_id.0,
+                                node: st.node.0,
+                                forked,
+                            });
+                        }
                         if !bugged {
                             let sibling = self
                                 .store
@@ -683,10 +916,31 @@ impl Engine {
         let pid = PacketId(self.next_packet);
         self.next_packet += 1;
         self.packets_sent += 1;
+        if self.traced {
+            self.sink.record(sde_trace::TraceEvent::Send {
+                state: sender.id.0,
+                node: sender.node.0,
+                dest: dest.0,
+                packet: pid.0,
+            });
+        }
 
+        self.store.fork_scratch.clear();
         let delivery = self
             .mapper
             .map_send(sender.id, sender.node, dest, &mut self.store);
+        if self.traced {
+            let forked = std::mem::take(&mut self.store.fork_scratch);
+            self.sink.record(sde_trace::TraceEvent::MapSend {
+                state: sender.id.0,
+                node: sender.node.0,
+                dest: dest.0,
+                packet: pid.0,
+                targets: delivery.receivers.iter().map(|r| r.0).collect(),
+                forked,
+                groups: self.mapper.group_count() as u64,
+            });
+        }
 
         sender.history.record(HistoryEvent::Sent {
             id: pid,
@@ -754,6 +1008,21 @@ impl Engine {
         let mut hasher = DefaultHasher::new();
         digests.hash(&mut hasher);
         let history_digest = hasher.finish();
+        let solver = self.solver.stats();
+        let trace = sde_trace::TraceSummary {
+            forks_branch: self.store.forks[0],
+            forks_mapping: self.store.forks[1],
+            forks_drop: self.store.forks[2],
+            forks_duplicate: self.store.forks[3],
+            forks_reboot: self.store.forks[4],
+            packets_sent: self.packets_sent,
+            solver_queries: solver.queries,
+            solver_exact_hits: solver.cache_hits,
+            solver_group_hits: solver.group_cache_hits,
+            solver_reuse_hits: solver.model_reuse_hits,
+            solver_ucore_hits: solver.ucore_hits,
+            ..self.trace
+        };
         RunReport {
             algorithm: self.mapper.name(),
             wall: self.started.elapsed(),
@@ -768,12 +1037,13 @@ impl Engine {
             aborted: self.aborted,
             groups: self.mapper.group_count(),
             mapper: self.mapper.stats(),
-            solver: self.solver.stats(),
+            solver,
             duplicate_states: duplicates,
             bugs: self.bugs,
             history_digest,
             series: self.series,
             parallel: self.parallel,
+            trace,
         }
     }
 }
@@ -789,6 +1059,9 @@ const SPEC_INSTRUCTION_CAP: u64 = 4_000_000;
 /// plus the private clones the worker executes them against.
 #[derive(Debug)]
 struct SpecJob {
+    /// Submission index within the batch — the deterministic merge order
+    /// for buffered trace events at the barrier.
+    index: usize,
     now: u64,
     state: SdeState,
     events: Vec<NodeEvent>,
@@ -802,9 +1075,14 @@ struct SpecJob {
 /// What a worker reports back at the batch barrier.
 #[derive(Debug)]
 struct SpecOutcome {
+    /// Copied from [`SpecJob::index`].
+    index: usize,
     events: u64,
     instructions: u64,
     busy: Duration,
+    /// The job's buffered trace events (traced runs only); merged into
+    /// the main sink in submission order, erased to `SpecQuery`.
+    trace: Vec<sde_trace::TraceEvent>,
 }
 
 /// Executes one state's same-time events against private clones,
@@ -815,6 +1093,7 @@ struct SpecOutcome {
 /// entries in the shared solver cache escape this function.
 fn speculate_group(job: SpecJob, solver: &Solver) -> SpecOutcome {
     let started = Instant::now();
+    let index = job.index;
     let root = job.state.id;
     let mut spec = Speculator {
         solver,
@@ -829,9 +1108,11 @@ fn speculate_group(job: SpecJob, solver: &Solver) -> SpecOutcome {
     };
     spec.run();
     SpecOutcome {
+        index,
         events: spec.events,
         instructions: spec.instructions,
         busy: started.elapsed(),
+        trace: Vec::new(),
     }
 }
 

@@ -61,3 +61,9 @@ pub use parallel::run_parallel;
 pub use scenario::Scenario;
 pub use state::{SdeState, StateId};
 pub use stats::{human_bytes, BugFound, ParallelStats, RunReport, Sample, TimeSeries};
+
+/// Structured tracing re-export: sinks, events and the summary type that
+/// [`RunReport::trace`] carries. Attach a recorder with
+/// [`Engine::with_trace_sink`].
+pub use sde_trace as trace;
+pub use sde_trace::{RingSink, TraceEvent, TraceSink, TraceSummary};

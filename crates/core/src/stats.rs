@@ -203,6 +203,10 @@ pub struct RunReport {
     /// Present when the run used [`Engine::run_parallel`]
     /// (crate::Engine::run_parallel); `None` for sequential runs.
     pub parallel: Option<ParallelStats>,
+    /// Always-on trace counters: forks by reason, dispatches by kind,
+    /// packet fates and a snapshot of the solver layer hits. Collected
+    /// whether or not a [`sde_trace::TraceSink`] is attached.
+    pub trace: sde_trace::TraceSummary,
 }
 
 impl RunReport {
@@ -270,6 +274,8 @@ impl RunReport {
                 s.virtual_ms, s.live_states, s.total_states, s.bytes, s.groups
             );
         }
+        // Solver layer hits and wall times are excluded by construction.
+        let _ = writeln!(key, "trace: {}", self.trace.deterministic_key());
         key
     }
 }

@@ -84,6 +84,7 @@ impl<T: std::fmt::Debug> EventQueue<T> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(HeapEntry(Event { time, seq, payload }));
+        sde_trace::record(|| sde_trace::TraceEvent::QueuePush { time, seq });
         seq
     }
 

@@ -333,6 +333,7 @@ impl Solver {
         if pc.is_trivially_false() {
             self.stats.queries.fetch_add(1, Relaxed);
             self.stats.unsat.fetch_add(1, Relaxed);
+            record_fold_unsat();
             return SolverResult::Unsat;
         }
         let constraints: Vec<ExprRef> = pc.iter().cloned().collect();
@@ -389,6 +390,7 @@ impl Solver {
         if pc.is_trivially_false() {
             self.stats.queries.fetch_add(1, Relaxed);
             self.stats.unsat.fetch_add(1, Relaxed);
+            record_fold_unsat();
             return None;
         }
         let constraints: Vec<ExprRef> = pc.iter().cloned().collect();
@@ -400,9 +402,44 @@ impl Solver {
 
     // ----- internals ------------------------------------------------------
 
-    /// Full pipeline for one query. `witness` selects witness-grade
-    /// determinism (no counterexample model reuse; module docs).
+    /// Full pipeline for one query, plus trace instrumentation.
+    ///
+    /// When the calling thread has an enabled `sde-trace` sink installed
+    /// (the engine installs one per traced run), a `Query` event is
+    /// recorded with the answering layer, the verdict, the independence
+    /// group count and the wall-clock duration; untraced runs pay one
+    /// thread-local check.
     fn solve_query(&self, constraints: &[ExprRef], witness: bool) -> SolverResult {
+        let trace = sde_trace::thread_sink();
+        let Some(sink) = trace else {
+            return self.solve_query_traced(constraints, witness, None).0;
+        };
+        let start = std::time::Instant::now();
+        let (result, layer, groups) = self.solve_query_traced(constraints, witness, Some(&*sink));
+        let verdict = match &result {
+            SolverResult::Sat(_) => sde_trace::Verdict::Sat,
+            SolverResult::Unsat => sde_trace::Verdict::Unsat,
+            SolverResult::Unknown => sde_trace::Verdict::Unknown,
+        };
+        sink.record(sde_trace::TraceEvent::Query {
+            layer,
+            verdict,
+            groups,
+            dur_us: start.elapsed().as_micros() as u64,
+        });
+        result
+    }
+
+    /// The query pipeline. Returns the verdict plus, for the trace layer,
+    /// which layer answered the whole query and how many independence
+    /// groups it split into (0 when answered before partitioning).
+    fn solve_query_traced(
+        &self,
+        constraints: &[ExprRef],
+        witness: bool,
+        trace: Option<&dyn sde_trace::TraceSink>,
+    ) -> (SolverResult, sde_trace::QueryLayer, u64) {
+        use sde_trace::QueryLayer;
         self.stats.queries.fetch_add(1, Relaxed);
 
         // Layer 1: fold out concrete constraints; bail on a false one.
@@ -414,13 +451,13 @@ impl Solver {
                     continue;
                 }
                 self.stats.unsat.fetch_add(1, Relaxed);
-                return SolverResult::Unsat;
+                return (SolverResult::Unsat, QueryLayer::Fold, 0);
             }
             work.push(c.clone());
         }
         if work.is_empty() {
             self.stats.sat.fetch_add(1, Relaxed);
-            return SolverResult::Sat(Model::new());
+            return (SolverResult::Sat(Model::new()), QueryLayer::Fold, 0);
         }
 
         // Canonical order + per-constraint hashes (shared by both cache
@@ -438,7 +475,14 @@ impl Solver {
                 self.stats.cache_hits.fetch_add(1, Relaxed);
                 let result = entry.to_result();
                 self.tally(&result);
-                return result;
+                // Group counts must stay deterministic in traces even on
+                // this pre-partition hit path, so partition when traced.
+                let n = if trace.is_some() {
+                    partition(&work, &hashes).len() as u64
+                } else {
+                    0
+                };
+                return (result, QueryLayer::Exact, n);
             }
         }
 
@@ -449,7 +493,8 @@ impl Solver {
         let mut all_groups_cached = true;
         let mut outcome = None;
         for group in &groups {
-            let (result, from_exact) = self.solve_one_group(group, group_caching, cex, witness);
+            let (result, from_exact) =
+                self.solve_one_group(group, group_caching, cex, witness, trace);
             all_groups_cached &= from_exact;
             match result {
                 SolverResult::Sat(m) => combined.extend(&m),
@@ -487,7 +532,12 @@ impl Solver {
         }
 
         self.tally(&result);
-        result
+        let layer = if group_caching && all_groups_cached {
+            QueryLayer::Exact
+        } else {
+            QueryLayer::Solve
+        };
+        (result, layer, groups.len() as u64)
     }
 
     fn tally(&self, result: &SolverResult) {
@@ -506,11 +556,20 @@ impl Solver {
         group_caching: bool,
         cex: bool,
         witness: bool,
+        trace: Option<&dyn sde_trace::TraceSink>,
     ) -> (SolverResult, bool) {
+        use sde_trace::{GroupLayer, TraceEvent};
+        let group_hit = |layer: GroupLayer| {
+            if let Some(sink) = trace {
+                sink.record(TraceEvent::QueryGroup { layer });
+            }
+        };
+
         // Layer 3: exact group cache.
         if group_caching {
             if let Some(entry) = self.exact_lookup(group.key, &group.constraints) {
                 self.stats.group_cache_hits.fetch_add(1, Relaxed);
+                group_hit(GroupLayer::Exact);
                 return (entry.to_result(), true);
             }
         }
@@ -521,15 +580,18 @@ impl Solver {
         if cex {
             if self.ucore_implies_unsat(group) {
                 self.stats.ucore_hits.fetch_add(1, Relaxed);
+                group_hit(GroupLayer::Ucore);
                 return (SolverResult::Unsat, false);
             }
             if !witness {
                 if let Some(m) = self.reuse_model(group) {
                     self.stats.model_reuse_hits.fetch_add(1, Relaxed);
+                    group_hit(GroupLayer::Reuse);
                     return (SolverResult::Sat(m), false);
                 }
             }
         }
+        group_hit(GroupLayer::Solve);
 
         // Layers 5–6: solve for real.
         let (result, core) = self.solve_group(&group.constraints);
@@ -937,6 +999,18 @@ fn refine_var(
 /// Sorts `work` into the canonical (per-constraint-hash) order used for
 /// all exact-cache comparisons and returns the aligned hash list plus the
 /// whole-query key (hash of the sorted hashes).
+/// Trace hook for the trivially-false shortcut paths of `check`/`model`:
+/// they answer at the fold layer without entering `solve_query`, but must
+/// still appear as queries so traces reconcile with `SolverStats`.
+fn record_fold_unsat() {
+    sde_trace::record(|| sde_trace::TraceEvent::Query {
+        layer: sde_trace::QueryLayer::Fold,
+        verdict: sde_trace::Verdict::Unsat,
+        groups: 0,
+        dur_us: 0,
+    });
+}
+
 fn canonicalize(work: &mut Vec<ExprRef>) -> (Vec<u64>, u64) {
     let mut pairs: Vec<(u64, ExprRef)> = work
         .drain(..)

@@ -1,0 +1,245 @@
+//! Minimal flat-JSON support for the trace encodings.
+//!
+//! The workspace is offline (no serde); trace lines are flat objects whose
+//! values are unsigned integers, lowercase strings, booleans, or arrays of
+//! unsigned integers — exactly what this module writes and parses. Keys
+//! are emitted in a fixed order so byte-identical traces stay comparable.
+
+use std::collections::BTreeMap;
+
+/// A parsed flat-JSON value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
+    /// Unsigned integer.
+    Int(u64),
+    /// String (no escapes needed by the trace schema).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Array of unsigned integers.
+    Arr(Vec<u64>),
+}
+
+impl JsonValue {
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer array, if it is one.
+    pub fn as_arr(&self) -> Option<&[u64]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Incremental writer for one flat JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// Start a new object.
+    pub fn new() -> Self {
+        JsonObj { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        } else {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(k);
+        self.buf.push_str("\":");
+    }
+
+    /// Append an unsigned-integer field.
+    pub fn int(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Append a string field (the schema only uses escape-free strings).
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        debug_assert!(!v.contains(['"', '\\']), "trace strings are escape-free");
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(v);
+        self.buf.push('"');
+        self
+    }
+
+    /// Append a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Append an integer-array field.
+    pub fn arr(&mut self, k: &str, vs: &[u64]) -> &mut Self {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&v.to_string());
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(mut self) -> String {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        }
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Parse one flat JSON object (as written by [`JsonObj`]) into a key map.
+///
+/// Accepts arbitrary whitespace between tokens; rejects nesting beyond
+/// one level of integer arrays.
+pub fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    let err = |pos: usize, what: &str| format!("byte {pos}: {what} in {line:?}");
+
+    let skip_ws = |pos: &mut usize| {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    };
+
+    skip_ws(&mut pos);
+    if pos >= bytes.len() || bytes[pos] != b'{' {
+        return Err(err(pos, "expected '{'"));
+    }
+    pos += 1;
+
+    let mut out = BTreeMap::new();
+    skip_ws(&mut pos);
+    if pos < bytes.len() && bytes[pos] == b'}' {
+        return Ok(out);
+    }
+    loop {
+        skip_ws(&mut pos);
+        let key = parse_string(bytes, &mut pos).ok_or_else(|| err(pos, "expected key"))?;
+        skip_ws(&mut pos);
+        if pos >= bytes.len() || bytes[pos] != b':' {
+            return Err(err(pos, "expected ':'"));
+        }
+        pos += 1;
+        skip_ws(&mut pos);
+        let value = if pos < bytes.len() && bytes[pos] == b'"' {
+            JsonValue::Str(parse_string(bytes, &mut pos).ok_or_else(|| err(pos, "bad string"))?)
+        } else if pos < bytes.len() && bytes[pos] == b'[' {
+            pos += 1;
+            let mut vs = Vec::new();
+            skip_ws(&mut pos);
+            if pos < bytes.len() && bytes[pos] == b']' {
+                pos += 1;
+            } else {
+                loop {
+                    skip_ws(&mut pos);
+                    vs.push(parse_uint(bytes, &mut pos).ok_or_else(|| err(pos, "bad array int"))?);
+                    skip_ws(&mut pos);
+                    match bytes.get(pos) {
+                        Some(b',') => pos += 1,
+                        Some(b']') => {
+                            pos += 1;
+                            break;
+                        }
+                        _ => return Err(err(pos, "expected ',' or ']'")),
+                    }
+                }
+            }
+            JsonValue::Arr(vs)
+        } else if line[pos..].starts_with("true") {
+            pos += 4;
+            JsonValue::Bool(true)
+        } else if line[pos..].starts_with("false") {
+            pos += 5;
+            JsonValue::Bool(false)
+        } else {
+            JsonValue::Int(parse_uint(bytes, &mut pos).ok_or_else(|| err(pos, "bad value"))?)
+        };
+        if out.insert(key.clone(), value).is_some() {
+            return Err(err(pos, "duplicate key"));
+        }
+        skip_ws(&mut pos);
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => {
+                pos += 1;
+                break;
+            }
+            _ => return Err(err(pos, "expected ',' or '}'")),
+        }
+    }
+    skip_ws(&mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing garbage"));
+    }
+    Ok(out)
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    if *pos >= bytes.len() || bytes[*pos] != b'"' {
+        return None;
+    }
+    *pos += 1;
+    let start = *pos;
+    while *pos < bytes.len() && bytes[*pos] != b'"' {
+        if bytes[*pos] == b'\\' {
+            return None; // escape-free schema
+        }
+        *pos += 1;
+    }
+    if *pos >= bytes.len() {
+        return None;
+    }
+    let s = std::str::from_utf8(&bytes[start..*pos]).ok()?.to_string();
+    *pos += 1;
+    Some(s)
+}
+
+fn parse_uint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let start = *pos;
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos == start {
+        return None;
+    }
+    std::str::from_utf8(&bytes[start..*pos]).ok()?.parse().ok()
+}

@@ -1,0 +1,117 @@
+//! Always-on run digest.
+//!
+//! [`TraceSummary`] is built from plain counters the engine keeps whether
+//! or not a recording sink is attached (they are just integer increments,
+//! inside the <2% no-op overhead budget), plus a snapshot of the solver's
+//! per-layer hit counters. It rides inside `RunReport` so every run —
+//! traced or not — reports per-phase durations, fork counts by reason and
+//! the solver layer histogram.
+
+/// Counter digest of one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Initial states booted.
+    pub boots: u64,
+    /// Dispatched boot events.
+    pub dispatch_boot: u64,
+    /// Dispatched timer events.
+    pub dispatch_timer: u64,
+    /// Dispatched delivery events.
+    pub dispatch_deliver: u64,
+    /// Forks caused by symbolic branches inside handlers.
+    pub forks_branch: u64,
+    /// Forks performed by the state mapper (COB peers, COW/SDS bystanders).
+    pub forks_mapping: u64,
+    /// Forks from the symbolic packet-drop failure model.
+    pub forks_drop: u64,
+    /// Forks from the symbolic packet-duplication failure model.
+    pub forks_duplicate: u64,
+    /// Forks from the symbolic node-reboot failure model.
+    pub forks_reboot: u64,
+    /// Packets sent (transmissions mapped).
+    pub packets_sent: u64,
+    /// Packet deliveries handed to a receiver handler (duplicate copies
+    /// included).
+    pub packets_delivered: u64,
+    /// Packet drops observed (failure-model drop branches).
+    pub packets_dropped: u64,
+    /// Solver queries issued (speculative warming included in parallel
+    /// runs).
+    pub solver_queries: u64,
+    /// Whole queries answered by the exact cache.
+    pub solver_exact_hits: u64,
+    /// Independence groups answered by the per-group exact cache.
+    pub solver_group_hits: u64,
+    /// Independence groups answered by counterexample-model reuse.
+    pub solver_reuse_hits: u64,
+    /// Independence groups answered by a cached UNSAT core.
+    pub solver_ucore_hits: u64,
+    /// Wall-clock of the boot phase, microseconds.
+    pub boot_wall_us: u64,
+    /// Wall-clock of the event loop, microseconds.
+    pub run_wall_us: u64,
+}
+
+impl TraceSummary {
+    /// Total forks across all reasons.
+    pub fn forks_total(&self) -> u64 {
+        self.forks_branch
+            + self.forks_mapping
+            + self.forks_drop
+            + self.forks_duplicate
+            + self.forks_reboot
+    }
+
+    /// The deterministic slice of the summary, for equivalence keys:
+    /// fork counts by reason plus packet counters. Wall-clock and solver
+    /// layer hits are excluded (they differ between serial and
+    /// speculative-parallel runs).
+    pub fn deterministic_key(&self) -> String {
+        format!(
+            "forks branch={} mapping={} drop={} duplicate={} reboot={} \
+             packets sent={} delivered={} dropped={} \
+             dispatch boot={} timer={} deliver={}",
+            self.forks_branch,
+            self.forks_mapping,
+            self.forks_drop,
+            self.forks_duplicate,
+            self.forks_reboot,
+            self.packets_sent,
+            self.packets_delivered,
+            self.packets_dropped,
+            self.dispatch_boot,
+            self.dispatch_timer,
+            self.dispatch_deliver,
+        )
+    }
+
+    /// Human-readable multi-line digest.
+    pub fn render(&self) -> String {
+        format!(
+            "phases: boot {:.1}ms, run {:.1}ms\n\
+             dispatch: boot={} timer={} deliver={}\n\
+             forks: branch={} mapping={} drop={} duplicate={} reboot={} (total {})\n\
+             packets: sent={} delivered={} dropped={}\n\
+             solver: queries={} exact={} group={} reuse={} ucore={}",
+            self.boot_wall_us as f64 / 1000.0,
+            self.run_wall_us as f64 / 1000.0,
+            self.dispatch_boot,
+            self.dispatch_timer,
+            self.dispatch_deliver,
+            self.forks_branch,
+            self.forks_mapping,
+            self.forks_drop,
+            self.forks_duplicate,
+            self.forks_reboot,
+            self.forks_total(),
+            self.packets_sent,
+            self.packets_delivered,
+            self.packets_dropped,
+            self.solver_queries,
+            self.solver_exact_hits,
+            self.solver_group_hits,
+            self.solver_reuse_hits,
+            self.solver_ucore_hits,
+        )
+    }
+}

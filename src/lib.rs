@@ -36,6 +36,7 @@
 //!
 //! | Crate | Role |
 //! |-------|------|
+//! | [`trace`] | structured event tracing (sinks, exporters, lineage) |
 //! | [`pds`] | persistent data structures (O(1)-clone states) |
 //! | [`symbolic`] | expressions, path conditions, bounded solver |
 //! | [`vm`] | symbolic bytecode VM (the KLEE substitute) |
@@ -51,6 +52,7 @@ pub use sde_net as net;
 pub use sde_os as os;
 pub use sde_pds as pds;
 pub use sde_symbolic as symbolic;
+pub use sde_trace as trace;
 pub use sde_vm as vm;
 
 /// The names almost every user needs.
@@ -66,5 +68,6 @@ pub mod prelude {
     pub use sde_os::apps::pingpong::PingPongConfig;
     pub use sde_os::apps::sense::SenseConfig;
     pub use sde_symbolic::{Expr, Model, PathCondition, Solver, SymbolTable, Width};
+    pub use sde_trace::{Lineage, RingSink, TraceEvent, TraceSink, TraceSummary};
     pub use sde_vm::{Program, ProgramBuilder, VmState};
 }

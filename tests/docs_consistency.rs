@@ -107,6 +107,7 @@ fn workspace_documents_exist() {
 fn design_lists_every_crate() {
     let design = read("DESIGN.md");
     for krate in [
+        "sde-trace",
         "sde-pds",
         "sde-symbolic",
         "sde-vm",
@@ -117,4 +118,67 @@ fn design_lists_every_crate() {
     ] {
         assert!(design.contains(krate), "DESIGN.md does not mention {krate}");
     }
+}
+
+/// The `TraceEvent` variant names, parsed out of the enum declaration in
+/// `crates/trace/src/event.rs` (the source of truth — a new variant
+/// added there must show up here without editing this test).
+fn trace_event_variants() -> Vec<String> {
+    let source = read("crates/trace/src/event.rs");
+    let body = source
+        .split_once("pub enum TraceEvent {")
+        .expect("event.rs declares TraceEvent")
+        .1;
+    let mut variants = Vec::new();
+    for line in body.lines() {
+        if line.starts_with('}') {
+            break;
+        }
+        // Variants are struct-like: `    Name {`.
+        let trimmed = line.trim_start();
+        if let Some(name) = trimmed.strip_suffix(" {") {
+            if !name.is_empty() && name.chars().all(char::is_alphanumeric) {
+                variants.push(name.to_string());
+            }
+        }
+    }
+    variants
+}
+
+#[test]
+fn design_section_7_documents_every_trace_event() {
+    let variants = trace_event_variants();
+    assert!(
+        variants.len() >= 10,
+        "suspiciously few TraceEvent variants parsed: {variants:?}"
+    );
+    let design = read("DESIGN.md");
+    let section = design
+        .split("## 7. Execution tracing")
+        .nth(1)
+        .expect("DESIGN.md has §7 'Execution tracing'")
+        .split("\n## ")
+        .next()
+        .expect("§7 has a body");
+    for variant in &variants {
+        assert!(
+            section.contains(&format!("`{variant}`")),
+            "DESIGN.md §7 does not document TraceEvent::{variant}"
+        );
+    }
+}
+
+#[test]
+fn design_section_numbering_is_sequential() {
+    let design = read("DESIGN.md");
+    let numbers: Vec<u32> = design
+        .lines()
+        .filter_map(|l| l.strip_prefix("## "))
+        .filter_map(|h| h.split('.').next()?.parse().ok())
+        .collect();
+    let expected: Vec<u32> = (1..=numbers.len() as u32).collect();
+    assert_eq!(
+        numbers, expected,
+        "DESIGN.md top-level sections are misnumbered (a renumbering left a stale header)"
+    );
 }

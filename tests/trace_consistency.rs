@@ -1,0 +1,134 @@
+//! Trace ↔ report consistency: for a sweep of seeded scenarios, the
+//! counters reconstructed by folding over the recorded event stream must
+//! *exactly* equal what [`RunReport`], [`RunReport::trace`] and the
+//! solver's own [`SolverStats`] say — forks by reason, packet fates,
+//! dispatches by kind, and solver queries per answering layer. A missed
+//! or double-recorded instrumentation site breaks an equality here.
+
+mod common;
+
+use common::scenario_from_seed;
+use sde::prelude::*;
+use sde::trace::{
+    DispatchKind, ForkReason, GroupLayer, QueryLayer, RingSink, TraceEvent, TraceSink, Verdict,
+};
+use std::sync::Arc;
+
+/// Every counter reconstructible from an event stream.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Recount {
+    boots: u64,
+    dispatch: [u64; 3], // boot, timer, deliver
+    forks: [u64; 5],    // ForkReason::ALL order
+    sends: u64,
+    delivers: u64,
+    drops: u64,
+    queries: u64,
+    query_layers: [u64; 3], // fold, exact, solve
+    verdicts: [u64; 3],     // sat, unsat, unknown
+    group_layers: [u64; 4], // exact, reuse, ucore, solve
+}
+
+fn recount(events: &[TraceEvent]) -> Recount {
+    let mut c = Recount::default();
+    for ev in events {
+        match ev {
+            TraceEvent::Boot { .. } => c.boots += 1,
+            TraceEvent::Dispatch { kind, .. } => {
+                c.dispatch[match kind {
+                    DispatchKind::Boot => 0,
+                    DispatchKind::Timer => 1,
+                    DispatchKind::Deliver => 2,
+                }] += 1;
+            }
+            TraceEvent::Fork { reason, .. } => {
+                c.forks[ForkReason::ALL.iter().position(|r| r == reason).unwrap()] += 1;
+            }
+            TraceEvent::Send { .. } => c.sends += 1,
+            TraceEvent::Deliver { .. } => c.delivers += 1,
+            TraceEvent::Drop { .. } => c.drops += 1,
+            TraceEvent::Query { layer, verdict, .. } => {
+                c.queries += 1;
+                c.query_layers[match layer {
+                    QueryLayer::Fold => 0,
+                    QueryLayer::Exact => 1,
+                    QueryLayer::Solve => 2,
+                }] += 1;
+                c.verdicts[match verdict {
+                    Verdict::Sat => 0,
+                    Verdict::Unsat => 1,
+                    Verdict::Unknown => 2,
+                }] += 1;
+            }
+            TraceEvent::QueryGroup { layer } => {
+                c.group_layers[match layer {
+                    GroupLayer::Exact => 0,
+                    GroupLayer::Reuse => 1,
+                    GroupLayer::Ucore => 2,
+                    GroupLayer::Solve => 3,
+                }] += 1;
+            }
+            _ => {}
+        }
+    }
+    c
+}
+
+#[test]
+fn trace_counters_equal_report_counters() {
+    for i in 0..10u64 {
+        let seed = 0xc0de ^ (i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let (label, scenario) = scenario_from_seed(seed);
+        for alg in Algorithm::ALL {
+            let sink = Arc::new(RingSink::default());
+            let report = Engine::new(scenario.clone(), alg)
+                .with_trace_sink(sink.clone() as Arc<dyn TraceSink>)
+                .run();
+            assert_eq!(sink.dropped(), 0, "[{label}] {alg} trace ring evicted");
+            let events: Vec<TraceEvent> = sink.take().into_iter().map(|te| te.ev).collect();
+            let c = recount(&events);
+            let t = &report.trace;
+            let s = &report.solver;
+            let ctx = format!("[{label}] {alg}");
+
+            // Engine-side counters.
+            assert_eq!(c.boots, t.boots, "{ctx}: boots");
+            assert_eq!(c.dispatch[0], t.dispatch_boot, "{ctx}: boot dispatches");
+            assert_eq!(c.dispatch[1], t.dispatch_timer, "{ctx}: timer dispatches");
+            assert_eq!(
+                c.dispatch[2], t.dispatch_deliver,
+                "{ctx}: deliver dispatches"
+            );
+            assert_eq!(c.forks[0], t.forks_branch, "{ctx}: branch forks");
+            assert_eq!(c.forks[1], t.forks_mapping, "{ctx}: mapping forks");
+            assert_eq!(c.forks[2], t.forks_drop, "{ctx}: drop forks");
+            assert_eq!(c.forks[3], t.forks_duplicate, "{ctx}: duplicate forks");
+            assert_eq!(c.forks[4], t.forks_reboot, "{ctx}: reboot forks");
+            assert_eq!(
+                c.forks.iter().sum::<u64>(),
+                (report.total_states - c.boots as usize) as u64,
+                "{ctx}: every non-root state is exactly one fork event"
+            );
+
+            // Packet fates.
+            assert_eq!(c.sends, report.packets, "{ctx}: sends");
+            assert_eq!(c.delivers, t.packets_delivered, "{ctx}: deliveries");
+            assert_eq!(c.drops, t.packets_dropped, "{ctx}: drops");
+
+            // Solver layers: one Query event per solver query, layer
+            // split matching the cache counters exactly.
+            assert_eq!(c.queries, s.queries, "{ctx}: query count");
+            assert_eq!(c.queries, t.solver_queries, "{ctx}: summary query count");
+            assert_eq!(
+                c.query_layers[1], s.cache_hits,
+                "{ctx}: exact-layer queries"
+            );
+            assert_eq!(c.group_layers[0], s.group_cache_hits, "{ctx}: group hits");
+            assert_eq!(c.group_layers[1], s.model_reuse_hits, "{ctx}: reuse hits");
+            assert_eq!(c.group_layers[2], s.ucore_hits, "{ctx}: ucore hits");
+            assert_eq!(c.verdicts[0], s.sat, "{ctx}: sat verdicts");
+            assert_eq!(c.verdicts[1], s.unsat, "{ctx}: unsat verdicts");
+            assert_eq!(c.verdicts[2], s.unknown, "{ctx}: unknown verdicts");
+        }
+    }
+}
