@@ -23,8 +23,9 @@
 //! Chrome `trace_event` twin).
 
 use sde_bench::{
-    paper_scenario, report_json, run_with_limits_traced, run_with_limits_workers, trace_file_for,
-    write_bench_json, write_series_csv, write_trace, Args, RunLimits, SolverLayers,
+    paper_scenario, report_json, run_checkpointed, run_with_limits_traced, run_with_limits_workers,
+    trace_file_for, write_bench_json, write_series_csv, write_trace, Args, Checkpointing,
+    RunLimits, SolverLayers,
 };
 use sde_core::{human_bytes, Algorithm};
 use std::path::PathBuf;
@@ -63,6 +64,13 @@ fn main() {
     let workers: Option<usize> = args.get("workers");
     // `--trace <base>`: record a structured trace per run.
     let trace_base: Option<PathBuf> = args.get::<String>("trace").map(PathBuf::from);
+    // Checkpoint/resume flags (DESIGN.md §8); snapshots land at
+    // `<snapshot-dir>/fig10_<nodes>nodes_<alg>.snap`.
+    let ckpt = Checkpointing::from_args(&args);
+    assert!(
+        ckpt.is_none() || trace_base.is_none(),
+        "--trace cannot be combined with checkpointing in this bin"
+    );
 
     let mut json = Vec::new();
     for nodes in sizes {
@@ -79,9 +87,26 @@ fn main() {
                 state_cap,
                 sample_every: 256,
             };
-            let report = match &trace_base {
-                None => run_with_limits_workers(&scenario, alg, limits, workers),
-                Some(base) => {
+            let report = match (&ckpt, &trace_base) {
+                (Some(ckpt), _) => {
+                    let label = format!("fig10_{nodes}nodes_{}", alg.name().to_lowercase());
+                    let outcome = run_checkpointed(
+                        &scenario,
+                        alg,
+                        limits,
+                        workers,
+                        SolverLayers::Full,
+                        ckpt,
+                        &label,
+                    )
+                    .expect("checkpointed run");
+                    match outcome {
+                        Some(report) => report,
+                        None => continue, // interrupted by --stop-after
+                    }
+                }
+                (None, None) => run_with_limits_workers(&scenario, alg, limits, workers),
+                (None, Some(base)) => {
                     let (report, events) =
                         run_with_limits_traced(&scenario, alg, limits, workers, SolverLayers::Full);
                     let label = format!("{nodes}nodes_{}", report.algorithm.to_lowercase());

@@ -21,7 +21,10 @@
 //! parallel traces are **byte-identical** across worker counts (the
 //! engine merges speculative-worker events in job submission order).
 
-use sde_bench::{symbolic_grid, trace_file_for, write_trace, Args};
+use sde_bench::{
+    run_checkpointed, symbolic_grid, trace_file_for, write_trace, Args, Checkpointing, RunLimits,
+    SolverLayers,
+};
 use sde_core::{Algorithm, Engine, RunReport};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -53,8 +56,23 @@ fn main() {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     let trace_base: Option<PathBuf> = args.get::<String>("trace").map(PathBuf::from);
+    // Checkpoint/resume flags (DESIGN.md §8); snapshots land at
+    // `<snapshot-dir>/sweep_<alg>_w<workers>.snap`. Each parallel point
+    // pauses only at the serial-commit barrier, so its snapshots are
+    // valid sequential pause points too.
+    let ckpt = Checkpointing::from_args(&args);
+    assert!(
+        ckpt.is_none() || trace_base.is_none(),
+        "--trace cannot be combined with checkpointing in this bin"
+    );
 
     let scenario = symbolic_grid(side).with_state_cap(200_000);
+    // Identical limits for plain and checkpointed paths, so the
+    // equivalence assertions below compare like with like.
+    let limits = RunLimits {
+        state_cap: scenario.state_cap,
+        sample_every: scenario.sample_every,
+    };
     let mut report = String::new();
     let _ = writeln!(
         report,
@@ -99,9 +117,26 @@ fn main() {
         );
         let mut first_parallel_jsonl: Option<String> = None;
         for workers in [1usize, 2, 4, 8] {
-            let par = match &trace_base {
-                None => Engine::new(scenario.clone(), alg).run_parallel(workers),
-                Some(base) => {
+            let par = match (&ckpt, &trace_base) {
+                (Some(ckpt), _) => {
+                    let label = format!("sweep_{}_w{workers}", alg.name().to_lowercase());
+                    let outcome = run_checkpointed(
+                        &scenario,
+                        alg,
+                        limits,
+                        Some(workers),
+                        SolverLayers::Full,
+                        ckpt,
+                        &label,
+                    )
+                    .expect("checkpointed run");
+                    match outcome {
+                        Some(par) => par,
+                        None => continue, // interrupted by --stop-after
+                    }
+                }
+                (None, None) => Engine::new(scenario.clone(), alg).run_parallel(workers),
+                (None, Some(base)) => {
                     let (par, events) =
                         run_recorded(Engine::new(scenario.clone(), alg), Some(workers));
                     let jsonl = sde_core::trace::to_jsonl(&events, true);

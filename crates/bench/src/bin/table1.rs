@@ -22,6 +22,10 @@
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny # CI smoke (3×3)
 //! cargo run -p sde-bench --release --bin table1 -- --layers exact --tag layers_exact
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny --trace out.jsonl
+//! cargo run -p sde-bench --release --bin table1 -- --preset tiny --checkpoint-every 5 \
+//!     --snapshot-dir snaps --stop-after 1       # interrupt after the first snapshot
+//! cargo run -p sde-bench --release --bin table1 -- --preset tiny --checkpoint-every 5 \
+//!     --snapshot-dir snaps --resume snaps       # resume; JSON matches a straight run
 //! ```
 //!
 //! `--trace <path>` records a structured event trace per algorithm
@@ -33,8 +37,9 @@
 //! `<out>/BENCH_table1[_<tag>].json`.
 
 use sde_bench::{
-    paper_scenario, report_json, run_with_limits_layers, run_with_limits_traced, symbolic_grid,
-    table_header, trace_file_for, write_bench_json, write_trace, Args, RunLimits, SolverLayers,
+    paper_scenario, report_json, run_checkpointed, run_with_limits_layers, run_with_limits_traced,
+    symbolic_grid, table_header, trace_file_for, write_bench_json, write_trace, Args,
+    Checkpointing, RunLimits, SolverLayers,
 };
 use sde_core::complexity::WorstCase;
 use sde_core::Algorithm;
@@ -87,6 +92,16 @@ fn main() {
     // real queries to ablate.
     // `--trace <base>`: record a structured trace per algorithm.
     let trace_base: Option<PathBuf> = args.get::<String>("trace").map(PathBuf::from);
+    // `--checkpoint-every N --snapshot-dir D --resume PATH --stop-after S`:
+    // checkpoint/resume (DESIGN.md §8). Snapshots land at
+    // `<snapshot-dir>/table1_<alg>.snap`; the resumed run's JSON is
+    // equivalence-key-identical to an uninterrupted one.
+    let ckpt = Checkpointing::from_args(&args);
+    assert!(
+        ckpt.is_none() || trace_base.is_none(),
+        "--trace cannot be combined with checkpointing in this bin \
+         (use tests/checkpoint_equivalence.rs for traced interrupt/resume)"
+    );
     let workload = args
         .get::<String>("scenario")
         .unwrap_or_else(|| "collect".to_string());
@@ -109,18 +124,34 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut json = Vec::new();
+    let mut interrupted = 0usize;
     for alg in Algorithm::ALL {
         let state_cap = if alg == Algorithm::Cob { cap_cob } else { cap };
         let limits = RunLimits {
             state_cap,
             sample_every,
         };
-        let (report, trace_line) = match &trace_base {
-            None => (
+        let (report, trace_line) = match (&ckpt, &trace_base) {
+            (Some(ckpt), _) => {
+                let label = format!("table1_{}", alg.name().to_lowercase());
+                match run_checkpointed(&scenario, alg, limits, workers, layers, ckpt, &label)
+                    .expect("checkpointed run")
+                {
+                    Some(report) => (report, None),
+                    None => {
+                        // Interrupted by --stop-after: the snapshot on
+                        // disk carries the progress; resume with
+                        // `--resume <snapshot-dir>`.
+                        interrupted += 1;
+                        continue;
+                    }
+                }
+            }
+            (None, None) => (
                 run_with_limits_layers(&scenario, alg, limits, workers, layers),
                 None,
             ),
-            Some(base) => {
+            (None, Some(base)) => {
                 let (report, events) =
                     run_with_limits_traced(&scenario, alg, limits, workers, layers);
                 let file = trace_file_for(base, &report.algorithm.to_lowercase());
@@ -163,6 +194,13 @@ fn main() {
     write_bench_json(&json_path, &json).expect("write BENCH_table1 json");
     println!("\nrecorded: {}", json_path.display());
 
+    if interrupted > 0 {
+        println!(
+            "{interrupted} run(s) interrupted by --stop-after; shape checks skipped \
+             (resume with --resume <snapshot-dir>)"
+        );
+        return;
+    }
     let (cob, cow, sds) = (&rows[0], &rows[1], &rows[2]);
     println!("\nshape checks against the paper:");
     println!(

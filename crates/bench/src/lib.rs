@@ -11,11 +11,12 @@
 //! numbers of the authors' 2011 Xeon testbed; see DESIGN.md for the
 //! substitutions.
 
-use sde_core::{Algorithm, Engine, RunReport, Scenario};
+use sde_core::{Algorithm, Budget, Engine, EngineSnapshot, RunReport, Scenario};
 use sde_net::{FailureConfig, Topology};
 use sde_os::apps::collect::{self, CollectConfig};
 use sde_os::apps::sense::{self, SenseConfig};
 use sde_symbolic::Solver;
+use std::path::{Path, PathBuf};
 
 /// The paper's §IV-A scenario for a `side × side` grid: corner-to-corner
 /// static route, one packet per second for ten seconds, symbolic drop of
@@ -153,6 +154,156 @@ pub fn run_with_limits_layers(
     match workers {
         None => engine.run(),
         Some(w) => engine.run_parallel(w),
+    }
+}
+
+/// Checkpoint/resume options shared by the bench bins (DESIGN.md §8):
+/// `--checkpoint-every N` (snapshot every N dispatched events),
+/// `--snapshot-dir D` (where `<label>.snap` files land),
+/// `--resume PATH` (a snapshot file, or a directory holding per-label
+/// snapshots), `--stop-after S` (exit after S snapshots — the CI
+/// "interrupted run" stand-in for a kill).
+#[derive(Debug, Clone)]
+pub struct Checkpointing {
+    /// Snapshot cadence in dispatched events; 0 = never (resume-only).
+    pub every: u64,
+    /// Directory snapshot files are written to.
+    pub dir: PathBuf,
+    /// Snapshot file — or directory of `<label>.snap` files — to resume
+    /// from.
+    pub resume: Option<PathBuf>,
+    /// Stop the run after writing this many snapshots.
+    pub stop_after: Option<u64>,
+}
+
+impl Checkpointing {
+    /// Parses the checkpoint flags; `None` when neither
+    /// `--checkpoint-every` nor `--resume` was passed.
+    pub fn from_args(args: &Args) -> Option<Checkpointing> {
+        let every: Option<u64> = args.get("checkpoint-every");
+        let resume: Option<String> = args.get("resume");
+        if every.is_none() && resume.is_none() {
+            return None;
+        }
+        Some(Checkpointing {
+            every: every.unwrap_or(0),
+            dir: PathBuf::from(
+                args.get::<String>("snapshot-dir")
+                    .unwrap_or_else(|| "bench_out/snapshots".to_string()),
+            ),
+            resume: resume.map(PathBuf::from),
+            stop_after: args.get("stop-after"),
+        })
+    }
+
+    /// Where this run's snapshot lands: `<dir>/<label>.snap`.
+    pub fn snapshot_path(&self, label: &str) -> PathBuf {
+        self.dir.join(format!("{label}.snap"))
+    }
+
+    /// The snapshot to resume `label` from, when one applies: `--resume`
+    /// pointed at a file uses it directly; pointed at a directory, the
+    /// per-label file is used when present.
+    pub fn resume_path(&self, label: &str) -> Option<PathBuf> {
+        let p = self.resume.as_ref()?;
+        if p.is_dir() {
+            let candidate = p.join(format!("{label}.snap"));
+            candidate.is_file().then_some(candidate)
+        } else {
+            Some(p.clone())
+        }
+    }
+}
+
+fn io_invalid(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Loads and decodes a snapshot file with bin-friendly error messages.
+///
+/// # Errors
+///
+/// I/O errors reading the file; [`std::io::ErrorKind::InvalidData`] when
+/// the bytes are not a valid snapshot (corruption, wrong version).
+pub fn load_snapshot(path: &Path) -> std::io::Result<EngineSnapshot> {
+    let bytes = std::fs::read(path)?;
+    EngineSnapshot::from_bytes(&bytes).map_err(|e| io_invalid(format!("{}: {e}", path.display())))
+}
+
+/// [`run_with_limits_layers`] with checkpoint/resume: optionally resumes
+/// from `ckpt.resume`, then drives the run in `ckpt.every`-event
+/// segments, writing a snapshot to `<dir>/<label>.snap` at every pause.
+/// Returns `Ok(None)` when `--stop-after` ended the run early (the
+/// snapshot on disk carries the progress); `Ok(Some(report))` on
+/// completion. The completed report is equivalence-key-identical to an
+/// uninterrupted [`run_with_limits_layers`] run.
+///
+/// # Errors
+///
+/// I/O errors reading/writing snapshot files; `InvalidData` when the
+/// resume snapshot is malformed, is for a different algorithm, or does
+/// not match the scenario.
+pub fn run_checkpointed(
+    scenario: &Scenario,
+    algorithm: Algorithm,
+    limits: RunLimits,
+    workers: Option<usize>,
+    layers: SolverLayers,
+    ckpt: &Checkpointing,
+    label: &str,
+) -> std::io::Result<Option<RunReport>> {
+    let s = scenario
+        .clone()
+        .with_state_cap(limits.state_cap)
+        .with_sample_every(limits.sample_every);
+    let mut engine = match ckpt.resume_path(label) {
+        Some(path) => {
+            let snap = load_snapshot(&path)?;
+            if snap.algorithm() != algorithm {
+                return Err(io_invalid(format!(
+                    "{}: snapshot is a {} run, expected {algorithm}",
+                    path.display(),
+                    snap.algorithm()
+                )));
+            }
+            let engine = Engine::resume(s, &snap)
+                .map_err(|e| io_invalid(format!("{}: {e}", path.display())))?;
+            println!(
+                "     | resumed from {} ({} events, {} states in)",
+                path.display(),
+                snap.events_processed(),
+                snap.total_states()
+            );
+            engine
+        }
+        None => Engine::new(s, algorithm),
+    };
+    layers.apply(engine.solver());
+    let budget = if ckpt.every > 0 {
+        Budget::events(ckpt.every)
+    } else {
+        Budget::unlimited()
+    };
+    let mut written = 0u64;
+    loop {
+        let outcome = match workers {
+            None => engine.run_until(budget),
+            Some(w) => engine.run_until_parallel(w, budget),
+        };
+        if outcome.is_complete() {
+            return Ok(Some(engine.into_report()));
+        }
+        let path = ckpt.snapshot_path(label);
+        std::fs::create_dir_all(&ckpt.dir)?;
+        std::fs::write(&path, engine.snapshot().to_bytes())?;
+        written += 1;
+        if ckpt.stop_after.is_some_and(|n| written >= n) {
+            println!(
+                "     | stopped after {written} snapshot(s): {}",
+                path.display()
+            );
+            return Ok(None);
+        }
     }
 }
 

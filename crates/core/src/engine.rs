@@ -13,12 +13,13 @@
 //! drop / duplication / node reboot) are injected at delivery time as
 //! local forks — the network itself is ideal (paper footnote 2).
 
+use crate::checkpoint::{Budget, EngineSnapshot, RunOutcome, SnapshotError};
 use crate::history::HistoryEvent;
 use crate::mapping::{Algorithm, StateMapper, StateStore};
 use crate::scenario::Scenario;
 use crate::state::{SdeState, StateId};
 use crate::stats::{BugFound, ParallelStats, RunReport, Sample, TimeSeries};
-use sde_net::{EventQueue, NodeId, Packet, PacketId};
+use sde_net::{Event, EventQueue, NodeId, Packet, PacketId};
 use sde_os::handlers;
 use sde_symbolic::{Expr, ExprRef, Solver, SymbolTable, Width};
 use sde_vm::{step, Program, Status, StepResult, Syscall, VmCtx, VmState};
@@ -147,6 +148,7 @@ impl StateStore for Store {
 #[derive(Debug)]
 pub struct Engine {
     scenario: Scenario,
+    algorithm: Algorithm,
     mapper: Box<dyn StateMapper>,
     solver: Arc<Solver>,
     symbols: SymbolTable,
@@ -176,6 +178,7 @@ impl Engine {
     pub fn new(scenario: Scenario, algorithm: Algorithm) -> Engine {
         Engine {
             scenario,
+            algorithm,
             mapper: algorithm.new_mapper(),
             solver: Arc::new(Solver::new()),
             symbols: SymbolTable::new(),
@@ -236,24 +239,43 @@ impl Engine {
     /// Like [`Engine::run`] but keeps the engine alive so the final state
     /// set can be inspected (test-case generation, invariant checks).
     pub fn run_in_place(&mut self) {
+        self.run_until(Budget::unlimited());
+    }
+
+    /// Runs until the scenario completes or `budget` is exhausted
+    /// (DESIGN.md §8). Budget axes are checked *between* events, so a
+    /// pause always lands at an event boundary where the engine can be
+    /// [snapshotted](Engine::snapshot). A fresh engine boots on the first
+    /// call; a paused or [resumed](Engine::resume) engine continues where
+    /// it stopped. Driving a run through any sequence of budgets produces
+    /// exactly the state set, report and trace stream of a single
+    /// unbounded [`Engine::run_in_place`].
+    pub fn run_until(&mut self, budget: Budget) -> RunOutcome {
         let _trace_guard = self
             .traced
             .then(|| sde_trace::install(Arc::clone(&self.sink)));
         self.started = Instant::now();
-        self.boot();
-        self.trace.boot_wall_us = self.started.elapsed().as_micros() as u64;
-        self.sample();
+        if self.store.next_state == 0 {
+            self.boot();
+            self.trace.boot_wall_us = self.started.elapsed().as_micros() as u64;
+            self.sample();
+        }
+        let events_start = self.events_processed;
+        let instr_start = self.instructions;
 
-        loop {
+        let outcome = loop {
+            if self.budget_exhausted(budget, events_start, instr_start) {
+                break RunOutcome::Paused;
+            }
             if self.store.total_states > self.scenario.state_cap {
                 self.aborted = true;
-                break;
+                break RunOutcome::Complete;
             }
             let Some(event) = self.store.events.pop() else {
-                break;
+                break RunOutcome::Complete;
             };
             if event.time > self.scenario.duration_ms {
-                break;
+                break RunOutcome::Complete;
             }
             self.now = event.time;
             let (state_id, kind) = event.payload;
@@ -265,10 +287,38 @@ impl Engine {
             {
                 self.sample();
             }
-        }
+        };
 
-        self.sample();
-        self.trace.run_wall_us = self.started.elapsed().as_micros() as u64;
+        // The final sample belongs to the *run*, not the segment: a paused
+        // segment must leave the time series exactly as the uninterrupted
+        // run would have it at this point.
+        if outcome.is_complete() {
+            self.sample();
+        }
+        self.trace.run_wall_us += self.started.elapsed().as_micros() as u64;
+        outcome
+    }
+
+    /// `true` once any axis of `budget` is spent. Event and instruction
+    /// axes are relative to the start of the current
+    /// [`Engine::run_until`] call; the live-state axis is absolute.
+    fn budget_exhausted(&self, budget: Budget, events_start: u64, instr_start: u64) -> bool {
+        if let Some(n) = budget.max_events {
+            if self.events_processed - events_start >= n {
+                return true;
+            }
+        }
+        if let Some(n) = budget.max_instructions {
+            if self.instructions - instr_start >= n {
+                return true;
+            }
+        }
+        if let Some(n) = budget.max_live_states {
+            if self.store.states.values().filter(|s| s.is_live()).count() >= n {
+                return true;
+            }
+        }
+        false
     }
 
     /// Runs the scenario with `workers` speculative helper threads and
@@ -321,15 +371,29 @@ impl Engine {
     /// cache state the pass observes — and therefore the solver-layer
     /// attribution in the trace — is identical at every worker count.
     pub fn run_parallel_in_place(&mut self, workers: usize) {
+        self.run_until_parallel(workers, Budget::unlimited());
+    }
+
+    /// [`Engine::run_until`] on the parallel path: identical speculation
+    /// and commit machinery, but the budget is checked only at the
+    /// serial-commit barrier *between* virtual-time batches — a batch is
+    /// never split, so a pause point on the parallel path is also a valid
+    /// pause point of the sequential run (DESIGN.md §8).
+    pub fn run_until_parallel(&mut self, workers: usize, budget: Budget) -> RunOutcome {
         let _trace_guard = self
             .traced
             .then(|| sde_trace::install(Arc::clone(&self.sink)));
         let traced = self.traced;
         let workers = workers.max(1);
         self.started = Instant::now();
-        self.boot();
-        self.trace.boot_wall_us = self.started.elapsed().as_micros() as u64;
-        self.sample();
+        if self.store.next_state == 0 {
+            self.boot();
+            self.trace.boot_wall_us = self.started.elapsed().as_micros() as u64;
+            self.sample();
+        }
+        let events_start = self.events_processed;
+        let instr_start = self.instructions;
+        let mut outcome = RunOutcome::Complete;
         let mut pstats = ParallelStats {
             workers,
             ..ParallelStats::default()
@@ -369,6 +433,10 @@ impl Engine {
             drop(done_tx);
 
             'run: loop {
+                if self.budget_exhausted(budget, events_start, instr_start) {
+                    outcome = RunOutcome::Paused;
+                    break;
+                }
                 if self.store.total_states > self.scenario.state_cap {
                     self.aborted = true;
                     break;
@@ -489,10 +557,175 @@ impl Engine {
             drop(job_tx);
         });
 
-        self.sample();
+        if outcome.is_complete() {
+            self.sample();
+        }
         pstats.run_wall = self.started.elapsed();
-        self.parallel = Some(pstats);
-        self.trace.run_wall_us = self.started.elapsed().as_micros() as u64;
+        self.merge_parallel(pstats);
+        self.trace.run_wall_us += self.started.elapsed().as_micros() as u64;
+        outcome
+    }
+
+    /// Accumulates a segment's [`ParallelStats`] into the run's totals
+    /// (counters and wall times add up; `workers` reflects the latest
+    /// segment).
+    fn merge_parallel(&mut self, fresh: ParallelStats) {
+        let merged = match self.parallel.take() {
+            Some(prev) => ParallelStats {
+                workers: fresh.workers,
+                batches: prev.batches + fresh.batches,
+                speculated_batches: prev.speculated_batches + fresh.speculated_batches,
+                spec_groups: prev.spec_groups + fresh.spec_groups,
+                spec_events: prev.spec_events + fresh.spec_events,
+                spec_instructions: prev.spec_instructions + fresh.spec_instructions,
+                spec_busy: prev.spec_busy + fresh.spec_busy,
+                serial_wall: prev.serial_wall + fresh.serial_wall,
+                dispatch_wall: prev.dispatch_wall + fresh.dispatch_wall,
+                barrier_wall: prev.barrier_wall + fresh.barrier_wall,
+                run_wall: prev.run_wall + fresh.run_wall,
+            },
+            None => fresh,
+        };
+        self.parallel = Some(merged);
+    }
+
+    /// Captures the engine's complete configuration as an
+    /// [`EngineSnapshot`] — states, event queue, mapper bookkeeping,
+    /// solver caches and all counters. Valid at any event boundary:
+    /// before the run, after [`Engine::run_until`] returns
+    /// [`RunOutcome::Paused`], or after completion. Serialize with
+    /// [`EngineSnapshot::to_bytes`]; reconstruct a continuation with
+    /// [`Engine::resume`].
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let mut states: Vec<SdeState> = self.store.states.values().cloned().collect();
+        states.sort_unstable_by_key(|s| s.id.0);
+        let mut queue: Vec<(u64, u64, StateId, NodeEvent)> = self
+            .store
+            .events
+            .iter()
+            .map(|e| (e.time, e.seq, e.payload.0, e.payload.1.clone()))
+            .collect();
+        queue.sort_unstable_by_key(|(_, seq, _, _)| *seq);
+        let symbols = self
+            .symbols
+            .iter()
+            .map(|v| (v.name().to_string(), v.width(), v.node(), v.occurrence()))
+            .collect();
+        EngineSnapshot {
+            algorithm: self.algorithm,
+            node_count: self.scenario.node_count(),
+            duration_ms: self.scenario.duration_ms,
+            link_latency_ms: self.scenario.link_latency_ms,
+            state_cap: self.scenario.state_cap,
+            sample_every: self.scenario.sample_every,
+            track_history: self.scenario.track_history,
+            symbols,
+            states,
+            queue_next_seq: self.store.events.next_seq(),
+            queue,
+            mapper: self.mapper.export_snapshot(),
+            solver: self.solver.export_state(),
+            now: self.now,
+            next_packet: self.next_packet,
+            events_processed: self.events_processed,
+            packets_sent: self.packets_sent,
+            instructions: self.instructions,
+            aborted: self.aborted,
+            total_states: self.store.total_states,
+            next_state: self.store.next_state,
+            forks: self.store.forks,
+            samples: self.series.samples().to_vec(),
+            bugs: self.bugs.clone(),
+            trace: self.trace,
+        }
+    }
+
+    /// Reconstructs a paused engine from `snapshot` so that driving it
+    /// (`run_until`, `run`, `run_until_parallel`) continues exactly where
+    /// the snapshotted run stopped: same state ids, same event order,
+    /// same [`RunReport::equivalence_key`] and — with a sink re-attached
+    /// via [`Engine::with_trace_sink`] — the same trace events as the
+    /// uninterrupted run.
+    ///
+    /// `scenario` must be the scenario of the original run; snapshots
+    /// carry programs and failure configs by *reference to the caller*
+    /// (they are not serialized), so the caller re-supplies them. The
+    /// scalar scenario fingerprint is cross-checked.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::ScenarioMismatch`] when a fingerprint field
+    /// differs, [`SnapshotError::MapperState`] when the mapper
+    /// bookkeeping is inconsistent, [`SnapshotError::Codec`] when the
+    /// snapshot references impossible state ids.
+    pub fn resume(scenario: Scenario, snapshot: &EngineSnapshot) -> Result<Engine, SnapshotError> {
+        if scenario.node_count() != snapshot.node_count {
+            return Err(SnapshotError::ScenarioMismatch("node count"));
+        }
+        if scenario.duration_ms != snapshot.duration_ms {
+            return Err(SnapshotError::ScenarioMismatch("duration_ms"));
+        }
+        if scenario.link_latency_ms != snapshot.link_latency_ms {
+            return Err(SnapshotError::ScenarioMismatch("link_latency_ms"));
+        }
+        if scenario.state_cap != snapshot.state_cap {
+            return Err(SnapshotError::ScenarioMismatch("state_cap"));
+        }
+        if scenario.sample_every != snapshot.sample_every {
+            return Err(SnapshotError::ScenarioMismatch("sample_every"));
+        }
+        if scenario.track_history != snapshot.track_history {
+            return Err(SnapshotError::ScenarioMismatch("track_history"));
+        }
+        let mut engine = Engine::new(scenario, snapshot.algorithm);
+        // Re-mint the symbol table in allocation order so ids line up
+        // with every serialized expression.
+        for (name, width, node, occurrence) in &snapshot.symbols {
+            engine.symbols.fresh_keyed(name, *width, *node, *occurrence);
+        }
+        engine
+            .mapper
+            .import_snapshot(snapshot.mapper.clone())
+            .map_err(SnapshotError::MapperState)?;
+        engine.solver.import_state(&snapshot.solver);
+        for s in &snapshot.states {
+            if s.id.0 >= snapshot.next_state {
+                return Err(SnapshotError::Codec(sde_symbolic::CodecError::Malformed(
+                    "state id beyond allocator",
+                )));
+            }
+            if engine.store.states.insert(s.id, s.clone()).is_some() {
+                return Err(SnapshotError::Codec(sde_symbolic::CodecError::Malformed(
+                    "duplicate state id",
+                )));
+            }
+        }
+        engine.store.next_state = snapshot.next_state;
+        engine.store.total_states = snapshot.total_states;
+        engine.store.forks = snapshot.forks;
+        // Rebuild the queue silently (no QueuePush trace events): these
+        // pushes already happened — and were already traced — in the
+        // original run.
+        engine.store.events = EventQueue::from_parts(
+            snapshot.queue_next_seq,
+            snapshot.queue.iter().map(|(time, seq, sid, ev)| Event {
+                time: *time,
+                seq: *seq,
+                payload: (*sid, ev.clone()),
+            }),
+        );
+        engine.now = snapshot.now;
+        engine.next_packet = snapshot.next_packet;
+        engine.events_processed = snapshot.events_processed;
+        engine.packets_sent = snapshot.packets_sent;
+        engine.instructions = snapshot.instructions;
+        engine.aborted = snapshot.aborted;
+        engine.bugs = snapshot.bugs.clone();
+        for sample in &snapshot.samples {
+            engine.series.push(*sample);
+        }
+        engine.trace = snapshot.trace;
+        Ok(engine)
     }
 
     /// Phase 3 of [`Engine::run_parallel_in_place`]: the authoritative

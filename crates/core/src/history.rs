@@ -95,6 +95,31 @@ impl CommHistory {
         self.log.as_ref().map(|l| l.iter())
     }
 
+    /// Exports the exact stored parts for the snapshot codec: the digest,
+    /// the length, and the log (most recent first) when tracked.
+    pub(crate) fn export_parts(&self) -> (u64, u32, Option<Vec<HistoryEvent>>) {
+        (
+            self.digest,
+            self.len,
+            self.log.as_ref().map(|l| l.iter().copied().collect()),
+        )
+    }
+
+    /// Rebuilds a history from parts exported by
+    /// [`CommHistory::export_parts`] (`log` most recent first). Nothing is
+    /// re-hashed: the digest is restored verbatim so forked siblings keep
+    /// comparing equal across a snapshot/resume boundary.
+    pub(crate) fn from_parts(digest: u64, len: u32, log: Option<Vec<HistoryEvent>>) -> CommHistory {
+        let log = log.map(|events| {
+            let mut list = PList::new();
+            for e in events.into_iter().rev() {
+                list = list.prepend(e);
+            }
+            list
+        });
+        CommHistory { digest, len, log }
+    }
+
     /// Checks whether two histories are in *direct conflict* (§II-B): one
     /// state sent a packet to the other's node that the other did not
     /// receive, or received a packet from the other's node that the other
@@ -244,6 +269,22 @@ mod tests {
         let mut s3 = CommHistory::new(true);
         s3.record(received(2, 2));
         assert_eq!(s1.direct_conflict(NodeId(1), &s3, NodeId(3)), Some(false));
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_digest_and_log() {
+        let mut h = CommHistory::new(true);
+        h.record(sent(1, 2));
+        h.record(received(3, 4));
+        let (digest, len, log) = h.export_parts();
+        assert_eq!(len, 2);
+        assert_eq!(log.as_ref().map(Vec::len), Some(2));
+        let back = CommHistory::from_parts(digest, len, log);
+        assert_eq!(back, h);
+        assert_eq!(back.export_parts(), h.export_parts());
+        let untracked = CommHistory::from_parts(digest, len, None);
+        assert!(untracked.log().is_none());
+        assert_eq!(untracked, h, "equality compares digest and length only");
     }
 
     #[test]

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod bignum;
+mod checkpoint;
 pub mod complexity;
 mod engine;
 mod history;
@@ -54,9 +55,10 @@ mod stats;
 pub mod testgen;
 
 pub use bignum::BigUint;
+pub use checkpoint::{Budget, EngineSnapshot, RunOutcome, SnapshotError, SNAPSHOT_VERSION};
 pub use engine::{run, Engine, NodeEvent};
 pub use history::{CommHistory, HistoryEvent};
-pub use mapping::{Algorithm, Delivery, MapperStats, StateMapper, StateStore};
+pub use mapping::{Algorithm, Delivery, MapperSnapshot, MapperStats, StateMapper, StateStore};
 pub use parallel::run_parallel;
 pub use scenario::Scenario;
 pub use state::{SdeState, StateId};

@@ -12,7 +12,7 @@
 //! here because every other algorithm is validated against COB's
 //! dscenario set.
 
-use crate::mapping::{Delivery, MapperStats, StateMapper, StateStore};
+use crate::mapping::{Delivery, MapperSnapshot, MapperStats, StateMapper, StateStore};
 use crate::state::StateId;
 use sde_net::NodeId;
 use std::collections::{BTreeMap, HashMap};
@@ -158,6 +158,59 @@ impl StateMapper for Cob {
             }
         }
         None
+    }
+
+    fn export_snapshot(&self) -> MapperSnapshot {
+        let mut groups: Vec<(u64, Vec<(u16, u64)>)> = self
+            .groups
+            .iter()
+            .map(|(g, members)| (g.0, members.iter().map(|(n, s)| (n.0, s.0)).collect()))
+            .collect();
+        groups.sort_unstable_by_key(|(g, _)| *g);
+        MapperSnapshot::Cob {
+            groups,
+            next_group: self.next_group,
+            stats: self.stats,
+        }
+    }
+
+    fn import_snapshot(&mut self, snapshot: MapperSnapshot) -> Result<(), String> {
+        let MapperSnapshot::Cob {
+            groups,
+            next_group,
+            stats,
+        } = snapshot
+        else {
+            return Err(format!(
+                "COB mapper cannot import a {} snapshot",
+                snapshot.algorithm()
+            ));
+        };
+        let mut restored = Cob {
+            next_group,
+            stats,
+            ..Cob::default()
+        };
+        for (gid, members) in groups {
+            if gid >= next_group {
+                return Err(format!("dscenario id {gid} beyond allocator {next_group}"));
+            }
+            let g = GroupId(gid);
+            let mut map = BTreeMap::new();
+            for (n, s) in members {
+                if map.insert(NodeId(n), StateId(s)).is_some() {
+                    return Err(format!("dscenario {gid} lists node {n} twice"));
+                }
+                if restored.group_of.insert(StateId(s), g).is_some() {
+                    return Err(format!("state {s} appears in two dscenarios"));
+                }
+            }
+            if restored.groups.insert(g, map).is_some() {
+                return Err(format!("dscenario id {gid} duplicated"));
+            }
+        }
+        *self = restored;
+        Ok(())
     }
 }
 

@@ -12,7 +12,10 @@
 //!
 //! The bystander copies are pure duplicates — the waste SDS eliminates.
 
-use crate::mapping::{CartesianScenarios, Delivery, MapperStats, StateMapper, StateStore};
+use crate::mapping::{
+    CartesianScenarios, CowGroupSnapshot, Delivery, MapperSnapshot, MapperStats, StateMapper,
+    StateStore,
+};
 use crate::state::StateId;
 use sde_net::NodeId;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -205,6 +208,68 @@ impl StateMapper for Cow {
             }
         }
         None
+    }
+
+    fn export_snapshot(&self) -> MapperSnapshot {
+        let mut dstates: Vec<CowGroupSnapshot> = self
+            .dstates
+            .iter()
+            .map(|(g, members)| {
+                let per_node = members
+                    .iter()
+                    .map(|(n, set)| (n.0, set.iter().map(|s| s.0).collect()))
+                    .collect();
+                (g.0, per_node)
+            })
+            .collect();
+        dstates.sort_unstable_by_key(|(g, _)| *g);
+        MapperSnapshot::Cow {
+            dstates,
+            next_group: self.next_group,
+            stats: self.stats,
+        }
+    }
+
+    fn import_snapshot(&mut self, snapshot: MapperSnapshot) -> Result<(), String> {
+        let MapperSnapshot::Cow {
+            dstates,
+            next_group,
+            stats,
+        } = snapshot
+        else {
+            return Err(format!(
+                "COW mapper cannot import a {} snapshot",
+                snapshot.algorithm()
+            ));
+        };
+        let mut restored = Cow {
+            next_group,
+            stats,
+            ..Cow::default()
+        };
+        for (gid, per_node) in dstates {
+            if gid >= next_group {
+                return Err(format!("dstate id {gid} beyond allocator {next_group}"));
+            }
+            let g = GroupId(gid);
+            let mut members: BTreeMap<NodeId, BTreeSet<StateId>> = BTreeMap::new();
+            for (n, states) in per_node {
+                let set = members.entry(NodeId(n)).or_default();
+                for s in states {
+                    if !set.insert(StateId(s)) {
+                        return Err(format!("dstate {gid} lists state {s} twice"));
+                    }
+                    if restored.group_of.insert(StateId(s), g).is_some() {
+                        return Err(format!("state {s} appears in two dstates"));
+                    }
+                }
+            }
+            if restored.dstates.insert(g, members).is_some() {
+                return Err(format!("dstate id {gid} duplicated"));
+            }
+        }
+        *self = restored;
+        Ok(())
     }
 }
 

@@ -68,6 +68,71 @@ pub struct MapperStats {
     pub virtual_forks: u64,
 }
 
+/// One exported COB dscenario: `(group id, members as (node, state))`,
+/// members in node order.
+pub type CobGroupSnapshot = (u64, Vec<(u16, u64)>);
+
+/// One exported COW dstate: `(group id, per-node member state sets)`,
+/// nodes and members in ascending order.
+pub type CowGroupSnapshot = (u64, Vec<(u16, Vec<u64>)>);
+
+/// One exported SDS virtual state: `(vid, owner state, node, dstate)`.
+pub type VStateSnapshot = (u64, u64, u16, u64);
+
+/// A mapper's complete bookkeeping, flattened for the snapshot codec
+/// (see [`crate::EngineSnapshot`]). Derived indexes (state → group,
+/// state → owned virtual states) are rebuilt on import, so only the
+/// primary tables are stored. Exports are deterministic: every list is
+/// sorted by its leading id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapperSnapshot {
+    /// Copy-On-Branch bookkeeping: one complete dscenario per group.
+    Cob {
+        /// All dscenarios, sorted by group id.
+        groups: Vec<CobGroupSnapshot>,
+        /// The next group id to allocate.
+        next_group: u64,
+        /// Work counters.
+        stats: MapperStats,
+    },
+    /// Delayed-Copy-On-Write bookkeeping: per-dstate member sets.
+    Cow {
+        /// All dstates, sorted by group id.
+        dstates: Vec<CowGroupSnapshot>,
+        /// The next group id to allocate.
+        next_group: u64,
+        /// Work counters.
+        stats: MapperStats,
+    },
+    /// Super-DState bookkeeping: the virtual-state table plus the dstate
+    /// id set (ids alone suffice — membership is derived from the
+    /// virtual states).
+    Sds {
+        /// Every virtual state, sorted by vid.
+        vstates: Vec<VStateSnapshot>,
+        /// Every dstate id (kept separately so a dstate that happens to
+        /// be empty still counts toward [`StateMapper::group_count`]).
+        groups: Vec<u64>,
+        /// The next dstate id to allocate.
+        next_group: u64,
+        /// The next virtual-state id to allocate.
+        next_v: u64,
+        /// Work counters.
+        stats: MapperStats,
+    },
+}
+
+impl MapperSnapshot {
+    /// The algorithm this snapshot belongs to.
+    pub fn algorithm(&self) -> Algorithm {
+        match self {
+            MapperSnapshot::Cob { .. } => Algorithm::Cob,
+            MapperSnapshot::Cow { .. } => Algorithm::Cow,
+            MapperSnapshot::Sds { .. } => Algorithm::Sds,
+        }
+    }
+}
+
 /// A state mapping algorithm (object-safe so the engine can switch
 /// implementations at run time).
 pub trait StateMapper: fmt::Debug {
@@ -122,6 +187,16 @@ pub trait StateMapper: fmt::Debug {
     /// Validates internal invariants, returning a description of the
     /// first violation. Used by tests; `None` means consistent.
     fn check_invariants(&self) -> Option<String>;
+
+    /// Exports the mapper's complete bookkeeping for a checkpoint
+    /// (deterministic: equal mappers export equal snapshots).
+    fn export_snapshot(&self) -> MapperSnapshot;
+
+    /// Replaces this mapper's bookkeeping with a snapshot exported by
+    /// [`StateMapper::export_snapshot`]. Fails when the snapshot belongs
+    /// to a different algorithm or is internally inconsistent; the mapper
+    /// must be freshly constructed (nothing booted).
+    fn import_snapshot(&mut self, snapshot: MapperSnapshot) -> Result<(), String>;
 }
 
 /// Selects a state mapping algorithm.
@@ -354,6 +429,63 @@ mod tests {
         let axes = vec![vec![StateId(0)], vec![]];
         assert_eq!(CartesianScenarios::new(axes).count(), 0);
         assert_eq!(CartesianScenarios::new(vec![]).count(), 0);
+    }
+
+    #[test]
+    fn mapper_snapshots_roundtrip_per_algorithm() {
+        for alg in Algorithm::ALL {
+            let mut mapper = alg.new_mapper();
+            let mut store = MemoryStore::booted(mapper.as_mut(), 3);
+            store.branch(mapper.as_mut(), StateId(0));
+            mapper.map_send(StateId(0), store.node(0), store.node(1), &mut store);
+            let snap = mapper.export_snapshot();
+            assert_eq!(snap.algorithm(), alg);
+
+            let mut fresh = alg.new_mapper();
+            fresh.import_snapshot(snap.clone()).expect("import");
+            assert_eq!(fresh.export_snapshot(), snap, "export is a fixed point");
+            assert_eq!(fresh.group_count(), mapper.group_count());
+            assert_eq!(fresh.stats(), mapper.stats());
+            assert!(fresh.check_invariants().is_none());
+            let mut original: Vec<Vec<StateId>> = mapper.dscenarios().collect();
+            let mut restored: Vec<Vec<StateId>> = fresh.dscenarios().collect();
+            original.sort();
+            restored.sort();
+            assert_eq!(original, restored, "same represented dscenarios");
+        }
+    }
+
+    #[test]
+    fn mapper_snapshot_import_rejects_wrong_algorithm() {
+        let mut cob = Algorithm::Cob.new_mapper();
+        MemoryStore::booted(cob.as_mut(), 2);
+        let snap = cob.export_snapshot();
+        let mut cow = Algorithm::Cow.new_mapper();
+        let err = cow.import_snapshot(snap).unwrap_err();
+        assert!(
+            err.contains("COB"),
+            "error names the offending algorithm: {err}"
+        );
+    }
+
+    #[test]
+    fn mapper_snapshot_import_rejects_inconsistencies() {
+        // A state listed in two dscenarios.
+        let snap = MapperSnapshot::Cob {
+            groups: vec![(0, vec![(0, 7)]), (1, vec![(0, 7)])],
+            next_group: 2,
+            stats: MapperStats::default(),
+        };
+        assert!(Algorithm::Cob.new_mapper().import_snapshot(snap).is_err());
+        // An SDS vstate pointing at a missing dstate.
+        let snap = MapperSnapshot::Sds {
+            vstates: vec![(0, 0, 0, 9)],
+            groups: vec![0],
+            next_group: 1,
+            next_v: 1,
+            stats: MapperStats::default(),
+        };
+        assert!(Algorithm::Sds.new_mapper().import_snapshot(snap).is_err());
     }
 
     #[test]

@@ -36,7 +36,9 @@
 //! * **case C** (no sending vstate): the virtual target merely moves to
 //!   the non-receiving sibling; its dstate is untouched.
 
-use crate::mapping::{CartesianScenarios, Delivery, MapperStats, StateMapper, StateStore};
+use crate::mapping::{
+    CartesianScenarios, Delivery, MapperSnapshot, MapperStats, StateMapper, StateStore,
+};
 use crate::state::StateId;
 use sde_net::NodeId;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -387,6 +389,83 @@ impl StateMapper for Sds {
             }
         }
         None
+    }
+
+    fn export_snapshot(&self) -> MapperSnapshot {
+        let mut vstates: Vec<(u64, u64, u16, u64)> = self
+            .vstates
+            .iter()
+            .map(|(v, vs)| (v.0, vs.owner.0, vs.node.0, vs.dstate.0))
+            .collect();
+        vstates.sort_unstable_by_key(|(v, ..)| *v);
+        let mut groups: Vec<u64> = self.dstates.keys().map(|g| g.0).collect();
+        groups.sort_unstable();
+        MapperSnapshot::Sds {
+            vstates,
+            groups,
+            next_group: self.next_group,
+            next_v: self.next_v,
+            stats: self.stats,
+        }
+    }
+
+    fn import_snapshot(&mut self, snapshot: MapperSnapshot) -> Result<(), String> {
+        let MapperSnapshot::Sds {
+            vstates,
+            groups,
+            next_group,
+            next_v,
+            stats,
+        } = snapshot
+        else {
+            return Err(format!(
+                "SDS mapper cannot import a {} snapshot",
+                snapshot.algorithm()
+            ));
+        };
+        let mut restored = Sds {
+            next_group,
+            next_v,
+            stats,
+            ..Sds::default()
+        };
+        for gid in groups {
+            if gid >= next_group {
+                return Err(format!("dstate id {gid} beyond allocator {next_group}"));
+            }
+            if restored
+                .dstates
+                .insert(GroupId(gid), BTreeMap::new())
+                .is_some()
+            {
+                return Err(format!("dstate id {gid} duplicated"));
+            }
+        }
+        for (vid, owner, node, dstate) in vstates {
+            if vid >= next_v {
+                return Err(format!("vstate id {vid} beyond allocator {next_v}"));
+            }
+            let v = VId(vid);
+            let members = restored
+                .dstates
+                .get_mut(&GroupId(dstate))
+                .ok_or_else(|| format!("vstate {vid} references missing dstate {dstate}"))?;
+            members.entry(NodeId(node)).or_default().insert(v);
+            restored.owned.entry(StateId(owner)).or_default().insert(v);
+            let prior = restored.vstates.insert(
+                v,
+                VState {
+                    owner: StateId(owner),
+                    node: NodeId(node),
+                    dstate: GroupId(dstate),
+                },
+            );
+            if prior.is_some() {
+                return Err(format!("vstate id {vid} duplicated"));
+            }
+        }
+        *self = restored;
+        Ok(())
     }
 }
 

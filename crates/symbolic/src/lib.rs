@@ -38,6 +38,7 @@ mod interval;
 mod model;
 mod path;
 mod simplify;
+mod snapshot;
 mod solver;
 mod table;
 mod vars;
@@ -48,7 +49,8 @@ pub use interval::Interval;
 pub use model::Model;
 pub use path::PathCondition;
 pub use simplify::simplify;
-pub use solver::{Solver, SolverBudget, SolverResult, SolverStats};
+pub use snapshot::{CodecError, SnapReader, SnapWriter};
+pub use solver::{Solver, SolverBudget, SolverResult, SolverSnapshot, SolverStats};
 pub use table::{SymId, SymVar, SymbolTable};
 pub use vars::VarSet;
 pub use width::Width;

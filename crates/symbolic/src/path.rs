@@ -71,6 +71,25 @@ impl PathCondition {
         }
     }
 
+    /// Rebuilds a path condition from its exact stored parts: the
+    /// constraints as yielded by [`PathCondition::iter`] (most recent
+    /// first) plus the trivially-false marker.
+    ///
+    /// Unlike [`PathCondition::with`], nothing is re-simplified — the
+    /// snapshot codec uses this to restore the *identical* constraint
+    /// sequence, so solver cache keys derived from it keep matching
+    /// after a resume.
+    pub fn from_parts(constraints: Vec<ExprRef>, trivially_false: bool) -> Self {
+        let mut list = PList::new();
+        for c in constraints.into_iter().rev() {
+            list = list.prepend(c);
+        }
+        PathCondition {
+            constraints: list,
+            trivially_false,
+        }
+    }
+
     /// Number of stored constraints.
     pub fn len(&self) -> usize {
         self.constraints.len()

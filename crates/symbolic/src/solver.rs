@@ -58,6 +58,7 @@ use crate::expr::{BinOp, CastOp, Expr, ExprKind, ExprRef};
 use crate::interval::Interval;
 use crate::model::Model;
 use crate::path::PathCondition;
+use crate::snapshot::{CodecError, SnapReader, SnapWriter};
 use crate::table::SymId;
 use crate::vars::VarSet;
 use crate::width::Width;
@@ -150,6 +151,14 @@ impl CacheEntry {
 
 /// One hash bucket of the exact cache: (normalized constraint set, answer).
 type CacheBucket = Vec<(Vec<ExprRef>, CacheEntry)>;
+
+/// One exported exact-cache entry: the normalized constraint set plus
+/// `Some(model)` for SAT / `None` for UNSAT (the serializable form of
+/// [`CacheEntry`]).
+type ExportedEntry = (Vec<ExprRef>, Option<Model>);
+
+/// One exported exact-cache shard: `(key, bucket)` pairs sorted by key.
+type ExportedShard = Vec<(u64, Vec<ExportedEntry>)>;
 
 /// Number of independently-locked cache shards. Sharding keeps lock
 /// contention negligible when speculative workers and the authoritative
@@ -326,6 +335,119 @@ impl Solver {
 
     fn shard(&self, key: u64) -> &Mutex<HashMap<u64, CacheBucket>> {
         &self.cache[key as usize % self.cache.len()]
+    }
+
+    /// Exports the solver's entire mutable state — counters, ablation
+    /// toggles, the exact cache and the counterexample cache — as a
+    /// [`SolverSnapshot`].
+    ///
+    /// Shard contents are captured verbatim (bucket and FIFO order
+    /// preserved) with shard key lists sorted, so exporting the same
+    /// state twice yields identical snapshots.
+    pub fn export_state(&self) -> SolverSnapshot {
+        let exact = self
+            .cache
+            .iter()
+            .map(|shard| {
+                let shard = shard.lock().expect("cache shard");
+                let mut entries: ExportedShard = shard
+                    .iter()
+                    .map(|(key, bucket)| {
+                        let bucket = bucket
+                            .iter()
+                            .map(|(set, entry)| {
+                                let model = match entry {
+                                    CacheEntry::Sat(m) => Some(m.clone()),
+                                    CacheEntry::Unsat => None,
+                                };
+                                (set.clone(), model)
+                            })
+                            .collect();
+                        (*key, bucket)
+                    })
+                    .collect();
+                entries.sort_by_key(|(key, _)| *key);
+                entries
+            })
+            .collect();
+        let mut cex_models = Vec::with_capacity(self.cex.len());
+        let mut cex_cores = Vec::with_capacity(self.cex.len());
+        for shard in &self.cex {
+            let shard = shard.lock().expect("cex shard");
+            cex_models.push(shard.models.iter().cloned().collect::<Vec<_>>());
+            cex_cores.push(
+                shard
+                    .cores
+                    .iter()
+                    .map(|core| (core.hashes.clone(), core.constraints.clone()))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        SolverSnapshot {
+            stats: self.stats(),
+            caching: self.caching.load(Relaxed),
+            group_caching: self.group_caching.load(Relaxed),
+            cex_caching: self.cex_caching.load(Relaxed),
+            exact,
+            cex_models,
+            cex_cores,
+        }
+    }
+
+    /// Restores state exported by [`Solver::export_state`], replacing
+    /// all current counters, toggles and cache contents.
+    ///
+    /// After an import, cache lookups behave exactly as they did on the
+    /// exporting solver: entry order within buckets and counterexample
+    /// FIFOs is preserved, so query answers (and their trace-layer
+    /// attribution) replay identically.
+    pub fn import_state(&self, snap: &SolverSnapshot) {
+        let s = &snap.stats;
+        self.stats.queries.store(s.queries, Relaxed);
+        self.stats.cache_hits.store(s.cache_hits, Relaxed);
+        self.stats
+            .group_cache_hits
+            .store(s.group_cache_hits, Relaxed);
+        self.stats
+            .model_reuse_hits
+            .store(s.model_reuse_hits, Relaxed);
+        self.stats.ucore_hits.store(s.ucore_hits, Relaxed);
+        self.stats.sat.store(s.sat, Relaxed);
+        self.stats.unsat.store(s.unsat, Relaxed);
+        self.stats.unknown.store(s.unknown, Relaxed);
+        self.stats.nodes_visited.store(s.nodes_visited, Relaxed);
+        self.caching.store(snap.caching, Relaxed);
+        self.group_caching.store(snap.group_caching, Relaxed);
+        self.cex_caching.store(snap.cex_caching, Relaxed);
+        debug_assert_eq!(self.cache.len(), snap.exact.len(), "cache shard count");
+        for (shard, entries) in self.cache.iter().zip(&snap.exact) {
+            let mut shard = shard.lock().expect("cache shard");
+            shard.clear();
+            for (key, bucket) in entries {
+                let restored: CacheBucket = bucket
+                    .iter()
+                    .map(|(set, model)| {
+                        let entry = match model {
+                            Some(m) => CacheEntry::Sat(m.clone()),
+                            None => CacheEntry::Unsat,
+                        };
+                        (set.clone(), entry)
+                    })
+                    .collect();
+                shard.insert(*key, restored);
+            }
+        }
+        for (i, shard) in self.cex.iter().enumerate() {
+            let mut shard = shard.lock().expect("cex shard");
+            shard.models = snap.cex_models[i].iter().cloned().collect();
+            shard.cores = snap.cex_cores[i]
+                .iter()
+                .map(|(hashes, constraints)| CoreEntry {
+                    hashes: hashes.clone(),
+                    constraints: constraints.clone(),
+                })
+                .collect();
+        }
     }
 
     /// Decides satisfiability of a path condition.
@@ -848,6 +970,251 @@ impl Solver {
         } else {
             Verdict::Unsat
         }
+    }
+}
+
+/// A serializable image of a [`Solver`]'s mutable state, produced by
+/// [`Solver::export_state`] and consumed by [`Solver::import_state`].
+///
+/// Checkpoint/resume needs the caches bit-for-bit: the trace stream of a
+/// resumed run attributes every query to the cache layer that answered
+/// it, so a resumed solver must hit and miss exactly where an
+/// uninterrupted one would. The snapshot therefore keeps per-shard
+/// layout, bucket insertion order and counterexample FIFO order — not
+/// just the logical cache contents.
+#[derive(Debug, Clone)]
+pub struct SolverSnapshot {
+    stats: SolverStats,
+    caching: bool,
+    group_caching: bool,
+    cex_caching: bool,
+    /// Per cache shard, sorted by key: the exact cache's buckets, each
+    /// entry `(normalized constraint set, Some(model) | None=UNSAT)`.
+    exact: Vec<ExportedShard>,
+    /// Per counterexample shard, FIFO front-to-back: cached models with
+    /// the var-set of the group they solved.
+    cex_models: Vec<Vec<(VarSet, Model)>>,
+    /// Per counterexample shard, FIFO front-to-back: UNSAT cores as
+    /// `(hash list, constraint list)`, both hash-sorted and aligned.
+    cex_cores: Vec<Vec<(Vec<u64>, Vec<ExprRef>)>>,
+}
+
+impl SolverSnapshot {
+    /// The exported work counters.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// The exported ablation toggles `(caching, group_caching,
+    /// cex_caching)`.
+    pub fn toggles(&self) -> (bool, bool, bool) {
+        (self.caching, self.group_caching, self.cex_caching)
+    }
+
+    /// Total entries in the exact cache across all shards.
+    pub fn exact_entries(&self) -> usize {
+        self.exact
+            .iter()
+            .flatten()
+            .map(|(_, bucket)| bucket.len())
+            .sum()
+    }
+
+    /// Total counterexample entries across all shards as
+    /// `(models, cores)` — shard-level duplicates included, exactly as
+    /// stored.
+    pub fn cex_entries(&self) -> (usize, usize) {
+        (
+            self.cex_models.iter().map(Vec::len).sum(),
+            self.cex_cores.iter().map(Vec::len).sum(),
+        )
+    }
+
+    /// Serializes the snapshot into `w`.
+    pub fn write_into(&self, w: &mut SnapWriter) {
+        let s = &self.stats;
+        for v in [
+            s.queries,
+            s.cache_hits,
+            s.group_cache_hits,
+            s.model_reuse_hits,
+            s.ucore_hits,
+            s.sat,
+            s.unsat,
+            s.unknown,
+            s.nodes_visited,
+        ] {
+            w.varint(v);
+        }
+        w.bool(self.caching);
+        w.bool(self.group_caching);
+        w.bool(self.cex_caching);
+        w.varint(self.exact.len() as u64);
+        for shard in &self.exact {
+            w.varint(shard.len() as u64);
+            for (key, bucket) in shard {
+                w.varint(*key);
+                w.varint(bucket.len() as u64);
+                for (set, model) in bucket {
+                    w.varint(set.len() as u64);
+                    for c in set {
+                        w.expr(c);
+                    }
+                    match model {
+                        Some(m) => {
+                            w.u8(1);
+                            w.model(m);
+                        }
+                        None => w.u8(0),
+                    }
+                }
+            }
+        }
+        w.varint(self.cex_models.len() as u64);
+        for shard in &self.cex_models {
+            w.varint(shard.len() as u64);
+            for (vars, model) in shard {
+                w.varint(vars.len() as u64);
+                for (id, width) in vars.iter() {
+                    w.varint(u64::from(id.index()));
+                    w.width(width);
+                }
+                w.model(model);
+            }
+        }
+        w.varint(self.cex_cores.len() as u64);
+        for shard in &self.cex_cores {
+            w.varint(shard.len() as u64);
+            for (hashes, constraints) in shard {
+                w.varint(hashes.len() as u64);
+                for h in hashes {
+                    w.varint(*h);
+                }
+                w.varint(constraints.len() as u64);
+                for c in constraints {
+                    w.expr(c);
+                }
+            }
+        }
+    }
+
+    /// Deserializes a snapshot written by [`SolverSnapshot::write_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated or malformed input (including
+    /// a shard count that does not match this build's shard layout).
+    pub fn read_from(r: &mut SnapReader<'_>) -> Result<SolverSnapshot, CodecError> {
+        let mut counters = [0u64; 9];
+        for c in &mut counters {
+            *c = r.varint()?;
+        }
+        let stats = SolverStats {
+            queries: counters[0],
+            cache_hits: counters[1],
+            group_cache_hits: counters[2],
+            model_reuse_hits: counters[3],
+            ucore_hits: counters[4],
+            sat: counters[5],
+            unsat: counters[6],
+            unknown: counters[7],
+            nodes_visited: counters[8],
+        };
+        let caching = r.bool()?;
+        let group_caching = r.bool()?;
+        let cex_caching = r.bool()?;
+        let checked_len = |r: &mut SnapReader<'_>, what| {
+            let n = r.varint()?;
+            if n > r.remaining() as u64 {
+                return Err(CodecError::Malformed(what));
+            }
+            Ok(n as usize)
+        };
+        let shards = checked_len(r, "exact cache shard count")?;
+        if shards != CACHE_SHARDS {
+            return Err(CodecError::Malformed("exact cache shard count"));
+        }
+        let mut exact = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let keys = checked_len(r, "exact cache key count")?;
+            let mut shard = Vec::with_capacity(keys);
+            for _ in 0..keys {
+                let key = r.varint()?;
+                let entries = checked_len(r, "exact cache bucket size")?;
+                let mut bucket = Vec::with_capacity(entries);
+                for _ in 0..entries {
+                    let n = checked_len(r, "exact cache set size")?;
+                    let mut set = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        set.push(r.expr()?);
+                    }
+                    let model = match r.u8()? {
+                        0 => None,
+                        1 => Some(r.model()?),
+                        _ => return Err(CodecError::Malformed("cache entry tag")),
+                    };
+                    bucket.push((set, model));
+                }
+                shard.push((key, bucket));
+            }
+            exact.push(shard);
+        }
+        let model_shards = checked_len(r, "cex model shard count")?;
+        if model_shards != CACHE_SHARDS {
+            return Err(CodecError::Malformed("cex model shard count"));
+        }
+        let mut cex_models = Vec::with_capacity(model_shards);
+        for _ in 0..model_shards {
+            let n = checked_len(r, "cex model count")?;
+            let mut shard = Vec::with_capacity(n);
+            for _ in 0..n {
+                let vars = checked_len(r, "cex var-set size")?;
+                let mut entries = Vec::with_capacity(vars);
+                for _ in 0..vars {
+                    let id = u32::try_from(r.varint()?)
+                        .map_err(|_| CodecError::Malformed("cex var id"))?;
+                    let width = r.width()?;
+                    entries.push((SymId(id), width));
+                }
+                if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+                    return Err(CodecError::Malformed("cex var-set order"));
+                }
+                shard.push((VarSet::from_sorted_entries(entries), r.model()?));
+            }
+            cex_models.push(shard);
+        }
+        let core_shards = checked_len(r, "cex core shard count")?;
+        if core_shards != CACHE_SHARDS {
+            return Err(CodecError::Malformed("cex core shard count"));
+        }
+        let mut cex_cores = Vec::with_capacity(core_shards);
+        for _ in 0..core_shards {
+            let n = checked_len(r, "cex core count")?;
+            let mut shard = Vec::with_capacity(n);
+            for _ in 0..n {
+                let hn = checked_len(r, "cex core hash count")?;
+                let mut hashes = Vec::with_capacity(hn);
+                for _ in 0..hn {
+                    hashes.push(r.varint()?);
+                }
+                let cn = checked_len(r, "cex core constraint count")?;
+                let mut constraints = Vec::with_capacity(cn);
+                for _ in 0..cn {
+                    constraints.push(r.expr()?);
+                }
+                shard.push((hashes, constraints));
+            }
+            cex_cores.push(shard);
+        }
+        Ok(SolverSnapshot {
+            stats,
+            caching,
+            group_caching,
+            cex_caching,
+            exact,
+            cex_models,
+            cex_cores,
+        })
     }
 }
 

@@ -75,6 +75,25 @@ impl SymVar {
     pub(crate) fn var_set(&self) -> VarSet {
         VarSet::singleton(self.id, self.width)
     }
+
+    /// Rebuilds a variable from its serialized fields (snapshot decode).
+    /// The caller is responsible for id consistency with any symbol
+    /// table it pairs the variable with.
+    pub(crate) fn from_raw(
+        id: SymId,
+        name: &str,
+        width: Width,
+        node: u16,
+        occurrence: u32,
+    ) -> SymVar {
+        SymVar {
+            id,
+            name: Arc::from(name),
+            width,
+            node,
+            occurrence,
+        }
+    }
 }
 
 impl fmt::Display for SymVar {

@@ -57,6 +57,16 @@ impl VarSet {
         }
     }
 
+    /// Rebuilds a set from entries that are already sorted by id and
+    /// duplicate-free (snapshot decode of sets exported via
+    /// [`VarSet::iter`], which yields exactly that order).
+    pub(crate) fn from_sorted_entries(entries: Vec<(SymId, Width)>) -> VarSet {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        VarSet {
+            entries: Arc::from(entries),
+        }
+    }
+
     /// Set union. Reuses `self`'s or `other`'s allocation when the result
     /// is equal to it (one side empty or a subset of the other).
     #[must_use]

@@ -1,7 +1,7 @@
 //! Bug reports produced by the interpreter's safety checks.
 
-use crate::isa::Loc;
-use sde_symbolic::Model;
+use crate::isa::{FuncId, Loc};
+use sde_symbolic::{CodecError, Model, SnapReader, SnapWriter};
 use std::fmt;
 use std::sync::Arc;
 
@@ -53,6 +53,62 @@ pub struct BugReport {
     /// A witness assignment of the symbolic inputs reaching the bug, when
     /// the solver produced one.
     pub model: Option<Model>,
+}
+
+impl BugReport {
+    /// Serializes the report into `w` (snapshot codec).
+    pub fn write_snapshot(&self, w: &mut SnapWriter) {
+        match self.kind {
+            BugKind::AssertFailed => w.u8(0),
+            BugKind::DivisionByZero => w.u8(1),
+            BugKind::OutOfBounds { addr } => {
+                w.u8(2);
+                w.varint(addr);
+            }
+            BugKind::SymbolicPointer => w.u8(3),
+            BugKind::ExplicitFail => w.u8(4),
+            BugKind::Internal => w.u8(5),
+        }
+        w.str(&self.message);
+        w.varint(u64::from(self.loc.func.0));
+        w.varint(u64::from(self.loc.index));
+        match &self.model {
+            Some(m) => {
+                w.bool(true);
+                w.model(m);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    /// Decodes a report written by [`BugReport::write_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated or malformed input; never
+    /// panics.
+    pub fn read_snapshot(r: &mut SnapReader<'_>) -> Result<BugReport, CodecError> {
+        let kind = match r.u8()? {
+            0 => BugKind::AssertFailed,
+            1 => BugKind::DivisionByZero,
+            2 => BugKind::OutOfBounds { addr: r.varint()? },
+            3 => BugKind::SymbolicPointer,
+            4 => BugKind::ExplicitFail,
+            5 => BugKind::Internal,
+            _ => return Err(CodecError::Malformed("bug kind tag")),
+        };
+        let message: Arc<str> = Arc::from(r.str()?.as_str());
+        let func =
+            FuncId(u32::try_from(r.varint()?).map_err(|_| CodecError::Malformed("bug function"))?);
+        let index = u32::try_from(r.varint()?).map_err(|_| CodecError::Malformed("bug index"))?;
+        let model = if r.bool()? { Some(r.model()?) } else { None };
+        Ok(BugReport {
+            kind,
+            message,
+            loc: Loc { func, index },
+            model,
+        })
+    }
 }
 
 impl fmt::Display for BugReport {

@@ -4,7 +4,7 @@ use crate::bug::BugReport;
 use crate::isa::{FuncId, Loc, Reg};
 use crate::program::Program;
 use sde_pds::{PList, PMap};
-use sde_symbolic::{Expr, ExprRef, PathCondition};
+use sde_symbolic::{CodecError, Expr, ExprRef, PathCondition, SnapReader, SnapWriter};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
@@ -291,6 +291,183 @@ impl VmState {
         theirs.sort();
         mine == theirs
     }
+
+    /// Serializes this state's complete configuration into `w` (snapshot
+    /// encode). [`VmState::read_snapshot`] is the exact inverse: a decoded
+    /// state is `config_eq` to the original and re-encodes to the same
+    /// bytes.
+    pub fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.varint(self.frames.len() as u64);
+        for f in &self.frames {
+            w.varint(u64::from(f.func.0));
+            w.varint(u64::from(f.pc));
+            w.varint(f.regs.len() as u64);
+            for r in &f.regs {
+                match r {
+                    Some(e) => {
+                        w.bool(true);
+                        w.expr(e);
+                    }
+                    None => w.bool(false),
+                }
+            }
+            match f.ret_dst {
+                Some(Reg(r)) => {
+                    w.bool(true);
+                    w.varint(u64::from(r));
+                }
+                None => w.bool(false),
+            }
+        }
+        // Heap entries sorted by address: the persistent map's iteration
+        // order is not specified, the encoding must be deterministic.
+        let mut heap: Vec<(u32, &ExprRef)> = self.heap.iter().map(|(k, v)| (*k, v)).collect();
+        heap.sort_by_key(|(k, _)| *k);
+        w.varint(heap.len() as u64);
+        for (addr, value) in heap {
+            w.varint(u64::from(addr));
+            w.expr(value);
+        }
+        w.varint(u64::from(self.memory_size));
+        // Path condition, most recent constraint first (iteration order).
+        w.varint(self.path.len() as u64);
+        for c in self.path.iter() {
+            w.expr(c);
+        }
+        w.bool(self.path.is_trivially_false());
+        match &self.status {
+            Status::Idle => w.u8(0),
+            Status::Running => w.u8(1),
+            Status::Halted => w.u8(2),
+            Status::Infeasible => w.u8(3),
+            Status::Bugged(bug) => {
+                w.u8(4);
+                bug.write_snapshot(w);
+            }
+        }
+        // Branch trace, most recent decision first (iteration order).
+        w.varint(self.branch_trace.len() as u64);
+        for (loc, taken) in self.branch_trace.iter() {
+            w.varint(u64::from(loc.func.0));
+            w.varint(u64::from(loc.index));
+            w.bool(*taken);
+        }
+        w.varint(self.path_digest);
+        w.varint(self.instret);
+        let mut counts: Vec<(&String, u32)> =
+            self.input_counts.iter().map(|(k, v)| (k, *v)).collect();
+        counts.sort();
+        w.varint(counts.len() as u64);
+        for (name, n) in counts {
+            w.str(name);
+            w.varint(u64::from(n));
+        }
+    }
+
+    /// Decodes a state written by [`VmState::write_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated or malformed input; never
+    /// panics.
+    pub fn read_snapshot(r: &mut SnapReader<'_>) -> Result<VmState, CodecError> {
+        let nframes = checked_len(r, "frame count")?;
+        let mut frames = Vec::with_capacity(nframes);
+        for _ in 0..nframes {
+            let func = FuncId(
+                u32::try_from(r.varint()?).map_err(|_| CodecError::Malformed("function id"))?,
+            );
+            let pc = u32::try_from(r.varint()?).map_err(|_| CodecError::Malformed("frame pc"))?;
+            let nregs = checked_len(r, "register count")?;
+            let mut regs = Vec::with_capacity(nregs);
+            for _ in 0..nregs {
+                regs.push(if r.bool()? { Some(r.expr()?) } else { None });
+            }
+            let ret_dst = if r.bool()? {
+                Some(Reg(u16::try_from(r.varint()?)
+                    .map_err(|_| CodecError::Malformed("return register"))?))
+            } else {
+                None
+            };
+            frames.push(Frame {
+                func,
+                pc,
+                regs,
+                ret_dst,
+            });
+        }
+        let nheap = checked_len(r, "heap entry count")?;
+        let mut heap = PMap::new();
+        for _ in 0..nheap {
+            let addr =
+                u32::try_from(r.varint()?).map_err(|_| CodecError::Malformed("heap address"))?;
+            heap = heap.insert(addr, r.expr()?);
+        }
+        let memory_size =
+            u32::try_from(r.varint()?).map_err(|_| CodecError::Malformed("memory size"))?;
+        let npc = checked_len(r, "constraint count")?;
+        let mut constraints = Vec::with_capacity(npc);
+        for _ in 0..npc {
+            constraints.push(r.expr()?);
+        }
+        let trivially_false = r.bool()?;
+        let path = PathCondition::from_parts(constraints, trivially_false);
+        let status = match r.u8()? {
+            0 => Status::Idle,
+            1 => Status::Running,
+            2 => Status::Halted,
+            3 => Status::Infeasible,
+            4 => Status::Bugged(BugReport::read_snapshot(r)?),
+            _ => return Err(CodecError::Malformed("status tag")),
+        };
+        let nbranches = checked_len(r, "branch trace count")?;
+        let mut branches = Vec::with_capacity(nbranches);
+        for _ in 0..nbranches {
+            let func = FuncId(
+                u32::try_from(r.varint()?).map_err(|_| CodecError::Malformed("branch function"))?,
+            );
+            let index =
+                u32::try_from(r.varint()?).map_err(|_| CodecError::Malformed("branch index"))?;
+            branches.push((Loc { func, index }, r.bool()?));
+        }
+        // `iter` yields most recent first; rebuild by prepending oldest up.
+        let mut branch_trace = PList::new();
+        for entry in branches.into_iter().rev() {
+            branch_trace = branch_trace.prepend(entry);
+        }
+        let path_digest = r.varint()?;
+        let instret = r.varint()?;
+        let ncounts = checked_len(r, "input count entries")?;
+        let mut input_counts = PMap::new();
+        for _ in 0..ncounts {
+            let name = r.str()?;
+            let n = u32::try_from(r.varint()?)
+                .map_err(|_| CodecError::Malformed("input occurrence count"))?;
+            input_counts = input_counts.insert(name, n);
+        }
+        Ok(VmState {
+            frames,
+            heap,
+            memory_size,
+            path,
+            status,
+            branch_trace,
+            path_digest,
+            instret,
+            input_counts,
+        })
+    }
+}
+
+/// Reads a length prefix that cannot plausibly exceed the remaining
+/// input (every element costs at least one byte), rejecting absurd
+/// counts before any allocation.
+fn checked_len(r: &mut SnapReader<'_>, what: &'static str) -> Result<usize, CodecError> {
+    let n = r.varint()?;
+    if n > r.remaining() as u64 {
+        return Err(CodecError::Malformed(what));
+    }
+    Ok(n as usize)
 }
 
 /// Finalizing mixer (splitmix64 tail) applied to each entry hash before
@@ -305,8 +482,10 @@ fn mix64(mut x: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bug::BugKind;
     use crate::program::ProgramBuilder;
     use sde_symbolic::Width;
+    use std::sync::Arc;
 
     fn empty_program() -> Program {
         let mut pb = ProgramBuilder::new();
@@ -332,6 +511,71 @@ mod tests {
         let t = s.clone();
         assert_eq!(s.config_digest(), t.config_digest());
         assert!(s.config_eq(&t));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_configuration() {
+        let p = empty_program();
+        let mut s = VmState::fresh(&p);
+        let mut t = sde_symbolic::SymbolTable::new();
+        let xv = t.fresh_keyed("x", Width::W8, 2, 0);
+        let x = Expr::sym(xv.clone());
+        s.heap = s.heap.insert(7, x.clone());
+        s.heap = s.heap.insert(3, Expr::const_(9, Width::W8));
+        s.constrain(Expr::ult(x.clone(), Expr::const_(5, Width::W8)));
+        s.constrain(Expr::ne(x.clone(), Expr::const_(0, Width::W8)));
+        s.branch_trace = s.branch_trace.prepend((
+            Loc {
+                func: FuncId(0),
+                index: 2,
+            },
+            true,
+        ));
+        s.path_digest = 0xdead_beef;
+        s.instret = 42;
+        s.input_counts = s.input_counts.insert("x".to_string(), 1);
+        s.frames = vec![Frame {
+            func: FuncId(0),
+            pc: 1,
+            regs: vec![Some(x.clone()), None],
+            ret_dst: Some(Reg(3)),
+        }];
+        s.status = Status::Bugged(BugReport {
+            kind: BugKind::OutOfBounds { addr: 0x1_0000 },
+            message: Arc::from("store"),
+            loc: Loc {
+                func: FuncId(0),
+                index: 2,
+            },
+            model: Some([(xv.id(), 3)].into_iter().collect()),
+        });
+
+        let mut w = SnapWriter::new();
+        s.write_snapshot(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        let s2 = VmState::read_snapshot(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert!(s.config_eq(&s2));
+        assert_eq!(s.config_digest(), s2.config_digest());
+        assert_eq!(s2.instret, 42);
+        assert_eq!(s2.path_digest, 0xdead_beef);
+        assert_eq!(s2.input_counts.get(&"x".to_string()), Some(&1));
+        assert_eq!(s2.branch_trace.len(), 1);
+        assert_eq!(s2.memory_size, s.memory_size);
+
+        // Re-encode is byte-identical (the fixed-point property the
+        // engine-level snapshot tests rely on).
+        let mut w2 = SnapWriter::new();
+        s2.write_snapshot(&mut w2);
+        assert_eq!(w2.finish(), bytes);
+
+        // Truncation never panics.
+        for n in 0..bytes.len() {
+            if let Ok(mut r) = SnapReader::new(&bytes[..n]) {
+                let _ = VmState::read_snapshot(&mut r);
+            }
+        }
     }
 
     #[test]

@@ -58,8 +58,8 @@ pub use sde_vm as vm;
 /// The names almost every user needs.
 pub mod prelude {
     pub use sde_core::{
-        run, run_parallel, Algorithm, Engine, ParallelStats, RunReport, Scenario, SdeState,
-        StateId, TimeSeries,
+        run, run_parallel, Algorithm, Budget, Engine, EngineSnapshot, ParallelStats, RunOutcome,
+        RunReport, Scenario, SdeState, SnapshotError, StateId, TimeSeries,
     };
     pub use sde_net::{FailureConfig, NodeId, Topology};
     pub use sde_os::apps::collect::CollectConfig;

@@ -1,0 +1,40 @@
+//! Shared helpers: cross-algorithm comparison keys over a finished
+//! engine's state set.
+
+use sde::prelude::*;
+
+/// Per-node sets of explored path identities — the cross-algorithm
+/// comparison key (state ids and solver variable ids differ between
+/// algorithms, branch-decision digests do not).
+pub fn path_sets(report_states: &sde::core::Engine) -> Vec<(NodeId, Vec<u64>)> {
+    use std::collections::BTreeMap;
+    let mut by_node: BTreeMap<NodeId, std::collections::BTreeSet<u64>> = BTreeMap::new();
+    for s in report_states.states() {
+        by_node
+            .entry(s.node)
+            .or_default()
+            .insert(s.vm.path_digest());
+    }
+    by_node
+        .into_iter()
+        .map(|(n, set)| (n, set.into_iter().collect()))
+        .collect()
+}
+
+/// Fingerprints every represented dscenario as a sorted list of
+/// `(node, path_digest)` pairs — comparable across algorithms.
+pub fn dscenario_fingerprints(
+    engine: &sde::core::Engine,
+) -> std::collections::BTreeSet<Vec<(u16, u64)>> {
+    let mut out = std::collections::BTreeSet::new();
+    for dscenario in engine.mapper().dscenarios() {
+        let mut fp: Vec<(u16, u64)> = dscenario
+            .iter()
+            .filter_map(|id| engine.state(*id))
+            .map(|s| (s.node.0, s.vm.path_digest()))
+            .collect();
+        fp.sort_unstable();
+        out.insert(fp);
+    }
+    out
+}

@@ -1,0 +1,20 @@
+//! Shared helper: the paper's grid collect scenario.
+
+use sde::prelude::*;
+
+/// The paper's collect workload on a `w × h` grid with symbolic drops on
+/// the route and its neighbors.
+pub fn grid_collect(w: u16, h: u16, duration_ms: u64, strict: bool) -> Scenario {
+    let topology = Topology::grid(w, h);
+    let cfg = CollectConfig {
+        strict_sink: strict,
+        ..CollectConfig::paper_grid(w, h)
+    };
+    let failures =
+        FailureConfig::new().drops_on_route_and_neighbors(&topology, cfg.source, cfg.sink, 1);
+    let programs = sde::os::apps::collect::programs(&topology, &cfg);
+    Scenario::new(topology, programs)
+        .with_failures(failures)
+        .with_duration_ms(duration_ms)
+        .with_history_tracking(true)
+}

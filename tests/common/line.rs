@@ -1,0 +1,21 @@
+//! Shared helper: collect on a line topology.
+
+use sde::prelude::*;
+
+/// Collect on a line with drops at the given nodes.
+pub fn line_collect(k: u16, drop_nodes: &[u16], packets: u16, strict: bool) -> Scenario {
+    let topology = Topology::line(k);
+    let cfg = CollectConfig {
+        source: NodeId(k - 1),
+        sink: NodeId(0),
+        interval_ms: 1000,
+        packet_count: packets,
+        strict_sink: strict,
+    };
+    let failures = FailureConfig::new().with_drops(drop_nodes.iter().map(|n| NodeId(*n)), 1);
+    let programs = sde::os::apps::collect::programs(&topology, &cfg);
+    Scenario::new(topology, programs)
+        .with_failures(failures)
+        .with_duration_ms(1000 * u64::from(packets) + 2000)
+        .with_history_tracking(true)
+}

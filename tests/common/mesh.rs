@@ -1,0 +1,19 @@
+//! Shared helper: flooding on a full mesh.
+
+use sde::prelude::*;
+
+/// Flooding on a full mesh with drops everywhere.
+pub fn mesh_flood(k: u16, rounds: u16) -> Scenario {
+    let topology = Topology::full_mesh(k);
+    let cfg = FloodConfig {
+        initiator: NodeId(0),
+        rounds,
+        interval_ms: 1000,
+    };
+    let failures = FailureConfig::new().with_drops(topology.nodes(), 1);
+    let programs = sde::os::apps::flood::programs(&topology, &cfg);
+    Scenario::new(topology, programs)
+        .with_failures(failures)
+        .with_duration_ms(1000 * u64::from(rounds) + 2000)
+        .with_history_tracking(true)
+}

@@ -1,0 +1,13 @@
+//! Shared helper: neighbor discovery on a ring.
+
+use sde::prelude::*;
+
+/// Neighbor discovery on a ring (no failures: exercises the pure
+/// communication path).
+pub fn ring_hello(k: u16) -> Scenario {
+    let topology = Topology::ring(k);
+    let programs = sde::os::apps::hello::programs(&topology, &HelloConfig::default());
+    Scenario::new(topology, programs)
+        .with_duration_ms(2000)
+        .with_history_tracking(true)
+}

@@ -2,9 +2,13 @@
 //! must explore identical state sets. Replay correctness (and the whole
 //! "concrete test case" story, §II-A) depends on it.
 
-mod common;
+#[path = "common/grid.rs"]
+mod grid;
+#[path = "common/line.rs"]
+mod line;
 
-use common::*;
+use grid::grid_collect;
+use line::line_collect;
 use sde::prelude::*;
 use sde_core::Engine;
 use std::collections::BTreeSet;

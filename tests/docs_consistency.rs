@@ -182,3 +182,50 @@ fn design_section_numbering_is_sequential() {
         "DESIGN.md top-level sections are misnumbered (a renumbering left a stale header)"
     );
 }
+
+/// The `EngineSnapshot` field names, parsed out of the struct
+/// declaration in `crates/core/src/checkpoint.rs` (the source of truth —
+/// a field added there must be documented in DESIGN.md §8 without
+/// editing this test).
+fn engine_snapshot_fields() -> Vec<String> {
+    let source = read("crates/core/src/checkpoint.rs");
+    let body = source
+        .split_once("pub struct EngineSnapshot {")
+        .expect("checkpoint.rs declares EngineSnapshot")
+        .1;
+    let mut fields = Vec::new();
+    for line in body.lines() {
+        if line.starts_with('}') {
+            break;
+        }
+        if let Some(rest) = line.trim_start().strip_prefix("pub(crate) ") {
+            if let Some((name, _)) = rest.split_once(':') {
+                fields.push(name.trim().to_string());
+            }
+        }
+    }
+    fields
+}
+
+#[test]
+fn design_section_8_documents_every_snapshot_field() {
+    let fields = engine_snapshot_fields();
+    assert!(
+        fields.len() >= 20,
+        "suspiciously few EngineSnapshot fields parsed: {fields:?}"
+    );
+    let design = read("DESIGN.md");
+    let section = design
+        .split("## 8. Checkpoint & resume")
+        .nth(1)
+        .expect("DESIGN.md has §8 'Checkpoint & resume'")
+        .split("\n## ")
+        .next()
+        .expect("§8 has a body");
+    for field in &fields {
+        assert!(
+            section.contains(field.as_str()),
+            "DESIGN.md §8 does not document EngineSnapshot field `{field}`"
+        );
+    }
+}

@@ -1,9 +1,16 @@
 //! Engine-level behavior: the KleeNet execution model, the three failure
 //! models, and resource-cap semantics.
 
-mod common;
+#[path = "common/grid.rs"]
+mod grid;
+#[path = "common/line.rs"]
+mod line;
+#[path = "common/ring.rs"]
+mod ring;
 
-use common::*;
+use grid::grid_collect;
+use line::line_collect;
+use ring::ring_hello;
 use sde::prelude::*;
 use sde_core::Engine;
 use sde_net::Topology;
@@ -196,5 +203,77 @@ fn instructions_and_packets_are_counted() {
     assert_eq!(
         report.events,
         4 /* boots */ + 4 /* timers */ + 8 /* delivers */
+    );
+}
+
+/// Failure budgets are spent *before* forking: the delivery that decides
+/// a symbolic drop debits the dropping state's budget. A budget spent
+/// before a checkpoint must therefore stay spent across the resume
+/// boundary — resuming must not re-fork the same drop, and the final
+/// drop-fork count must equal an uninterrupted run's.
+#[test]
+fn drop_budget_spent_before_checkpoint_stays_spent_after_resume() {
+    use sde::trace::{ForkReason, RingSink, TraceEvent, TraceSink};
+    use std::sync::Arc;
+
+    let count_drop_forks = |sink: &RingSink| {
+        sink.take()
+            .into_iter()
+            .filter(|te| {
+                matches!(
+                    te.ev,
+                    TraceEvent::Fork {
+                        reason: ForkReason::Drop,
+                        ..
+                    }
+                )
+            })
+            .count()
+    };
+    let budgets_by_state = |engine: &Engine| {
+        let mut budgets: Vec<_> = engine
+            .states()
+            .map(|s| (s.id.0, s.drop_budget, s.dup_budget, s.reboot_budget))
+            .collect();
+        budgets.sort_unstable_by_key(|entry| entry.0);
+        budgets
+    };
+
+    let scenario = line_collect(3, &[1], 2, false);
+
+    // Straight-run baseline: how many drop forks does the budget admit?
+    let straight_sink = Arc::new(RingSink::default());
+    Engine::new(scenario.clone(), Algorithm::Sds)
+        .with_trace_sink(straight_sink.clone() as Arc<dyn TraceSink>)
+        .run();
+    let straight_drops = count_drop_forks(&straight_sink);
+    assert!(straight_drops > 0, "scenario must exercise the drop budget");
+
+    // Interrupted after every event, with a full serialize→deserialize
+    // round trip at each pause. Budgets must survive each boundary
+    // verbatim: a resume that reset them would re-fork spent drops.
+    let sink = Arc::new(RingSink::default());
+    let mut engine = Engine::new(scenario.clone(), Algorithm::Sds)
+        .with_trace_sink(sink.clone() as Arc<dyn TraceSink>);
+    let mut pauses = 0usize;
+    while engine.run_until(Budget::events(1)) == RunOutcome::Paused {
+        let before = budgets_by_state(&engine);
+        let bytes = engine.snapshot().to_bytes();
+        let snap = EngineSnapshot::from_bytes(&bytes).expect("snapshot bytes must decode");
+        engine = Engine::resume(scenario.clone(), &snap)
+            .expect("snapshot must resume")
+            .with_trace_sink(sink.clone() as Arc<dyn TraceSink>);
+        assert_eq!(
+            before,
+            budgets_by_state(&engine),
+            "failure budgets must survive the resume boundary"
+        );
+        pauses += 1;
+    }
+    assert!(pauses > 0, "run too small to pause");
+    assert_eq!(
+        count_drop_forks(&sink),
+        straight_drops,
+        "a drop budget spent before a checkpoint must not fork again after resume"
     );
 }

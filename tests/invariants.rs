@@ -5,9 +5,19 @@
 //! * §III-D — SDS never produces duplicate states;
 //! * dstates always hold at least one state per node.
 
-mod common;
+#[path = "common/grid.rs"]
+mod grid;
+#[path = "common/line.rs"]
+mod line;
+#[path = "common/mesh.rs"]
+mod mesh;
+#[path = "common/ring.rs"]
+mod ring;
 
-use common::*;
+use grid::grid_collect;
+use line::line_collect;
+use mesh::mesh_flood;
+use ring::ring_hello;
 use sde::prelude::*;
 use sde_core::Engine;
 

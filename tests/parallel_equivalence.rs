@@ -7,8 +7,6 @@
 //! solver's totals), both of which `RunReport::equivalence_key`
 //! deliberately excludes.
 
-mod common;
-
 use sde::prelude::*;
 use sde_core::Engine;
 use sde_os::apps::collect::{self, CollectConfig};

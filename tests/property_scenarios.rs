@@ -8,7 +8,8 @@
 //! * state counts are ordered COB ≥ COW ≥ SDS;
 //! * mapper bookkeeping stays internally consistent.
 
-mod common;
+#[path = "common/seeded.rs"]
+mod seeded;
 
 use proptest::prelude::*;
 use sde::prelude::*;
@@ -81,14 +82,14 @@ fn fingerprints(engine: &Engine) -> std::collections::BTreeSet<Vec<(u16, u64)>> 
 }
 
 // ---------------------------------------------------------------------------
-// Seeded fuzz: `common::scenario_from_seed` is a deterministic
+// Seeded fuzz: `seeded::scenario_from_seed` is a deterministic
 // u64-seeded generator over the full topology × app × failure-model mix.
 // Unlike the proptest strategies above, a failure here prints the exact
 // seed, so `scenario_from_seed(<seed>)` reproduces the case in
 // isolation. (The trace test suites sweep the same generator.)
 // ---------------------------------------------------------------------------
 
-use common::scenario_from_seed;
+use seeded::scenario_from_seed;
 
 const FUZZ_SEEDS: u64 = 32;
 

@@ -7,9 +7,10 @@
 //! and verify the replay is deterministic, unforked, and reproduces the
 //! original observation (including distributed assertion failures).
 
-mod common;
+#[path = "common/line.rs"]
+mod line;
 
-use common::*;
+use line::line_collect;
 use sde::prelude::*;
 use sde_core::{testgen, Engine};
 use sde_vm::Preset;

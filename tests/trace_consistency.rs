@@ -5,13 +5,14 @@
 //! dispatches by kind, and solver queries per answering layer. A missed
 //! or double-recorded instrumentation site breaks an equality here.
 
-mod common;
+#[path = "common/seeded.rs"]
+mod seeded;
 
-use common::scenario_from_seed;
 use sde::prelude::*;
 use sde::trace::{
     DispatchKind, ForkReason, GroupLayer, QueryLayer, RingSink, TraceEvent, TraceSink, Verdict,
 };
+use seeded::scenario_from_seed;
 use std::sync::Arc;
 
 /// Every counter reconstructible from an event stream.

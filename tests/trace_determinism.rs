@@ -8,11 +8,14 @@
 //! forks peers on a local branch (`MapBranch.forked` non-empty), COW and
 //! SDS fork only on transmission (`MapSend.forked`).
 
-mod common;
+#[path = "common/line.rs"]
+mod line;
+#[path = "common/seeded.rs"]
+mod seeded;
 
-use common::scenario_from_seed;
 use sde::prelude::*;
 use sde::trace::{to_jsonl, RingSink, TraceEvent, TraceSink};
+use seeded::scenario_from_seed;
 use std::sync::Arc;
 
 /// Runs `scenario` with a recorder attached (sequentially when `workers`
@@ -83,7 +86,7 @@ fn parallel_traces_are_identical_across_worker_counts() {
 /// the drop, and the mapping-decision events show *where* each algorithm
 /// puts its consistency forks.
 fn drop_scenario() -> Scenario {
-    common::line_collect(3, &[1], 2, false)
+    line::line_collect(3, &[1], 2, false)
 }
 
 #[test]

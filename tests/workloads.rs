@@ -2,8 +2,6 @@
 //! assorted topologies — the "does the distributed system actually do
 //! its job" layer beneath the state-mapping claims.
 
-mod common;
-
 use sde::prelude::*;
 use sde_core::Engine;
 use sde_net::Topology;
