@@ -22,6 +22,7 @@
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny # CI smoke (3×3)
 //! cargo run -p sde-bench --release --bin table1 -- --layers exact --tag layers_exact
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny --trace out.jsonl
+//! cargo run -p sde-bench --release --bin table1 -- --preset tiny --testgen 64
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny --checkpoint-every 5 \
 //!     --snapshot-dir snaps --stop-after 1       # interrupt after the first snapshot
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny --checkpoint-every 5 \
@@ -38,7 +39,7 @@
 
 use sde_bench::{
     paper_scenario, report_json, run_checkpointed, run_with_limits_layers, run_with_limits_traced,
-    symbolic_grid, table_header, trace_file_for, write_bench_json, write_trace, Args,
+    symbolic_grid, table_header, testgen_json, trace_file_for, write_bench_json, write_trace, Args,
     Checkpointing, RunLimits, SolverLayers,
 };
 use sde_core::complexity::WorstCase;
@@ -190,6 +191,37 @@ fn main() {
         json.push(report_json(&label, &report));
         rows.push(report);
     }
+    // `--testgen N`: after the table rows, run §II-A test-case generation
+    // per algorithm (fresh engine on the same scenario) and record the
+    // yield — with the truncation flag spelled out in both renderings,
+    // so a capped generation pass can never pass for a complete one.
+    if let Some(limit) = args.get::<usize>("testgen") {
+        println!("\ntest-case generation (--testgen {limit}):");
+        for alg in Algorithm::ALL {
+            let state_cap = if alg == Algorithm::Cob { cap_cob } else { cap };
+            let mut engine = sde_core::Engine::new(scenario.clone().with_state_cap(state_cap), alg);
+            engine.run_in_place();
+            let tg = sde_core::testgen::generate(&engine, limit);
+            println!(
+                "  {:4} | {} cases from {} dscenarios ({} unsolvable){}",
+                alg.name(),
+                tg.cases.len(),
+                tg.dscenarios_seen,
+                tg.unsolvable,
+                if tg.truncated {
+                    " [TRUNCATED at --testgen limit]"
+                } else {
+                    ""
+                }
+            );
+            let label = format!(
+                "table1_testgen_{workload}_side{side}_{}",
+                alg.name().to_lowercase()
+            );
+            json.push(testgen_json(&label, &tg));
+        }
+    }
+
     let json_path = out_dir.join(format!("BENCH_table1{tag}.json"));
     write_bench_json(&json_path, &json).expect("write BENCH_table1 json");
     println!("\nrecorded: {}", json_path.display());

@@ -11,8 +11,10 @@
 //! numbers of the authors' 2011 Xeon testbed; see DESIGN.md for the
 //! substitutions.
 
+use sde_core::oracle::ConformanceReport;
+use sde_core::testgen::TestGenReport;
 use sde_core::{Algorithm, Budget, Engine, EngineSnapshot, RunReport, Scenario};
-use sde_net::{FailureConfig, Topology};
+use sde_net::{FailureConfig, NodeId, Topology};
 use sde_os::apps::collect::{self, CollectConfig};
 use sde_os::apps::sense::{self, SenseConfig};
 use sde_symbolic::Solver;
@@ -44,6 +46,57 @@ pub fn symbolic_grid(side: u16) -> Scenario {
     let duration = cfg.interval_ms * (u64::from(cfg.packet_count) + 2);
     let programs = sense::programs(&topology, &cfg);
     Scenario::new(topology, programs).with_duration_ms(duration)
+}
+
+/// Named scenarios for the `oracle` conformance bin — deliberately tiny,
+/// so the exhaustive ground-truth enumeration finishes in (at most)
+/// thousands of concrete replays.
+///
+/// # Panics
+///
+/// Panics on an unknown preset name — a typo must not silently run the
+/// wrong experiment.
+pub fn oracle_scenario(preset: &str) -> Scenario {
+    let line = |k: u16, drop_nodes: &[u16], packets: u16| {
+        let topology = Topology::line(k);
+        let cfg = CollectConfig {
+            source: NodeId(k - 1),
+            sink: NodeId(0),
+            interval_ms: 1000,
+            packet_count: packets,
+            strict_sink: false,
+        };
+        let failures = FailureConfig::new().with_drops(drop_nodes.iter().map(|n| NodeId(*n)), 1);
+        let programs = collect::programs(&topology, &cfg);
+        Scenario::new(topology, programs)
+            .with_failures(failures)
+            .with_duration_ms(1000 * u64::from(packets) + 2000)
+            .with_history_tracking(true)
+    };
+    // Drop budgets sit on *receiving* nodes (the failure decision is made
+    // at delivery time), so the source node never spends one.
+    match preset {
+        "tiny" => line(2, &[0], 1),
+        "line3" => line(3, &[0, 1], 2),
+        "grid" => {
+            let topology = Topology::grid(2, 2);
+            let cfg = CollectConfig {
+                source: NodeId(3),
+                sink: NodeId(0),
+                interval_ms: 1000,
+                packet_count: 2,
+                strict_sink: false,
+            };
+            let failures = FailureConfig::new()
+                .drops_on_route_and_neighbors(&topology, cfg.source, cfg.sink, 1);
+            let programs = collect::programs(&topology, &cfg);
+            Scenario::new(topology, programs)
+                .with_failures(failures)
+                .with_duration_ms(4000)
+                .with_history_tracking(true)
+        }
+        other => panic!("unknown oracle preset {other:?} (expected tiny|line3|grid)"),
+    }
 }
 
 /// Per-algorithm run parameters for one experiment.
@@ -478,6 +531,91 @@ pub fn report_json(label: &str, report: &RunReport) -> String {
     out
 }
 
+fn json_string_array(items: &[String]) -> String {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let rendered: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+    format!("[{}]", rendered.join(", "))
+}
+
+/// Serializes one [`ConformanceReport`] as a JSON object for
+/// `BENCH_oracle.json`. Every truncation flag the oracle tracks is a
+/// first-class field — a truncated verdict must be machine-detectable,
+/// not buried in a prose summary.
+pub fn conformance_json(label: &str, report: &ConformanceReport) -> String {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    format!(
+        concat!(
+            "  {{\n",
+            "    \"label\": \"{}\",\n",
+            "    \"algorithm\": \"{}\",\n",
+            "    \"clean\": {},\n",
+            "    \"exhaustive\": {},\n",
+            "    \"truth_outcomes\": {},\n",
+            "    \"truth_assignments\": {},\n",
+            "    \"truth_infeasible\": {},\n",
+            "    \"truth_replays\": {},\n",
+            "    \"truth_truncated\": {},\n",
+            "    \"domain_truncated\": {},\n",
+            "    \"input_space\": {},\n",
+            "    \"cases\": {},\n",
+            "    \"dscenarios_seen\": {},\n",
+            "    \"unsolvable\": {},\n",
+            "    \"testgen_truncated\": {},\n",
+            "    \"matched\": {},\n",
+            "    \"missing_count\": {},\n",
+            "    \"phantom_count\": {},\n",
+            "    \"duplicates\": {},\n",
+            "    \"missing\": {},\n",
+            "    \"phantom\": {}\n",
+            "  }}",
+        ),
+        escape(label),
+        escape(report.algorithm),
+        report.is_clean(),
+        report.exhaustive(),
+        report.truth_outcomes,
+        report.truth_assignments,
+        report.truth_infeasible,
+        report.truth_replays,
+        report.truth_truncated,
+        json_string_array(&report.domain_truncated),
+        report.input_space,
+        report.cases,
+        report.dscenarios_seen,
+        report.unsolvable,
+        report.testgen_truncated,
+        report.matched,
+        report.missing.len(),
+        report.phantom.len(),
+        report.duplicates,
+        json_string_array(&report.missing),
+        json_string_array(&report.phantom),
+    )
+}
+
+/// Serializes one [`TestGenReport`] as a JSON object — the `--testgen`
+/// companion record in `BENCH_table1.json`. `truncated` is the point:
+/// a capped generation pass must say so in the machine-readable output.
+pub fn testgen_json(label: &str, report: &TestGenReport) -> String {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    format!(
+        concat!(
+            "  {{\n",
+            "    \"label\": \"{}\",\n",
+            "    \"cases\": {},\n",
+            "    \"dscenarios_seen\": {},\n",
+            "    \"unsolvable\": {},\n",
+            "    \"truncated\": {}\n",
+            "  }}",
+        ),
+        escape(label),
+        report.cases.len(),
+        report.dscenarios_seen,
+        report.unsolvable,
+        report.truncated,
+    )
+}
+
 /// Writes pre-rendered [`report_json`] objects as a JSON array to `path`.
 ///
 /// # Errors
@@ -630,6 +768,65 @@ mod tests {
         assert_eq!(off.solver.group_cache_hits, 0, "{:?}", off.solver);
         assert_eq!(off.solver.model_reuse_hits, 0, "{:?}", off.solver);
         assert_eq!(off.solver.ucore_hits, 0, "{:?}", off.solver);
+    }
+
+    #[test]
+    fn oracle_presets_resolve() {
+        assert_eq!(oracle_scenario("tiny").node_count(), 2);
+        assert_eq!(oracle_scenario("line3").node_count(), 3);
+        assert_eq!(oracle_scenario("grid").node_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown oracle preset")]
+    fn oracle_preset_typo_is_loud() {
+        oracle_scenario("tinny");
+    }
+
+    #[test]
+    fn conformance_json_surfaces_truncation() {
+        use sde_core::oracle::{conformance_against, ground_truth, OracleConfig};
+        let scenario = oracle_scenario("tiny");
+        let cfg = OracleConfig::default();
+        let truth = ground_truth(&scenario, &cfg);
+        let clean = conformance_against(&truth, &scenario, Algorithm::Sds, None, &cfg);
+        let obj = conformance_json("tiny_sds", &clean);
+        assert!(obj.contains("\"truth_truncated\": false"), "{obj}");
+        assert!(obj.contains("\"testgen_truncated\": false"), "{obj}");
+        assert!(obj.contains("\"clean\": true"), "{obj}");
+
+        // A capped enumeration must be loud in both renderings.
+        let tight = OracleConfig {
+            max_assignments: 1,
+            ..OracleConfig::default()
+        };
+        let capped_truth = ground_truth(&scenario, &tight);
+        let capped = conformance_against(&capped_truth, &scenario, Algorithm::Sds, None, &tight);
+        let obj = conformance_json("tiny_capped", &capped);
+        assert!(obj.contains("\"truth_truncated\": true"), "{obj}");
+        assert!(obj.contains("\"exhaustive\": false"), "{obj}");
+        assert!(
+            capped.summary().contains("TRUNCATED"),
+            "{}",
+            capped.summary()
+        );
+    }
+
+    #[test]
+    fn testgen_json_surfaces_truncation() {
+        use sde_core::testgen;
+        let scenario = oracle_scenario("line3");
+        let mut engine = Engine::new(scenario, Algorithm::Sds);
+        engine.run_in_place();
+        let full = testgen::generate(&engine, 4096);
+        assert!(!full.truncated);
+        let obj = testgen_json("line3_sds", &full);
+        assert!(obj.contains("\"truncated\": false"), "{obj}");
+
+        let capped = testgen::generate(&engine, 1);
+        assert!(capped.truncated, "a 1-case cap must truncate line3");
+        let obj = testgen_json("line3_capped", &capped);
+        assert!(obj.contains("\"truncated\": true"), "{obj}");
     }
 
     #[test]

@@ -22,7 +22,9 @@ use crate::stats::{BugFound, ParallelStats, RunReport, Sample, TimeSeries};
 use sde_net::{Event, EventQueue, NodeId, Packet, PacketId};
 use sde_os::handlers;
 use sde_symbolic::{Expr, ExprRef, Solver, SymbolTable, Width};
-use sde_vm::{step, Program, Status, StepResult, Syscall, VmCtx, VmState};
+use sde_vm::{
+    step, BugKind, BugReport, FuncId, Loc, Program, Status, StepResult, Syscall, VmCtx, VmState,
+};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
@@ -790,6 +792,28 @@ impl Engine {
         self
     }
 
+    /// Replaces the state mapper with a caller-supplied implementation.
+    ///
+    /// The conformance oracle's mutation self-test uses this to inject a
+    /// deliberately corrupted mapper (see
+    /// [`oracle::MutantMapper`](crate::oracle::MutantMapper)) and assert
+    /// the oracle notices the divergence. The mapper must be installed
+    /// before anything boots; [`RunReport::algorithm`] reports the
+    /// installed mapper's name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine has already booted states.
+    #[must_use]
+    pub fn with_mapper(mut self, mapper: Box<dyn StateMapper>) -> Engine {
+        assert!(
+            self.store.states.is_empty(),
+            "with_mapper must precede boot"
+        );
+        self.mapper = mapper;
+        self
+    }
+
     /// Runs only the boot phase (for tests that then inspect the engine).
     pub fn boot(&mut self) {
         assert!(self.store.states.is_empty(), "boot runs once");
@@ -874,12 +898,16 @@ impl Engine {
             let var = self
                 .symbols
                 .fresh_keyed("drop", Width::BOOL, node.0, occurrence);
-            if let Some(preset) = &self.preset {
+            if self.preset.is_some() {
                 // Replay: the preset decides; no fork.
                 let _ = var;
-                if preset.get(node.0, "drop", occurrence).unwrap_or(0) == 1 {
-                    self.note_drop(state_id, node, packet.id);
-                    return; // dropped
+                match self.replay_failure_decision(state_id, "drop", 1, occurrence) {
+                    None => return, // strict-preset miss: state bugged
+                    Some(true) => {
+                        self.note_drop(state_id, node, packet.id);
+                        return; // dropped
+                    }
+                    Some(false) => {}
                 }
             } else {
                 let dropped_id = self.fork_local(state_id, &Expr::sym(var.clone()), 1, occurrence);
@@ -905,10 +933,12 @@ impl Engine {
             let var = self
                 .symbols
                 .fresh_keyed("dup", Width::BOOL, node.0, occurrence);
-            if let Some(preset) = &self.preset {
+            if self.preset.is_some() {
                 let _ = var;
-                if preset.get(node.0, "dup", occurrence).unwrap_or(0) == 1 {
-                    deliveries = 2;
+                match self.replay_failure_decision(receiving, "dup", 2, occurrence) {
+                    None => return, // strict-preset miss: state bugged
+                    Some(true) => deliveries = 2,
+                    Some(false) => {}
                 }
             } else {
                 let dup_id = self.fork_local(receiving, &Expr::sym(var.clone()), 2, occurrence);
@@ -932,14 +962,18 @@ impl Engine {
             let var = self
                 .symbols
                 .fresh_keyed("reboot", Width::BOOL, node.0, occurrence);
-            if let Some(preset) = &self.preset {
+            if self.preset.is_some() {
                 let _ = var;
-                if preset.get(node.0, "reboot", occurrence).unwrap_or(0) == 1 {
-                    let s = self.store.states.get_mut(&receiving).expect("resident");
-                    s.vm = s.vm.rebooted();
-                    self.store.clear_events(receiving);
-                    self.run_handler(receiving, handlers::ON_BOOT, &[]);
-                    return; // the rebooting node misses the packet
+                match self.replay_failure_decision(receiving, "reboot", 3, occurrence) {
+                    None => return, // strict-preset miss: state bugged
+                    Some(true) => {
+                        let s = self.store.states.get_mut(&receiving).expect("resident");
+                        s.vm = s.vm.rebooted();
+                        self.store.clear_events(receiving);
+                        self.run_handler(receiving, handlers::ON_BOOT, &[]);
+                        return; // the rebooting node misses the packet
+                    }
+                    Some(false) => {}
                 }
             } else {
                 let reboot_id = self.fork_local(receiving, &Expr::sym(var.clone()), 3, occurrence);
@@ -957,6 +991,60 @@ impl Engine {
         }
 
         self.run_recv(receiving, &packet, deliveries);
+    }
+
+    /// Resolves one failure-model decision during a replay (`kind`:
+    /// 1 = drop, 2 = duplicate, 3 = reboot; the
+    /// [`record_external_branch`](sde_vm::VmState::record_external_branch)
+    /// numbering). The decision is folded into the state's path digest so
+    /// replays are path-identifying, mirroring what `fork_local` records
+    /// on both sides of a symbolic failure fork.
+    ///
+    /// Returns `None` when a strict preset had no value for the key: the
+    /// state has been marked [`BugKind::UnkeyedInput`] and must not
+    /// process the delivery further.
+    fn replay_failure_decision(
+        &mut self,
+        state_id: StateId,
+        name: &str,
+        kind: u32,
+        occurrence: u32,
+    ) -> Option<bool> {
+        let node = self.store.states[&state_id].node;
+        let (resolved, strict) = {
+            let preset = self.preset.as_ref().expect("replay mode");
+            (
+                preset.resolve(node.0, name, occurrence, Width::BOOL),
+                preset.is_strict(),
+            )
+        };
+        if resolved.is_none() && strict {
+            let report = BugReport {
+                kind: BugKind::UnkeyedInput,
+                message: std::sync::Arc::from(format!(
+                    "strict replay has no value for failure decision \
+                     `{name}` (occurrence {occurrence}) on node {node}"
+                )),
+                // The synthetic location scheme of record_external_branch.
+                loc: Loc {
+                    func: FuncId(0xffff_0000 | kind),
+                    index: occurrence,
+                },
+                model: None,
+            };
+            self.bugs.push(BugFound {
+                node,
+                state: state_id,
+                report: report.clone(),
+            });
+            let s = self.store.states.get_mut(&state_id).expect("resident");
+            s.vm.set_bugged(report);
+            return None;
+        }
+        let taken = resolved.unwrap_or(0) == 1;
+        let s = self.store.states.get_mut(&state_id).expect("resident");
+        s.vm.record_external_branch(kind, occurrence, taken);
+        Some(taken)
     }
 
     /// Counts (and, when traced, records) a failure-model packet drop.

@@ -48,6 +48,7 @@ pub mod complexity;
 mod engine;
 mod history;
 pub mod mapping;
+pub mod oracle;
 pub mod parallel;
 mod scenario;
 mod state;

@@ -70,6 +70,13 @@ impl SymVar {
         (self.node, self.name.to_string(), self.occurrence)
     }
 
+    /// Number of concrete values this input can take (`2^width`,
+    /// saturating at `u64::MAX` for width 64) — the per-input axis length
+    /// of the exhaustive cross-product an enumeration oracle walks.
+    pub fn domain_size(&self) -> u64 {
+        self.width.domain_size()
+    }
+
     /// The variable's singleton [`VarSet`] — the leaf of the memoized
     /// var-set computation in [`Expr::from_kind`](crate::Expr::from_kind).
     pub(crate) fn var_set(&self) -> VarSet {
@@ -209,6 +216,15 @@ impl SymbolTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn domain_size_follows_width() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.fresh("b", Width::BOOL).domain_size(), 2);
+        assert_eq!(t.fresh("x", Width::W8).domain_size(), 256);
+        assert_eq!(t.fresh("y", Width::W16).domain_size(), 65_536);
+        assert_eq!(t.fresh("z", Width::W64).domain_size(), u64::MAX);
+    }
 
     #[test]
     fn fresh_ids_are_sequential_and_unique() {

@@ -26,6 +26,12 @@ pub enum BugKind {
     /// missing function, call-stack overflow) — a program bug rather than
     /// a software-under-test bug, but reported the same way.
     Internal,
+    /// A strict replay [`Preset`](crate::Preset) had no value for a
+    /// requested symbolic input. Lenient replays default such inputs to
+    /// 0; the conformance oracle replays strictly, where a missing key
+    /// means the assignment (or the solve that produced it) was
+    /// incomplete and must not be papered over.
+    UnkeyedInput,
 }
 
 impl fmt::Display for BugKind {
@@ -37,6 +43,7 @@ impl fmt::Display for BugKind {
             BugKind::SymbolicPointer => write!(f, "unresolvable symbolic pointer"),
             BugKind::ExplicitFail => write!(f, "explicit failure"),
             BugKind::Internal => write!(f, "internal interpreter error"),
+            BugKind::UnkeyedInput => write!(f, "unkeyed input in strict replay"),
         }
     }
 }
@@ -68,6 +75,7 @@ impl BugReport {
             BugKind::SymbolicPointer => w.u8(3),
             BugKind::ExplicitFail => w.u8(4),
             BugKind::Internal => w.u8(5),
+            BugKind::UnkeyedInput => w.u8(6),
         }
         w.str(&self.message);
         w.varint(u64::from(self.loc.func.0));
@@ -95,6 +103,7 @@ impl BugReport {
             3 => BugKind::SymbolicPointer,
             4 => BugKind::ExplicitFail,
             5 => BugKind::Internal,
+            6 => BugKind::UnkeyedInput,
             _ => return Err(CodecError::Malformed("bug kind tag")),
         };
         let message: Arc<str> = Arc::from(r.str()?.as_str());

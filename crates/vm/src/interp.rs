@@ -262,10 +262,22 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
             }
             match decide(ctx.solver, state, &c) {
                 Decision::AlwaysTrue => {
+                    // Replay mode: conditions are concrete, so branches
+                    // never fork — record the decision anyway so the
+                    // replay's path digest identifies the path taken
+                    // (the conformance oracle compares replays by path
+                    // class). Symbolic runs leave decided branches out of
+                    // the digest, as before.
+                    if ctx.preset.is_some() {
+                        state.record_branch(loc, true);
+                    }
                     state.frames.last_mut().expect("frame").pc = then_target;
                     StepResult::Continue
                 }
                 Decision::AlwaysFalse => {
+                    if ctx.preset.is_some() {
+                        state.record_branch(loc, false);
+                    }
                     state.frames.last_mut().expect("frame").pc = else_target;
                     StepResult::Continue
                 }
@@ -338,11 +350,24 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
                 .fresh_keyed(&name, width, ctx.node_id, occurrence);
             let value = match ctx.preset {
                 Some(preset) => {
-                    // Replay: pin the input (inputs absent from the
-                    // preset were unconstrained — any value replays the
-                    // path; use 0).
-                    let v = preset.get(ctx.node_id, &name, occurrence).unwrap_or(0);
-                    Expr::const_(v, width)
+                    match preset.resolve(ctx.node_id, &name, occurrence, width) {
+                        Some(v) => Expr::const_(v, width),
+                        // Strict replay: an unpinned input is an error,
+                        // not a 0 — defaulting would let an incomplete
+                        // solve or enumeration masquerade as a real run.
+                        None if preset.is_strict() => bug!(
+                            BugKind::UnkeyedInput,
+                            format!(
+                                "strict replay has no value for input \
+                                 `{name}` (occurrence {occurrence}) on node {}",
+                                ctx.node_id
+                            )
+                        ),
+                        // Lenient replay: inputs absent from the preset
+                        // were unconstrained — any value replays the
+                        // path; use 0.
+                        None => Expr::const_(0, width),
+                    }
                 }
                 None => Expr::sym(var),
             };

@@ -70,6 +70,6 @@ mod state;
 pub use bug::{BugKind, BugReport};
 pub use interp::{run_to_completion, step, HandlerOutcome, StepResult, Syscall, VmCtx};
 pub use isa::{FuncId, Inst, Loc, Reg};
-pub use preset::Preset;
+pub use preset::{InputRequest, Preset, RequestLog};
 pub use program::{FunctionBuilder, Label, Program, ProgramBuilder, ProgramError};
 pub use state::{Status, VmState};

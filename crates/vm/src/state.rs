@@ -153,6 +153,14 @@ impl VmState {
         self.path = self.path.with(cond);
     }
 
+    /// Marks the state bugged from outside the interpreter — the engine's
+    /// failure-model decisions (drop/dup/reboot) resolve replay inputs
+    /// themselves, and a strict-preset miss there is reported exactly
+    /// like an interpreter-detected bug.
+    pub fn set_bugged(&mut self, report: crate::BugReport) {
+        self.status = Status::Bugged(report);
+    }
+
     /// Returns this state as it looks immediately after a node reboot:
     /// volatile memory cleared, call stack empty, ready for `on_boot`.
     /// Path condition, branch trace and instruction count persist — the

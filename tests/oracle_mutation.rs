@@ -1,0 +1,122 @@
+//! Mutation self-test for the conformance oracle: a harness that cannot
+//! fail its subject proves nothing, so corrupt exactly one mapping
+//! decision and demand the oracle flags the divergence (DESIGN.md §9).
+//!
+//! [`MutantMapper`] wraps a real mapper and forwards everything except
+//! one deliberate lie:
+//!
+//! * [`Mutation::DropDscenario`] suppresses one dscenario during the
+//!   §IV-C explosion — the oracle must report its outcome as *missing*
+//!   (a mapper losing coverage is exactly the unsoundness the oracle
+//!   exists to catch).
+//! * [`Mutation::StealReceiver`] removes one receiver from one mapped
+//!   transmission — the exploration itself diverges from the ground
+//!   truth, so the verdict must be dirty.
+
+#[path = "common/line.rs"]
+mod line;
+
+use line::line_collect;
+use sde::core::oracle::{conformance_against, ground_truth, Mutation, OracleConfig};
+use sde::prelude::*;
+
+fn scenario() -> Scenario {
+    line_collect(3, &[0, 1], 2, false)
+}
+
+#[test]
+fn unmutated_baseline_is_clean() {
+    // The control arm: without a mutation the very same harness must
+    // report a clean, exhaustive verdict for every algorithm — otherwise
+    // the dirty verdicts below would mean nothing.
+    let scenario = scenario();
+    let cfg = OracleConfig::default();
+    let truth = ground_truth(&scenario, &cfg);
+    assert!(truth.exhaustive());
+    assert!(
+        truth.outcomes.len() >= 4,
+        "{} outcomes",
+        truth.outcomes.len()
+    );
+    for alg in Algorithm::ALL {
+        let report = conformance_against(&truth, &scenario, alg, None, &cfg);
+        assert!(
+            report.is_clean() && report.exhaustive(),
+            "baseline {}: {}",
+            alg.name(),
+            report.summary()
+        );
+    }
+}
+
+#[test]
+fn dropping_a_dscenario_is_flagged_as_missing() {
+    let scenario = scenario();
+    let cfg = OracleConfig::default();
+    let truth = ground_truth(&scenario, &cfg);
+    for alg in Algorithm::ALL {
+        let report = conformance_against(
+            &truth,
+            &scenario,
+            alg,
+            Some(Mutation::DropDscenario(0)),
+            &cfg,
+        );
+        assert!(
+            !report.missing.is_empty(),
+            "{}: suppressing a dscenario must surface as a missing outcome: {}",
+            alg.name(),
+            report.summary()
+        );
+        assert!(!report.is_clean(), "{}: verdict must be dirty", alg.name());
+    }
+}
+
+#[test]
+fn every_dscenario_position_matters() {
+    // Not just the first: suppressing *any* of SDS's dscenarios must be
+    // caught — SDS enumerates each dscenario exactly once (§III-D), so
+    // every position carries unique coverage.
+    let scenario = scenario();
+    let cfg = OracleConfig::default();
+    let truth = ground_truth(&scenario, &cfg);
+    let baseline = conformance_against(&truth, &scenario, Algorithm::Sds, None, &cfg);
+    assert!(baseline.is_clean());
+    for n in 0..baseline.cases {
+        let report = conformance_against(
+            &truth,
+            &scenario,
+            Algorithm::Sds,
+            Some(Mutation::DropDscenario(n)),
+            &cfg,
+        );
+        assert!(
+            !report.is_clean(),
+            "SDS: dropping dscenario {n} of {} went unnoticed: {}",
+            baseline.cases,
+            report.summary()
+        );
+    }
+}
+
+#[test]
+fn stealing_a_receiver_is_flagged() {
+    let scenario = scenario();
+    let cfg = OracleConfig::default();
+    let truth = ground_truth(&scenario, &cfg);
+    for alg in Algorithm::ALL {
+        let report = conformance_against(
+            &truth,
+            &scenario,
+            alg,
+            Some(Mutation::StealReceiver(0)),
+            &cfg,
+        );
+        assert!(
+            !report.is_clean(),
+            "{}: corrupting a delivery mapping must dirty the verdict: {}",
+            alg.name(),
+            report.summary()
+        );
+    }
+}

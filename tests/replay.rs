@@ -150,3 +150,94 @@ fn parallel_and_sequential_testgen_agree_on_scenarios() {
     assert_eq!(seq.cases.len(), par.cases.len());
     assert_eq!(seq.dscenarios_seen, par.dscenarios_seen);
 }
+
+#[test]
+fn strict_replay_flags_unkeyed_failure_decisions() {
+    // An empty strict preset cannot answer the engine-level drop
+    // decision: the replay must report it as an UnkeyedInput bug instead
+    // of silently assuming "no drop" (which is exactly what the *lenient*
+    // empty preset is for — see `empty_preset_is_the_failure_free_run`).
+    let scenario = line_collect(3, &[0, 1], 1, false);
+    let report = Engine::new(scenario.clone(), Algorithm::Cob)
+        .with_preset(Preset::new().with_strict())
+        .run();
+    assert!(
+        report
+            .bugs
+            .iter()
+            .any(|b| matches!(b.report.kind, sde::vm::BugKind::UnkeyedInput)),
+        "strict replay with no pinned drop decision must flag UnkeyedInput, got {:?}",
+        report.bugs
+    );
+
+    // A complete assignment (drawn from a real dscenario model) replays
+    // strictly with no bug and no forks: strict mode only fires on
+    // genuinely unkeyed inputs.
+    let mut engine = Engine::new(scenario.clone(), Algorithm::Sds);
+    engine.run_in_place();
+    let cases = testgen::generate(&engine, 64);
+    let complete = cases.cases.iter().find(|c| {
+        // Only models that constrain every failure decision replay
+        // strictly without misses; dscenarios that never reached a
+        // decision leave it unconstrained.
+        c.model.len() == engine.symbols().len()
+    });
+    if let Some(case) = complete {
+        let preset = Preset::from_model(&case.model, engine.symbols()).with_strict();
+        let replay = Engine::new(scenario.clone(), Algorithm::Cob)
+            .with_preset(preset)
+            .run();
+        assert!(
+            replay.bugs.is_empty(),
+            "a complete strict assignment must replay bug-free: {:?}",
+            replay.bugs
+        );
+        assert_eq!(replay.total_states, scenario.node_count());
+    }
+}
+
+#[test]
+fn strict_replay_flags_unkeyed_program_inputs() {
+    // Same contract one layer down: a `make_symbolic` the preset does not
+    // pin is a bug under strict replay (and a silent 0 under lenient).
+    use sde::os::apps::sense::{self, SenseConfig};
+    let topology = Topology::line(2);
+    let cfg = SenseConfig {
+        source: NodeId(1),
+        sink: NodeId(0),
+        interval_ms: 1000,
+        packet_count: 1,
+        max_reading: 7,
+        levels: 1,
+        parity_guard: false,
+    };
+    let programs = sense::programs(&topology, &cfg);
+    let scenario = Scenario::new(topology, programs).with_duration_ms(3000);
+
+    let strict = Engine::new(scenario.clone(), Algorithm::Cob)
+        .with_preset(Preset::new().with_strict())
+        .run();
+    let unkeyed: Vec<_> = strict
+        .bugs
+        .iter()
+        .filter(|b| matches!(b.report.kind, sde::vm::BugKind::UnkeyedInput))
+        .collect();
+    assert!(
+        !unkeyed.is_empty(),
+        "strict replay must flag the unpinned `reading`: {:?}",
+        strict.bugs
+    );
+    assert!(
+        unkeyed.iter().all(|b| b.node == NodeId(1)),
+        "only the source mints `reading`: {unkeyed:?}"
+    );
+
+    let lenient = Engine::new(scenario, Algorithm::Cob)
+        .with_preset(Preset::new())
+        .run();
+    assert!(
+        lenient.bugs.is_empty(),
+        "the lenient empty preset still replays as reading = 0: {:?}",
+        lenient.bugs
+    );
+}
