@@ -83,6 +83,16 @@ fn bench_interpreter(c: &mut Criterion) {
     });
 
     // Clone cost of a state with populated memory — the fork primitive.
+    let heavy = heavy_state();
+    group.bench_function("clone_state_1KiB_memory", |b| {
+        b.iter(|| black_box(heavy.clone()).memory_footprint())
+    });
+    group.finish();
+}
+
+/// A terminated state with 1 KiB of written memory — the digest
+/// benchmarks' worst case scales with exactly this kind of footprint.
+fn heavy_state() -> VmState {
     let mut pb = ProgramBuilder::new();
     pb.function("main", 0, |f| {
         for i in 0..512u64 {
@@ -102,12 +112,30 @@ fn bench_interpreter(c: &mut Criterion) {
         state.prepared(&writer, "main", &[]).unwrap(),
         &mut ctx,
     );
-    let heavy = out.finished.into_iter().next().unwrap().0;
-    group.bench_function("clone_state_1KiB_memory", |b| {
-        b.iter(|| black_box(heavy.clone()).memory_footprint())
+    out.finished.into_iter().next().unwrap().0
+}
+
+/// The duplicate-detection hot path (DESIGN.md §10): the engine reads
+/// `config_digest` at *every* dispatch, so it must stay O(frames) — the
+/// incremental accumulators — while `config_digest_reference` rescans the
+/// whole heap and path condition. The gap between the two is the
+/// acceptance criterion "no full-state rehash on the hot path".
+fn bench_digest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digest");
+    let heavy = heavy_state();
+    assert_eq!(
+        heavy.config_digest(),
+        heavy.config_digest_reference(),
+        "accumulators must agree with the rescan"
+    );
+    group.bench_function("incremental", |b| {
+        b.iter(|| black_box(&heavy).config_digest())
+    });
+    group.bench_function("reference_rescan", |b| {
+        b.iter(|| black_box(&heavy).config_digest_reference())
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_interpreter);
+criterion_group!(benches, bench_interpreter, bench_digest);
 criterion_main!(benches);

@@ -15,6 +15,7 @@
 //! cargo run -p sde-bench --release --bin fig10 -- --nodes 100    # one size
 //! cargo run -p sde-bench --release --bin fig10 -- --all          # 25 + 49 + 100
 //! cargo run -p sde-bench --release --bin fig10 -- --workers 4    # parallel engine
+//! cargo run -p sde-bench --release --bin fig10 -- --dedup        # duplicate pruning (§10)
 //! cargo run -p sde-bench --release --bin fig10 -- --nodes 25 --trace f.jsonl
 //! ```
 //!
@@ -23,9 +24,9 @@
 //! Chrome `trace_event` twin).
 
 use sde_bench::{
-    paper_scenario, report_json, run_checkpointed, run_with_limits_traced, run_with_limits_workers,
-    trace_file_for, write_bench_json, write_series_csv, write_trace, Args, Checkpointing,
-    RunLimits, SolverLayers,
+    paper_scenario, report_json, run_checkpointed_dedup, run_with_limits_dedup,
+    run_with_limits_traced_dedup, trace_file_for, write_bench_json, write_series_csv, write_trace,
+    Args, Checkpointing, RunLimits, SolverLayers,
 };
 use sde_core::{human_bytes, Algorithm};
 use std::path::PathBuf;
@@ -62,6 +63,10 @@ fn main() {
     // bit-identical per RunReport::equivalence_key (wall_ms excepted);
     // the extra summary line shows what the workers did.
     let workers: Option<usize> = args.get("workers");
+    // `--dedup`: online duplicate-dispatch pruning (DESIGN.md §10); the
+    // curves keep their shape (state *creation* is unchanged), execution
+    // work drops.
+    let dedup = args.flag("dedup");
     // `--trace <base>`: record a structured trace per run.
     let trace_base: Option<PathBuf> = args.get::<String>("trace").map(PathBuf::from);
     // Checkpoint/resume flags (DESIGN.md §8); snapshots land at
@@ -90,12 +95,13 @@ fn main() {
             let report = match (&ckpt, &trace_base) {
                 (Some(ckpt), _) => {
                     let label = format!("fig10_{nodes}nodes_{}", alg.name().to_lowercase());
-                    let outcome = run_checkpointed(
+                    let outcome = run_checkpointed_dedup(
                         &scenario,
                         alg,
                         limits,
                         workers,
                         SolverLayers::Full,
+                        dedup,
                         ckpt,
                         &label,
                     )
@@ -105,10 +111,23 @@ fn main() {
                         None => continue, // interrupted by --stop-after
                     }
                 }
-                (None, None) => run_with_limits_workers(&scenario, alg, limits, workers),
+                (None, None) => run_with_limits_dedup(
+                    &scenario,
+                    alg,
+                    limits,
+                    workers,
+                    SolverLayers::Full,
+                    dedup,
+                ),
                 (None, Some(base)) => {
-                    let (report, events) =
-                        run_with_limits_traced(&scenario, alg, limits, workers, SolverLayers::Full);
+                    let (report, events) = run_with_limits_traced_dedup(
+                        &scenario,
+                        alg,
+                        limits,
+                        workers,
+                        SolverLayers::Full,
+                        dedup,
+                    );
                     let label = format!("{nodes}nodes_{}", report.algorithm.to_lowercase());
                     let trace_path = trace_file_for(base, &label);
                     write_trace(&trace_path, &events).expect("write trace");
@@ -141,6 +160,14 @@ fn main() {
             );
             if let Some(p) = &report.parallel {
                 println!("     | {}", p.summary());
+            }
+            if dedup {
+                println!(
+                    "     | dedup: {} (executed {} of {} states)",
+                    report.dedup.summary(),
+                    report.states_executed,
+                    report.total_states
+                );
             }
             json.push(report_json(
                 &format!("fig10_{nodes}nodes_{}", report.algorithm.to_lowercase()),

@@ -19,6 +19,7 @@
 //! cargo run -p sde-bench --release --bin oracle -- --preset grid --algorithm sds
 //! cargo run -p sde-bench --release --bin oracle -- --max-assignments 200
 //! cargo run -p sde-bench --release --bin oracle -- --tag smoke --out bench_out
+//! cargo run -p sde-bench --release --bin oracle -- --dedup    # prune symbolic runs (§10)
 //! ```
 //!
 //! Presets: `tiny` (2-node line), `line3` (3-node line, 2 packets),
@@ -54,6 +55,10 @@ fn main() {
     let cfg = OracleConfig {
         max_assignments: args.get("max-assignments").unwrap_or(50_000),
         max_cases: args.get("max-cases").unwrap_or(4096),
+        // `--dedup` prunes duplicate dispatches in the symbolic runs
+        // only; the strict concrete replays stay memoization-free (a
+        // preset forces dedup off), so the ground truth is unaffected.
+        dedup: args.flag("dedup"),
         ..OracleConfig::default()
     };
     let out_dir = PathBuf::from(
@@ -68,10 +73,15 @@ fn main() {
     let scenario = oracle_scenario(&preset);
     println!(
         "conformance oracle — preset {preset:?} ({} nodes), \
-         enumeration cap {} assignments, testgen cap {} cases",
+         enumeration cap {} assignments, testgen cap {} cases{}",
         scenario.node_count(),
         cfg.max_assignments,
-        cfg.max_cases
+        cfg.max_cases,
+        if cfg.dedup {
+            " (symbolic runs prune duplicate dispatches)"
+        } else {
+            ""
+        }
     );
 
     println!("\nenumerating ground truth (strict concrete replays)...");

@@ -14,6 +14,7 @@
 //! cargo run -p sde-bench --release --bin parallel_sweep
 //! cargo run -p sde-bench --release --bin parallel_sweep -- --side 3 --out bench_out
 //! cargo run -p sde-bench --release --bin parallel_sweep -- --trace sweep.jsonl
+//! cargo run -p sde-bench --release --bin parallel_sweep -- --dedup
 //! ```
 //!
 //! `--trace <base>` records a deterministic JSONL trace of the
@@ -22,8 +23,8 @@
 //! engine merges speculative-worker events in job submission order).
 
 use sde_bench::{
-    run_checkpointed, symbolic_grid, trace_file_for, write_trace, Args, Checkpointing, RunLimits,
-    SolverLayers,
+    run_checkpointed_dedup, symbolic_grid, trace_file_for, write_trace, Args, Checkpointing,
+    RunLimits, SolverLayers,
 };
 use sde_core::{Algorithm, Engine, RunReport};
 use std::fmt::Write as _;
@@ -55,6 +56,11 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    // `--dedup`: online duplicate-dispatch pruning on the authoritative
+    // serial-commit path (DESIGN.md §10). The seq-vs-parallel bit-identity
+    // assertions below hold with it on: pruning decisions are made only
+    // at commit time, identically in both modes.
+    let dedup = args.flag("dedup");
     let trace_base: Option<PathBuf> = args.get::<String>("trace").map(PathBuf::from);
     // Checkpoint/resume flags (DESIGN.md §8); snapshots land at
     // `<snapshot-dir>/sweep_<alg>_w<workers>.snap`. Each parallel point
@@ -91,9 +97,10 @@ fn main() {
 
     for alg in [Algorithm::Cow, Algorithm::Sds] {
         let seq = match &trace_base {
-            None => Engine::new(scenario.clone(), alg).run(),
+            None => Engine::new(scenario.clone(), alg).with_dedup(dedup).run(),
             Some(base) => {
-                let (seq, events) = run_recorded(Engine::new(scenario.clone(), alg), None);
+                let (seq, events) =
+                    run_recorded(Engine::new(scenario.clone(), alg).with_dedup(dedup), None);
                 let file = trace_file_for(base, &format!("{}_seq", seq.algorithm.to_lowercase()));
                 write_trace(&file, &events).expect("write seq trace");
                 let _ = writeln!(report, "{} seq trace: {}", alg.name(), file.display());
@@ -120,12 +127,13 @@ fn main() {
             let par = match (&ckpt, &trace_base) {
                 (Some(ckpt), _) => {
                     let label = format!("sweep_{}_w{workers}", alg.name().to_lowercase());
-                    let outcome = run_checkpointed(
+                    let outcome = run_checkpointed_dedup(
                         &scenario,
                         alg,
                         limits,
                         Some(workers),
                         SolverLayers::Full,
+                        dedup,
                         ckpt,
                         &label,
                     )
@@ -135,10 +143,14 @@ fn main() {
                         None => continue, // interrupted by --stop-after
                     }
                 }
-                (None, None) => Engine::new(scenario.clone(), alg).run_parallel(workers),
+                (None, None) => Engine::new(scenario.clone(), alg)
+                    .with_dedup(dedup)
+                    .run_parallel(workers),
                 (None, Some(base)) => {
-                    let (par, events) =
-                        run_recorded(Engine::new(scenario.clone(), alg), Some(workers));
+                    let (par, events) = run_recorded(
+                        Engine::new(scenario.clone(), alg).with_dedup(dedup),
+                        Some(workers),
+                    );
                     let jsonl = sde_core::trace::to_jsonl(&events, true);
                     match &first_parallel_jsonl {
                         None => first_parallel_jsonl = Some(jsonl),

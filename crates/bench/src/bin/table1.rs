@@ -19,6 +19,7 @@
 //! cargo run -p sde-bench --release --bin table1 -- --cap 500000
 //! cargo run -p sde-bench --release --bin table1 -- --complexity
 //! cargo run -p sde-bench --release --bin table1 -- --workers 4   # parallel engine
+//! cargo run -p sde-bench --release --bin table1 -- --dedup       # duplicate pruning (§10)
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny # CI smoke (3×3)
 //! cargo run -p sde-bench --release --bin table1 -- --layers exact --tag layers_exact
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny --trace out.jsonl
@@ -38,9 +39,9 @@
 //! `<out>/BENCH_table1[_<tag>].json`.
 
 use sde_bench::{
-    paper_scenario, report_json, run_checkpointed, run_with_limits_layers, run_with_limits_traced,
-    symbolic_grid, table_header, testgen_json, trace_file_for, write_bench_json, write_trace, Args,
-    Checkpointing, RunLimits, SolverLayers,
+    paper_scenario, report_json, run_checkpointed_dedup, run_with_limits_dedup,
+    run_with_limits_traced_dedup, symbolic_grid, table_header, testgen_json, trace_file_for,
+    write_bench_json, write_trace, Args, Checkpointing, RunLimits, SolverLayers,
 };
 use sde_core::complexity::WorstCase;
 use sde_core::Algorithm;
@@ -71,6 +72,9 @@ fn main() {
     // `--workers N`: run through the parallel engine (reports stay
     // bit-identical; speculative workers warm the solver cache).
     let workers: Option<usize> = args.get("workers");
+    // `--dedup`: online duplicate-dispatch pruning (DESIGN.md §10) —
+    // same states, bugs and test cases, fewer states *executed*.
+    let dedup = args.flag("dedup");
     // `--layers full|exact|off`: the incremental-solver-stack ablation
     // axis (DESIGN.md §6); `--tag` suffixes the JSON filename so sweeps
     // with different layer settings land in distinct files.
@@ -135,8 +139,10 @@ fn main() {
         let (report, trace_line) = match (&ckpt, &trace_base) {
             (Some(ckpt), _) => {
                 let label = format!("table1_{}", alg.name().to_lowercase());
-                match run_checkpointed(&scenario, alg, limits, workers, layers, ckpt, &label)
-                    .expect("checkpointed run")
+                match run_checkpointed_dedup(
+                    &scenario, alg, limits, workers, layers, dedup, ckpt, &label,
+                )
+                .expect("checkpointed run")
                 {
                     Some(report) => (report, None),
                     None => {
@@ -149,12 +155,12 @@ fn main() {
                 }
             }
             (None, None) => (
-                run_with_limits_layers(&scenario, alg, limits, workers, layers),
+                run_with_limits_dedup(&scenario, alg, limits, workers, layers, dedup),
                 None,
             ),
             (None, Some(base)) => {
                 let (report, events) =
-                    run_with_limits_traced(&scenario, alg, limits, workers, layers);
+                    run_with_limits_traced_dedup(&scenario, alg, limits, workers, layers, dedup);
                 let file = trace_file_for(base, &report.algorithm.to_lowercase());
                 write_trace(&file, &events).expect("write trace");
                 let line = format!(
@@ -183,10 +189,19 @@ fn main() {
         if let Some(p) = &report.parallel {
             println!("     | {}", p.summary());
         }
+        if dedup {
+            println!(
+                "     | dedup: {} (executed {} of {} states)",
+                report.dedup.summary(),
+                report.states_executed,
+                report.total_states
+            );
+        }
         let label = format!(
-            "table1_{workload}_side{side}_{}_{}",
+            "table1_{workload}_side{side}_{}_{}{}",
             report.algorithm.to_lowercase(),
-            layers.name()
+            layers.name(),
+            if dedup { "_dedup" } else { "" }
         );
         json.push(report_json(&label, &report));
         rows.push(report);
@@ -199,7 +214,8 @@ fn main() {
         println!("\ntest-case generation (--testgen {limit}):");
         for alg in Algorithm::ALL {
             let state_cap = if alg == Algorithm::Cob { cap_cob } else { cap };
-            let mut engine = sde_core::Engine::new(scenario.clone().with_state_cap(state_cap), alg);
+            let mut engine = sde_core::Engine::new(scenario.clone().with_state_cap(state_cap), alg)
+                .with_dedup(dedup);
             engine.run_in_place();
             let tg = sde_core::testgen::generate(&engine, limit);
             println!(

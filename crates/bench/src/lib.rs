@@ -198,11 +198,28 @@ pub fn run_with_limits_layers(
     workers: Option<usize>,
     layers: SolverLayers,
 ) -> RunReport {
+    run_with_limits_dedup(scenario, algorithm, limits, workers, layers, false)
+}
+
+/// The fully-configurable run entry point: [`run_with_limits_layers`]
+/// plus the `--dedup` axis — online duplicate-dispatch pruning
+/// ([`Engine::set_dedup`], DESIGN.md §10). Canonical outputs are
+/// dedup-invariant (pinned by `tests/dedup_equivalence.rs`); the payoff
+/// shows up in [`RunReport::states_executed`](sde_core::RunReport) and
+/// [`RunReport::dedup`](sde_core::RunReport).
+pub fn run_with_limits_dedup(
+    scenario: &Scenario,
+    algorithm: Algorithm,
+    limits: RunLimits,
+    workers: Option<usize>,
+    layers: SolverLayers,
+    dedup: bool,
+) -> RunReport {
     let s = scenario
         .clone()
         .with_state_cap(limits.state_cap)
         .with_sample_every(limits.sample_every);
-    let engine = Engine::new(s, algorithm);
+    let engine = Engine::new(s, algorithm).with_dedup(dedup);
     layers.apply(engine.solver());
     match workers {
         None => engine.run(),
@@ -305,6 +322,27 @@ pub fn run_checkpointed(
     ckpt: &Checkpointing,
     label: &str,
 ) -> std::io::Result<Option<RunReport>> {
+    run_checkpointed_dedup(
+        scenario, algorithm, limits, workers, layers, false, ckpt, label,
+    )
+}
+
+/// [`run_checkpointed`] with the `--dedup` axis. The dedup flag travels
+/// inside the snapshot, so a *resumed* run keeps pruning regardless of
+/// the `dedup` argument here (which only configures fresh runs); the
+/// memo index itself restarts cold after every resume — same canonical
+/// results, possibly more states executed (DESIGN.md §10).
+#[allow(clippy::too_many_arguments)]
+pub fn run_checkpointed_dedup(
+    scenario: &Scenario,
+    algorithm: Algorithm,
+    limits: RunLimits,
+    workers: Option<usize>,
+    layers: SolverLayers,
+    dedup: bool,
+    ckpt: &Checkpointing,
+    label: &str,
+) -> std::io::Result<Option<RunReport>> {
     let s = scenario
         .clone()
         .with_state_cap(limits.state_cap)
@@ -329,7 +367,7 @@ pub fn run_checkpointed(
             );
             engine
         }
-        None => Engine::new(s, algorithm),
+        None => Engine::new(s, algorithm).with_dedup(dedup),
     };
     layers.apply(engine.solver());
     let budget = if ckpt.every > 0 {
@@ -370,12 +408,27 @@ pub fn run_with_limits_traced(
     workers: Option<usize>,
     layers: SolverLayers,
 ) -> (RunReport, Vec<sde_trace::TimedEvent>) {
+    run_with_limits_traced_dedup(scenario, algorithm, limits, workers, layers, false)
+}
+
+/// [`run_with_limits_traced`] with the `--dedup` axis; pruned dispatches
+/// appear in the trace as `StatePruned` events pointing at the memoized
+/// survivor.
+pub fn run_with_limits_traced_dedup(
+    scenario: &Scenario,
+    algorithm: Algorithm,
+    limits: RunLimits,
+    workers: Option<usize>,
+    layers: SolverLayers,
+    dedup: bool,
+) -> (RunReport, Vec<sde_trace::TimedEvent>) {
     let s = scenario
         .clone()
         .with_state_cap(limits.state_cap)
         .with_sample_every(limits.sample_every);
     let sink = std::sync::Arc::new(sde_trace::RingSink::default());
     let engine = Engine::new(s, algorithm)
+        .with_dedup(dedup)
         .with_trace_sink(sink.clone() as std::sync::Arc<dyn sde_trace::TraceSink>);
     layers.apply(engine.solver());
     let report = match workers {
@@ -467,6 +520,8 @@ pub fn report_json(label: &str, report: &RunReport) -> String {
             "    \"aborted\": {},\n",
             "    \"groups\": {},\n",
             "    \"duplicate_states\": {},\n",
+            "    \"duplicate_terminated\": {},\n",
+            "    \"states_executed\": {},\n",
             "    \"history_digest\": \"{:#018x}\",\n",
             "    \"solver\": {{\n",
             "      \"queries\": {},\n",
@@ -494,6 +549,8 @@ pub fn report_json(label: &str, report: &RunReport) -> String {
         report.aborted,
         report.groups,
         report.duplicate_states,
+        report.duplicate_terminated,
+        report.states_executed,
         report.history_digest,
         s.queries,
         s.cache_hits,
@@ -505,6 +562,24 @@ pub fn report_json(label: &str, report: &RunReport) -> String {
         s.unknown,
         s.nodes_visited,
     );
+    // The dedup block is emitted only when the detector did anything —
+    // all-zero stats mean dedup was off (or preset-gated) and the block
+    // would be noise.
+    let d = &report.dedup;
+    if *d != sde_core::DedupStats::default() {
+        out.push_str(&format!(
+            concat!(
+                ",\n    \"dedup\": {{\n",
+                "      \"candidates\": {},\n",
+                "      \"confirmed\": {},\n",
+                "      \"collisions\": {},\n",
+                "      \"pruned_states\": {},\n",
+                "      \"saved_instructions\": {}\n",
+                "    }}",
+            ),
+            d.candidates, d.confirmed, d.collisions, d.pruned_states, d.saved_instructions,
+        ));
+    }
     if let Some(p) = &report.parallel {
         out.push_str(&format!(
             concat!(

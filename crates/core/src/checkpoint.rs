@@ -39,7 +39,8 @@ use std::fmt;
 pub(crate) const SNAPSHOT_MAGIC: [u8; 8] = *b"SDESNAP1";
 
 /// Current snapshot format version; bumped on any codec change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version 2 added the dedup fields (flag, counters, executed-state ids).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Size of the fixed file header (magic + version + digest + prelude
 /// length).
@@ -274,6 +275,14 @@ pub struct EngineSnapshot {
     pub(crate) bugs: Vec<BugFound>,
     /// The always-on trace counter digest.
     pub(crate) trace: sde_trace::TraceSummary,
+    /// Whether duplicate-dispatch pruning was enabled (DESIGN.md §10).
+    /// The memo index itself is not serialized — a resumed dedup run
+    /// starts cold and re-records.
+    pub(crate) dedup: bool,
+    /// Dedup counters accumulated before the pause.
+    pub(crate) dedup_stats: crate::stats::DedupStats,
+    /// Ids of states that entered handler execution, sorted ascending.
+    pub(crate) executed: Vec<u64>,
 }
 
 impl EngineSnapshot {
@@ -481,6 +490,16 @@ impl EngineSnapshot {
             b.report.write_snapshot(w);
         }
         write_trace_summary(w, &self.trace);
+        w.bool(self.dedup);
+        w.varint(self.dedup_stats.candidates);
+        w.varint(self.dedup_stats.confirmed);
+        w.varint(self.dedup_stats.collisions);
+        w.varint(self.dedup_stats.pruned_states);
+        w.varint(self.dedup_stats.saved_instructions);
+        w.varint(self.executed.len() as u64);
+        for id in &self.executed {
+            w.varint(*id);
+        }
     }
 
     // ----- debug form -----------------------------------------------------
@@ -590,6 +609,19 @@ impl EngineSnapshot {
         }
         out.push_str("  ],\n");
         let _ = writeln!(out, "  \"bugs\": {},", self.bugs.len());
+        let _ = writeln!(
+            out,
+            "  \"dedup\": {{\"enabled\": {}, \"candidates\": {}, \"confirmed\": {}, \
+             \"collisions\": {}, \"pruned_states\": {}, \"saved_instructions\": {}, \
+             \"states_executed\": {}}},",
+            self.dedup,
+            self.dedup_stats.candidates,
+            self.dedup_stats.confirmed,
+            self.dedup_stats.collisions,
+            self.dedup_stats.pruned_states,
+            self.dedup_stats.saved_instructions,
+            self.executed.len()
+        );
         let _ = writeln!(
             out,
             "  \"trace_key\": \"{}\"",
@@ -1013,6 +1045,19 @@ fn read_main(r: &mut SnapReader<'_>, p: Prelude) -> Result<EngineSnapshot, Codec
         });
     }
     let trace = read_trace_summary(r)?;
+    let dedup = r.bool()?;
+    let dedup_stats = crate::stats::DedupStats {
+        candidates: r.varint()?,
+        confirmed: r.varint()?,
+        collisions: r.varint()?,
+        pruned_states: r.varint()?,
+        saved_instructions: r.varint()?,
+    };
+    let nexecuted = checked_len(r, "executed state count")?;
+    let mut executed = Vec::with_capacity(nexecuted);
+    for _ in 0..nexecuted {
+        executed.push(r.varint()?);
+    }
     Ok(EngineSnapshot {
         algorithm: p.algorithm,
         node_count: p.node_count,
@@ -1039,6 +1084,9 @@ fn read_main(r: &mut SnapReader<'_>, p: Prelude) -> Result<EngineSnapshot, Codec
         samples,
         bugs,
         trace,
+        dedup,
+        dedup_stats,
+        executed,
     })
 }
 
@@ -1203,9 +1251,10 @@ mod tests {
         let json = engine.snapshot().to_debug_json();
         for needle in [
             "\"algorithm\": \"SDS\"",
-            "\"version\": 1",
+            "\"version\": 2",
             "state_table",
             "trace_key",
+            "\"dedup\": {\"enabled\": false",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

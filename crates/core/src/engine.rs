@@ -14,11 +14,12 @@
 //! local forks — the network itself is ideal (paper footnote 2).
 
 use crate::checkpoint::{Budget, EngineSnapshot, RunOutcome, SnapshotError};
+use crate::dedup::{memo_key, DigestIndex, DispatchRecorder, LogOp, MemoEntry};
 use crate::history::HistoryEvent;
 use crate::mapping::{Algorithm, StateMapper, StateStore};
 use crate::scenario::Scenario;
 use crate::state::{SdeState, StateId};
-use crate::stats::{BugFound, ParallelStats, RunReport, Sample, TimeSeries};
+use crate::stats::{BugFound, DedupStats, ParallelStats, RunReport, Sample, TimeSeries};
 use sde_net::{Event, EventQueue, NodeId, Packet, PacketId};
 use sde_os::handlers;
 use sde_symbolic::{Expr, ExprRef, Solver, SymbolTable, Width};
@@ -172,6 +173,20 @@ pub struct Engine {
     traced: bool,
     /// Always-on counter digest surfaced through [`RunReport::trace`].
     trace: sde_trace::TraceSummary,
+    /// Online duplicate-dispatch pruning (DESIGN.md §10). Off by
+    /// default; forced off under a replay preset.
+    dedup: bool,
+    /// Memoized dispatches keyed by incremental configuration digest.
+    /// Never serialized: a resumed engine starts cold and re-records.
+    dedup_index: DigestIndex,
+    /// The dispatch currently being recorded (dedup on, key missed).
+    recorder: Option<DispatchRecorder>,
+    /// States that entered [`Engine::run_handler`] at least once —
+    /// replayed duplicates never do, so `executed.len()` is the
+    /// states-actually-executed metric the dedup ablation reports.
+    executed: HashSet<StateId>,
+    /// Candidate / confirmed / collision / pruning counters.
+    dedup_stats: DedupStats,
 }
 
 impl Engine {
@@ -209,7 +224,46 @@ impl Engine {
             sink: Arc::new(sde_trace::NoopSink),
             traced: false,
             trace: sde_trace::TraceSummary::default(),
+            dedup: false,
+            dedup_index: DigestIndex::default(),
+            recorder: None,
+            executed: HashSet::new(),
+            dedup_stats: DedupStats::default(),
         }
+    }
+
+    /// Enables (or disables) online duplicate-dispatch detection and
+    /// pruning (DESIGN.md §10): dispatches whose configuration digest
+    /// matches an already-executed one — confirmed by exact structural
+    /// comparison, so hash collisions can never merge distinct states —
+    /// replay the recorded effects instead of re-executing the VM and
+    /// re-querying the solver. The explored state set, bug set and
+    /// generated test cases are unchanged; only the work to produce them
+    /// shrinks (see [`RunReport::dedup`] and
+    /// [`RunReport::states_executed`]).
+    ///
+    /// Ignored under a replay preset ([`Engine::with_preset`]): a strict
+    /// replay follows a single concrete dscenario and must execute every
+    /// step itself.
+    pub fn set_dedup(&mut self, enabled: bool) {
+        self.dedup = enabled;
+    }
+
+    /// Builder-style [`Engine::set_dedup`].
+    #[must_use]
+    pub fn with_dedup(mut self, enabled: bool) -> Engine {
+        self.dedup = enabled;
+        self
+    }
+
+    /// Whether duplicate-dispatch pruning is enabled.
+    pub fn dedup_enabled(&self) -> bool {
+        self.dedup
+    }
+
+    /// Duplicate-detection counters accumulated so far.
+    pub fn dedup_stats(&self) -> DedupStats {
+        self.dedup_stats
     }
 
     /// Attaches a trace sink (e.g. an [`sde_trace::RingSink`]): every
@@ -639,6 +693,15 @@ impl Engine {
             samples: self.series.samples().to_vec(),
             bugs: self.bugs.clone(),
             trace: self.trace,
+            dedup: self.dedup,
+            dedup_stats: self.dedup_stats,
+            executed: {
+                // Sorted so the snapshot bytes are a pure function of the
+                // engine state (HashSet order is not).
+                let mut ids: Vec<u64> = self.executed.iter().map(|s| s.0).collect();
+                ids.sort_unstable();
+                ids
+            },
         }
     }
 
@@ -727,6 +790,13 @@ impl Engine {
             engine.series.push(*sample);
         }
         engine.trace = snapshot.trace;
+        engine.dedup = snapshot.dedup;
+        engine.dedup_stats = snapshot.dedup_stats;
+        engine.executed = snapshot.executed.iter().map(|id| StateId(*id)).collect();
+        // The memo index is deliberately not serialized (entries hold
+        // full VM states; DESIGN.md §10): a resumed dedup run starts
+        // cold and re-records, so it may execute more states than the
+        // uninterrupted run — never different ones.
         Ok(engine)
     }
 
@@ -872,6 +942,31 @@ impl Engine {
                 time: self.now,
             });
         }
+        if self.dedup && self.preset.is_none() {
+            let key = {
+                let s = &self.store.states[&state_id];
+                memo_key(
+                    s.node,
+                    s.vm.config_digest(),
+                    (s.drop_budget, s.dup_budget, s.reboot_budget),
+                    self.now,
+                    &kind,
+                )
+            };
+            if self.try_replay(key, state_id, &kind) {
+                return;
+            }
+            self.begin_record(key, state_id, kind.clone());
+            self.execute_event(state_id, kind);
+            self.finish_record();
+        } else {
+            self.execute_event(state_id, kind);
+        }
+    }
+
+    /// The actual event execution [`Engine::dispatch`] gates behind the
+    /// duplicate check.
+    fn execute_event(&mut self, state_id: StateId, kind: NodeEvent) {
         match kind {
             NodeEvent::Boot => self.run_handler(state_id, handlers::ON_BOOT, &[]),
             NodeEvent::Timer(t) => {
@@ -879,6 +974,289 @@ impl Engine {
                 self.run_handler(state_id, handlers::ON_TIMER, &args);
             }
             NodeEvent::Deliver(packet) => self.deliver(state_id, packet),
+        }
+    }
+
+    // ----- duplicate-dispatch detection and pruning (DESIGN.md §10) ---------
+
+    /// Looks `key` up in the memo index and, when an entry passes the
+    /// exact structural confirmation, replays its recorded effects
+    /// instead of executing the dispatch. Returns `true` when replayed.
+    fn try_replay(&mut self, key: u64, state_id: StateId, kind: &NodeEvent) -> bool {
+        let entry = {
+            let s = &self.store.states[&state_id];
+            let budgets = (s.drop_budget, s.dup_budget, s.reboot_budget);
+            let Some(candidates) = self.dedup_index.lookup(key) else {
+                return false;
+            };
+            self.dedup_stats.candidates += 1;
+            let confirmed = candidates
+                .iter()
+                .find(|e| e.congruent(s.node, self.now, budgets, &s.vm, kind))
+                .cloned();
+            match confirmed {
+                Some(e) => e,
+                None => {
+                    // A digest collision: two structurally different
+                    // configurations under one key. Execute normally —
+                    // correctness never rides on the hash.
+                    self.dedup_stats.collisions += 1;
+                    return false;
+                }
+            }
+        };
+        self.dedup_stats.confirmed += 1;
+        self.replay_dispatch(state_id, &entry, kind);
+        true
+    }
+
+    /// Starts recording the effects of a first-of-its-kind dispatch.
+    fn begin_record(&mut self, key: u64, state_id: StateId, event: NodeEvent) {
+        debug_assert!(self.recorder.is_none(), "dispatch is not reentrant");
+        let s = &self.store.states[&state_id];
+        self.recorder = Some(DispatchRecorder::new(
+            key,
+            s.node,
+            self.now,
+            (s.drop_budget, s.dup_budget, s.reboot_budget),
+            s.vm.clone(),
+            event,
+            state_id,
+            self.bugs.len(),
+            self.instructions,
+        ));
+    }
+
+    /// Seals the active recording into a [`MemoEntry`]: captures the
+    /// final `(vm, budgets)` of every family member and the bugs the
+    /// dispatch discovered.
+    fn finish_record(&mut self) {
+        let Some(rec) = self.recorder.take() else {
+            return;
+        };
+        let mut finals = Vec::with_capacity(rec.family.len());
+        for id in &rec.family {
+            let s = self
+                .store
+                .states
+                .get(id)
+                .expect("family member resident at dispatch end");
+            finals.push((s.vm.clone(), (s.drop_budget, s.dup_budget, s.reboot_budget)));
+        }
+        let bugs = self.bugs[rec.bugs_start..]
+            .iter()
+            .map(|b| (rec.variant(b.state), b.report.clone()))
+            .collect();
+        let instructions = self.instructions - rec.instr_start;
+        let survivor = rec.family[0];
+        self.dedup_index.insert(
+            rec.key,
+            MemoEntry {
+                node: rec.node,
+                now: rec.now,
+                budgets: rec.budgets,
+                pre_vm: rec.pre_vm,
+                event: rec.event,
+                ops: rec.ops,
+                finals,
+                bugs,
+                instructions,
+                survivor,
+            },
+        );
+    }
+
+    /// Replays a memoized dispatch on `root`: reproduces every recorded
+    /// engine-level effect — forks (with live mapper registration),
+    /// transmissions (fresh packet ids, real receiver mapping), timers,
+    /// event clearing, delivery bookkeeping — then overwrites each family
+    /// member with its recorded final configuration and re-reports the
+    /// recorded bugs. The VM never steps and the solver is never
+    /// queried; the resulting engine state is exactly what executing the
+    /// dispatch would have produced, modulo SymId numbering inside
+    /// shared expressions (DESIGN.md §10 gives the argument).
+    fn replay_dispatch(&mut self, root: StateId, entry: &MemoEntry, kind: &NodeEvent) {
+        let node = entry.node;
+        let packet_id = match kind {
+            NodeEvent::Deliver(p) => Some(p.id),
+            _ => None,
+        };
+        let mut family: Vec<StateId> = Vec::with_capacity(entry.finals.len());
+        family.push(root);
+        for op in &entry.ops {
+            match op {
+                LogOp::FailureFork {
+                    parent,
+                    kind: fkind,
+                } => {
+                    let parent_id = family[*parent];
+                    self.store.fork_reason = match fkind {
+                        1 => sde_trace::ForkReason::Drop,
+                        2 => sde_trace::ForkReason::Duplicate,
+                        _ => sde_trace::ForkReason::Reboot,
+                    };
+                    let child = self.store.fork(parent_id);
+                    self.store.fork_reason = sde_trace::ForkReason::Mapping;
+                    self.store.fork_scratch.clear();
+                    self.mapper
+                        .on_branch(parent_id, child, node, &mut self.store);
+                    if self.traced {
+                        let forked = std::mem::take(&mut self.store.fork_scratch);
+                        self.sink.record(sde_trace::TraceEvent::MapBranch {
+                            parent: parent_id.0,
+                            child: child.0,
+                            node: node.0,
+                            forked,
+                        });
+                    }
+                    family.push(child);
+                }
+                LogOp::BranchFork { parent } => {
+                    let parent_id = family[*parent];
+                    let sib_id = self.store.allocate_id();
+                    let sibling = self.store.states[&parent_id].fork_as(sib_id);
+                    self.store.states.insert(sib_id, sibling);
+                    self.store.duplicate_events(parent_id, sib_id);
+                    self.store
+                        .note_fork(parent_id, sib_id, node, sde_trace::ForkReason::Branch);
+                    self.store.fork_scratch.clear();
+                    self.mapper
+                        .on_branch(parent_id, sib_id, node, &mut self.store);
+                    if self.traced {
+                        let forked = std::mem::take(&mut self.store.fork_scratch);
+                        self.sink.record(sde_trace::TraceEvent::MapBranch {
+                            parent: parent_id.0,
+                            child: sib_id.0,
+                            node: node.0,
+                            forked,
+                        });
+                    }
+                    family.push(sib_id);
+                }
+                LogOp::Send {
+                    sender,
+                    dest,
+                    payload,
+                } => {
+                    let sender_id = family[*sender];
+                    let pid = PacketId(self.next_packet);
+                    self.next_packet += 1;
+                    self.packets_sent += 1;
+                    if self.traced {
+                        self.sink.record(sde_trace::TraceEvent::Send {
+                            state: sender_id.0,
+                            node: node.0,
+                            dest: dest.0,
+                            packet: pid.0,
+                        });
+                    }
+                    self.store.fork_scratch.clear();
+                    let delivery = self
+                        .mapper
+                        .map_send(sender_id, node, *dest, &mut self.store);
+                    if self.traced {
+                        let forked = std::mem::take(&mut self.store.fork_scratch);
+                        self.sink.record(sde_trace::TraceEvent::MapSend {
+                            state: sender_id.0,
+                            node: node.0,
+                            dest: dest.0,
+                            packet: pid.0,
+                            targets: delivery.receivers.iter().map(|r| r.0).collect(),
+                            forked,
+                            groups: self.mapper.group_count() as u64,
+                        });
+                    }
+                    {
+                        let s = self
+                            .store
+                            .states
+                            .get_mut(&sender_id)
+                            .expect("replayed sender resident");
+                        s.history.record(HistoryEvent::Sent {
+                            id: pid,
+                            peer: *dest,
+                        });
+                    }
+                    let packet = Packet {
+                        id: pid,
+                        src: node,
+                        dest: *dest,
+                        payload: payload.clone(),
+                    };
+                    let deliver_at = self.now + self.scenario.link_latency_ms;
+                    for receiver in delivery.receivers {
+                        let r = self
+                            .store
+                            .states
+                            .get_mut(&receiver)
+                            .unwrap_or_else(|| panic!("receiver {receiver} not resident"));
+                        r.history.record(HistoryEvent::Received {
+                            id: pid,
+                            peer: node,
+                        });
+                        self.store
+                            .events
+                            .push(deliver_at, (receiver, NodeEvent::Deliver(packet.clone())));
+                    }
+                }
+                LogOp::Timer {
+                    state,
+                    delay,
+                    timer,
+                } => {
+                    self.store
+                        .events
+                        .push(self.now + delay, (family[*state], NodeEvent::Timer(*timer)));
+                }
+                LogOp::ClearEvents { state } => {
+                    self.store.clear_events(family[*state]);
+                }
+                LogOp::PacketDropped { state } => {
+                    let pid =
+                        packet_id.expect("PacketDropped is only recorded for Deliver dispatches");
+                    self.note_drop(family[*state], node, pid);
+                }
+                LogOp::PacketDelivered { state, duplicate } => {
+                    let pid =
+                        packet_id.expect("PacketDelivered is only recorded for Deliver dispatches");
+                    self.trace.packets_delivered += 1;
+                    if self.traced {
+                        self.sink.record(sde_trace::TraceEvent::Deliver {
+                            state: family[*state].0,
+                            node: node.0,
+                            packet: pid.0,
+                            duplicate: *duplicate,
+                        });
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(family.len(), entry.finals.len(), "op log vs finals");
+        for (id, (vm, budgets)) in family.iter().zip(&entry.finals) {
+            let s = self
+                .store
+                .states
+                .get_mut(id)
+                .expect("family member resident after replay");
+            s.vm = vm.clone();
+            (s.drop_budget, s.dup_budget, s.reboot_budget) = *budgets;
+        }
+        for (variant, report) in &entry.bugs {
+            self.bugs.push(BugFound {
+                node,
+                state: family[*variant],
+                report: report.clone(),
+            });
+        }
+        self.dedup_stats.pruned_states += family.len() as u64;
+        self.dedup_stats.saved_instructions += entry.instructions;
+        if self.traced {
+            self.sink.record(sde_trace::TraceEvent::StatePruned {
+                state: root.0,
+                node: node.0,
+                survivor: entry.survivor.0,
+                time: self.now,
+            });
         }
     }
 
@@ -986,6 +1364,9 @@ impl Engine {
                     d.vm = d.vm.rebooted();
                 }
                 self.store.clear_events(reboot_id);
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.note_clear_events(reboot_id);
+                }
                 self.run_handler(reboot_id, handlers::ON_BOOT, &[]);
             }
         }
@@ -1049,6 +1430,9 @@ impl Engine {
 
     /// Counts (and, when traced, records) a failure-model packet drop.
     fn note_drop(&mut self, state: StateId, node: NodeId, packet: PacketId) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.note_packet_dropped(state);
+        }
         self.trace.packets_dropped += 1;
         if self.traced {
             self.sink.record(sde_trace::TraceEvent::Drop {
@@ -1067,6 +1451,9 @@ impl Engine {
         args.push(Expr::const_(u64::from(packet.src.0), Width::W16));
         args.extend(packet.payload.iter().cloned());
         for _ in 0..times {
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.note_packet_delivered(state, times > 1);
+            }
             self.trace.packets_delivered += 1;
             if self.traced {
                 self.sink.record(sde_trace::TraceEvent::Deliver {
@@ -1101,6 +1488,9 @@ impl Engine {
         };
         let child = self.store.fork(parent);
         self.store.fork_reason = sde_trace::ForkReason::Mapping;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.note_failure_fork(parent, child, kind);
+        }
         {
             let c = self.store.states.get_mut(&child).expect("resident");
             c.vm.constrain(cond.clone());
@@ -1150,6 +1540,7 @@ impl Engine {
 
         let mut running: Vec<SdeState> = vec![first];
         while let Some(mut st) = running.pop() {
+            self.executed.insert(st.id);
             loop {
                 self.instructions += 1;
                 let result = {
@@ -1163,11 +1554,13 @@ impl Engine {
                     StepResult::Continue => {}
                     StepResult::Forked(sibling_vm) => {
                         let sib_id = self.store.allocate_id();
-                        let mut sibling = st.fork_as(sib_id);
-                        sibling.vm = sibling_vm;
+                        let sibling = st.fork_with_vm(sib_id, sibling_vm);
                         self.store.duplicate_events(st.id, sib_id);
                         self.store
                             .note_fork(st.id, sib_id, st.node, sde_trace::ForkReason::Branch);
+                        if let Some(rec) = self.recorder.as_mut() {
+                            rec.note_branch_fork(st.id, sib_id);
+                        }
                         let bugged = matches!(sibling.vm.status(), Status::Bugged(_));
                         if bugged {
                             if let Status::Bugged(report) = sibling.vm.status().clone() {
@@ -1204,6 +1597,9 @@ impl Engine {
                         self.transmit(&mut st, NodeId(dest), payload);
                     }
                     StepResult::Syscall(Syscall::SetTimer { delay, timer }) => {
+                        if let Some(rec) = self.recorder.as_mut() {
+                            rec.note_timer(st.id, delay, timer);
+                        }
                         self.store
                             .events
                             .push(self.now + delay, (st.id, NodeEvent::Timer(timer)));
@@ -1237,6 +1633,9 @@ impl Engine {
         let pid = PacketId(self.next_packet);
         self.next_packet += 1;
         self.packets_sent += 1;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.note_send(sender.id, dest, &payload);
+        }
         if self.traced {
             self.sink.record(sde_trace::TraceEvent::Send {
                 state: sender.id.0,
@@ -1309,14 +1708,26 @@ impl Engine {
     pub fn into_report(self) -> RunReport {
         let live = self.store.states.values().filter(|s| s.is_live()).count();
         let final_bytes: usize = self.store.states.values().map(SdeState::approx_bytes).sum();
-        // Duplicate detection over resident states.
+        // Duplicate detection over resident states, scanned in state-id
+        // order so "which of an equal pair counts as the duplicate" — and
+        // with it the per-node attribution — is deterministic.
+        let mut ordered: Vec<&SdeState> = self.store.states.values().collect();
+        ordered.sort_unstable_by_key(|s| s.id.0);
         let mut seen: HashSet<u64> = HashSet::new();
+        let mut seen_terminated: HashSet<u64> = HashSet::new();
         let mut duplicates = 0usize;
-        for s in self.store.states.values() {
+        let mut duplicate_terminated = 0usize;
+        let mut by_node: std::collections::BTreeMap<u16, usize> = std::collections::BTreeMap::new();
+        for s in &ordered {
             if !seen.insert(s.config_digest()) {
                 duplicates += 1;
+                *by_node.entry(s.node.0).or_default() += 1;
+            }
+            if !s.is_live() && !seen_terminated.insert(s.config_digest()) {
+                duplicate_terminated += 1;
             }
         }
+        let duplicates_by_node: Vec<(u16, usize)> = by_node.into_iter().collect();
         // Order-independent digest of the final state set: every resident
         // state's configuration digest, combined in state-id order.
         let mut digests: Vec<(u64, u64)> = self
@@ -1360,6 +1771,10 @@ impl Engine {
             mapper: self.mapper.stats(),
             solver,
             duplicate_states: duplicates,
+            duplicate_terminated,
+            duplicates_by_node,
+            states_executed: self.executed.len(),
+            dedup: self.dedup_stats,
             bugs: self.bugs,
             history_digest,
             series: self.series,

@@ -95,6 +95,19 @@ impl CommHistory {
         self.log.as_ref().map(|l| l.iter())
     }
 
+    /// Returns `true` when the two histories share their log storage
+    /// structurally — the property that makes cloning a history O(1)
+    /// regardless of its length. Untracked histories (no log) trivially
+    /// share. Used by the fork-cost tests; never consult this for
+    /// equality (see the `PartialEq` impl).
+    pub fn shares_log_storage(&self, other: &CommHistory) -> bool {
+        match (&self.log, &other.log) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.ptr_eq(b),
+            _ => false,
+        }
+    }
+
     /// Exports the exact stored parts for the snapshot codec: the digest,
     /// the length, and the log (most recent first) when tracked.
     pub(crate) fn export_parts(&self) -> (u64, u32, Option<Vec<HistoryEvent>>) {

@@ -45,6 +45,7 @@
 mod bignum;
 mod checkpoint;
 pub mod complexity;
+mod dedup;
 mod engine;
 mod history;
 pub mod mapping;
@@ -63,7 +64,7 @@ pub use mapping::{Algorithm, Delivery, MapperSnapshot, MapperStats, StateMapper,
 pub use parallel::run_parallel;
 pub use scenario::Scenario;
 pub use state::{SdeState, StateId};
-pub use stats::{human_bytes, BugFound, ParallelStats, RunReport, Sample, TimeSeries};
+pub use stats::{human_bytes, BugFound, DedupStats, ParallelStats, RunReport, Sample, TimeSeries};
 
 /// Structured tracing re-export: sinks, events and the summary type that
 /// [`RunReport::trace`] carries. Attach a recorder with

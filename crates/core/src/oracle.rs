@@ -144,6 +144,13 @@ pub struct OracleConfig {
     /// Test-case generation limit per algorithm (→
     /// [`ConformanceReport::testgen_truncated`]).
     pub max_cases: usize,
+    /// Run the *symbolic* engines with online duplicate-dispatch pruning
+    /// ([`Engine::set_dedup`], DESIGN.md §10). The concrete replay
+    /// engines always run with memoization inert — a preset forces it
+    /// off — so the ground truth and the per-case replays are identical
+    /// either way; this knob checks that the symbolic side still
+    /// conforms when it prunes.
+    pub dedup: bool,
 }
 
 impl Default for OracleConfig {
@@ -152,6 +159,7 @@ impl Default for OracleConfig {
             domains: Domains::new(),
             max_assignments: 50_000,
             max_cases: 4096,
+            dedup: false,
         }
     }
 }
@@ -513,7 +521,7 @@ pub fn conformance_against(
     mutation: Option<Mutation>,
     cfg: &OracleConfig,
 ) -> ConformanceReport {
-    let mut engine = Engine::new(scenario.clone(), algorithm);
+    let mut engine = Engine::new(scenario.clone(), algorithm).with_dedup(cfg.dedup);
     if let Some(m) = mutation {
         engine = engine.with_mapper(Box::new(MutantMapper::new(algorithm.new_mapper(), m)));
     }

@@ -57,8 +57,29 @@ impl SdeState {
     }
 
     /// An exact copy under a fresh identity.
+    ///
+    /// O(1) regardless of how much the state has communicated: the
+    /// history's log (when tracked) is shared structurally, and with
+    /// tracking off the history is three plain words — nothing is
+    /// deep-cloned either way (asserted by the fork-cost tests).
     pub fn fork_as(&self, id: StateId) -> SdeState {
         SdeState { id, ..self.clone() }
+    }
+
+    /// [`SdeState::fork_as`] with the copy's VM state supplied by the
+    /// caller. The engine's branch forks already hold the sibling's VM
+    /// (produced by the interpreter), so cloning the parent's mid-handler
+    /// frames just to overwrite them would be pure waste — this skips it.
+    pub fn fork_with_vm(&self, id: StateId, vm: VmState) -> SdeState {
+        SdeState {
+            id,
+            node: self.node,
+            vm,
+            history: self.history.clone(),
+            drop_budget: self.drop_budget,
+            dup_budget: self.dup_budget,
+            reboot_budget: self.reboot_budget,
+        }
     }
 
     /// Returns `true` while the state can still execute handlers.
@@ -140,6 +161,33 @@ mod tests {
             peer: NodeId(2),
         });
         assert_ne!(a.config_digest(), b.config_digest());
+    }
+
+    #[test]
+    fn fork_shares_history_storage() {
+        let failures = FailureConfig::new();
+        // Tracked: a long log is shared structurally, never copied.
+        let mut s = SdeState::boot(StateId(0), NodeId(1), vm(), &failures, true);
+        for i in 0..10_000 {
+            s.history.record(HistoryEvent::Sent {
+                id: PacketId(i),
+                peer: NodeId(2),
+            });
+        }
+        let t = s.fork_as(StateId(1));
+        assert!(t.history.shares_log_storage(&s.history));
+        // Untracked: there is no log at all — the clone is three words.
+        let mut u = SdeState::boot(StateId(2), NodeId(1), vm(), &failures, false);
+        for i in 0..10_000 {
+            u.history.record(HistoryEvent::Sent {
+                id: PacketId(i),
+                peer: NodeId(2),
+            });
+        }
+        let v = u.fork_as(StateId(3));
+        assert!(v.history.log().is_none());
+        assert!(v.history.shares_log_storage(&u.history));
+        assert_eq!(v.history, u.history);
     }
 
     #[test]

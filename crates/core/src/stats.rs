@@ -136,6 +136,44 @@ impl ParallelStats {
     }
 }
 
+/// Counters of the online duplicate-dispatch detector (DESIGN.md §10).
+/// All zero when dedup is off (or under a replay preset, which forces it
+/// off).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DedupStats {
+    /// Dispatches whose memo key hit the digest index (hash-level
+    /// candidates, before structural confirmation).
+    pub candidates: u64,
+    /// Candidates that passed exact structural confirmation and were
+    /// replayed instead of executed.
+    pub confirmed: u64,
+    /// Candidates that failed confirmation — a digest collision between
+    /// structurally different configurations. These execute normally;
+    /// a collision can never merge distinct states.
+    pub collisions: u64,
+    /// States materialized by replay rather than execution (each
+    /// confirmed replay contributes its whole dispatch family: the
+    /// dispatched state plus everything it forked).
+    pub pruned_states: u64,
+    /// VM instructions the replays avoided (the recorded execution's
+    /// instruction count, banked once per replay).
+    pub saved_instructions: u64,
+}
+
+impl DedupStats {
+    /// One-line human summary for bench output.
+    pub fn summary(&self) -> String {
+        format!(
+            "candidates={} confirmed={} collisions={} pruned_states={} saved_instructions={}",
+            self.candidates,
+            self.confirmed,
+            self.collisions,
+            self.pruned_states,
+            self.saved_instructions
+        )
+    }
+}
+
 /// A bug discovered during a run, with its provenance.
 #[derive(Debug, Clone)]
 pub struct BugFound {
@@ -191,6 +229,20 @@ pub struct RunReport {
     /// state's — the duplicate count the paper's §III-D theorem says must
     /// be zero for SDS.
     pub duplicate_states: usize,
+    /// The subset of [`RunReport::duplicate_states`] that had already
+    /// terminated by the end of the run (duplicates among mid-run-dead
+    /// states — work that dedup could have replayed).
+    pub duplicate_terminated: usize,
+    /// Duplicate counts attributed to the node whose states collided,
+    /// sorted by node id. Sums to [`RunReport::duplicate_states`].
+    pub duplicates_by_node: Vec<(u16, usize)>,
+    /// Distinct states that actually entered handler execution. With
+    /// dedup off this counts every state that ran; with dedup on,
+    /// replayed duplicates never execute, so the gap to
+    /// [`RunReport::total_states`] is the pruning payoff.
+    pub states_executed: usize,
+    /// Duplicate-dispatch detector counters (all zero with dedup off).
+    pub dedup: DedupStats,
     /// Bugs found (deduplicated by kind/location).
     pub bugs: Vec<BugFound>,
     /// Order-independent digest of the final state set (every resident
@@ -227,10 +279,14 @@ impl RunReport {
     ///
     /// Excluded on purpose: wall-clock times (machine-dependent), solver
     /// counters (a parallel run's speculative queries are merged into the
-    /// shared solver's totals), and [`RunReport::parallel`] (absent from
-    /// sequential runs). Everything else — state counts, events, packets,
-    /// instruction counts, per-sample series rows, bug provenance, the
-    /// final-state digest — must be bit-identical between [`run`]
+    /// shared solver's totals), [`RunReport::parallel`] (absent from
+    /// sequential runs), and [`RunReport::states_executed`] /
+    /// [`RunReport::dedup`] (a dedup run resumed from a snapshot starts
+    /// with a cold memo index, so it legitimately executes more states
+    /// than the uninterrupted run while producing the same results).
+    /// Everything else — state counts, events, packets, instruction
+    /// counts, per-sample series rows, bug provenance, the final-state
+    /// digest — must be bit-identical between [`run`]
     /// (crate::run) and [`Engine::run_parallel`]
     /// (crate::Engine::run_parallel) at any worker count.
     pub fn equivalence_key(&self) -> String {
@@ -240,7 +296,7 @@ impl RunReport {
             key,
             "algorithm={} virtual_ms={} total={} live={} final_bytes={} peak_bytes={} \
              instructions={} events={} packets={} aborted={} groups={} duplicates={} \
-             history_digest={:#018x}",
+             dup_terminated={} dup_by_node={:?} history_digest={:#018x}",
             self.algorithm,
             self.virtual_ms,
             self.total_states,
@@ -253,6 +309,8 @@ impl RunReport {
             self.aborted,
             self.groups,
             self.duplicate_states,
+            self.duplicate_terminated,
+            self.duplicates_by_node,
             self.history_digest,
         );
         let _ = writeln!(

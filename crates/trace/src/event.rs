@@ -330,6 +330,22 @@ pub enum TraceEvent {
         /// Number of independence groups the query split into.
         groups: u64,
     },
+    /// Duplicate-state detection pruned a redundant execution: `state`'s
+    /// configuration (and incoming event) structurally duplicated a
+    /// dispatch already executed on `survivor`, so the engine replayed
+    /// the survivor's recorded effects instead of re-executing. The edge
+    /// `state → survivor` is the dedup lineage (DESIGN.md §10).
+    StatePruned {
+        /// The state whose redundant execution was pruned.
+        state: u64,
+        /// Node the state lives on.
+        node: u16,
+        /// The state whose earlier congruent dispatch supplied the
+        /// replayed effects.
+        survivor: u64,
+        /// Virtual time of the pruned dispatch (ms).
+        time: u64,
+    },
 }
 
 impl TraceEvent {
@@ -349,12 +365,13 @@ impl TraceEvent {
             TraceEvent::QueryGroup { .. } => "QueryGroup",
             TraceEvent::Speculate { .. } => "Speculate",
             TraceEvent::SpecQuery { .. } => "SpecQuery",
+            TraceEvent::StatePruned { .. } => "StatePruned",
         }
     }
 
     /// Every variant name, in declaration order (used by the DESIGN.md
     /// sync lint and the schema validator).
-    pub const VARIANTS: [&'static str; 13] = [
+    pub const VARIANTS: [&'static str; 14] = [
         "Boot",
         "QueuePush",
         "Dispatch",
@@ -368,6 +385,7 @@ impl TraceEvent {
         "QueryGroup",
         "Speculate",
         "SpecQuery",
+        "StatePruned",
     ];
 }
 

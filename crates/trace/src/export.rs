@@ -135,6 +135,17 @@ pub fn event_to_json(ev: &TraceEvent, ts_us: Option<u64>, deterministic: bool) -
         TraceEvent::SpecQuery { groups } => {
             o.int("groups", *groups);
         }
+        TraceEvent::StatePruned {
+            state,
+            node,
+            survivor,
+            time,
+        } => {
+            o.int("state", *state)
+                .int("node", u64::from(*node))
+                .int("survivor", *survivor)
+                .int("time", *time);
+        }
     }
     o.finish()
 }
@@ -271,6 +282,12 @@ pub fn event_from_json(line: &str) -> Result<TimedEvent, String> {
         },
         "SpecQuery" => TraceEvent::SpecQuery {
             groups: get_int(&map, "groups")?,
+        },
+        "StatePruned" => TraceEvent::StatePruned {
+            state: get_int(&map, "state")?,
+            node: get_node(&map, "node")?,
+            survivor: get_int(&map, "survivor")?,
+            time: get_int(&map, "time")?,
         },
         other => return Err(format!("unknown event tag `{other}`")),
     };

@@ -225,7 +225,7 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
                     Decision::Either => {
                         // Sibling: divisor is zero — a bug path.
                         let mut sibling = state.clone();
-                        sibling.path = sibling.path.with(is_zero.clone());
+                        sibling.path_push(is_zero.clone());
                         let report = BugReport {
                             kind: BugKind::DivisionByZero,
                             message: Arc::from(format!("{op:?}")),
@@ -234,7 +234,7 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
                         };
                         sibling.status = Status::Bugged(report);
                         // Self: divisor is nonzero; continue with the op.
-                        state.path = state.path.with(Expr::not(is_zero));
+                        state.path_push(Expr::not(is_zero));
                         let r = apply_binop(op, a, b);
                         set_reg!(dst, r);
                         advance!();
@@ -283,10 +283,10 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
                 }
                 Decision::Either => {
                     let mut sibling = state.clone();
-                    sibling.path = sibling.path.with(Expr::not(c.clone()));
+                    sibling.path_push(Expr::not(c.clone()));
                     sibling.frames.last_mut().expect("frame").pc = else_target;
                     sibling.record_branch(loc, false);
-                    state.path = state.path.with(c);
+                    state.path_push(c);
                     state.frames.last_mut().expect("frame").pc = then_target;
                     state.record_branch(loc, true);
                     StepResult::Forked(sibling)
@@ -426,7 +426,7 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
                 Decision::AlwaysFalse => bug!(BugKind::AssertFailed, msg.to_string()),
                 Decision::Either => {
                     let mut sibling = state.clone();
-                    sibling.path = sibling.path.with(Expr::not(c.clone()));
+                    sibling.path_push(Expr::not(c.clone()));
                     let report = BugReport {
                         kind: BugKind::AssertFailed,
                         message: msg.clone(),
@@ -434,7 +434,7 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
                         model: ctx.solver.model(&sibling.path),
                     };
                     sibling.status = Status::Bugged(report);
-                    state.path = state.path.with(c);
+                    state.path_push(c);
                     advance!();
                     StepResult::Forked(sibling)
                 }
@@ -445,7 +445,7 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
             if c.width() != Width::BOOL {
                 bug!(BugKind::Internal, "assume condition is not width-1");
             }
-            state.path = state.path.with(c);
+            state.path_push(c);
             if state.path.is_trivially_false() || !may_hold(ctx.solver, &state.path) {
                 state.status = Status::Infeasible;
                 return StepResult::Infeasible;
@@ -503,7 +503,7 @@ pub fn step(program: &Program, state: &mut VmState, ctx: &mut VmCtx<'_>) -> Step
             for i in 0..nbytes {
                 let byte =
                     Expr::trunc(Expr::lshr(v.clone(), Expr::const_(8 * i, width)), Width::W8);
-                state.heap = state.heap.insert((base + i) as u32, byte);
+                state.heap_store((base + i) as u32, byte);
             }
             advance!();
             StepResult::Continue

@@ -63,6 +63,12 @@ pub struct VmState {
     /// Per-lineage count of symbolic inputs minted per name — the
     /// occurrence half of the run-independent replay key.
     pub(crate) input_counts: PMap<String, u32>,
+    /// Commutative multiset sum of per-entry hashes of `heap`, maintained
+    /// on every store so [`VmState::config_digest`] never rescans memory.
+    pub(crate) heap_acc: u64,
+    /// Commutative multiset sum of per-constraint hashes of `path`,
+    /// maintained on every added constraint (same scheme as `heap_acc`).
+    pub(crate) path_acc: u64,
 }
 
 impl VmState {
@@ -80,6 +86,8 @@ impl VmState {
             path_digest: 0xcbf2_9ce4_8422_2325, // FNV offset basis
             instret: 0,
             input_counts: PMap::new(),
+            heap_acc: 0,
+            path_acc: 0,
         }
     }
 
@@ -150,7 +158,33 @@ impl VmState {
     ///
     /// Panics (in debug builds) unless `cond` has width 1.
     pub fn constrain(&mut self, cond: ExprRef) {
-        self.path = self.path.with(cond);
+        self.path_push(cond);
+    }
+
+    /// Stores one byte of global memory through the digest accumulator:
+    /// the per-entry hash of a replaced cell is subtracted and the new
+    /// cell's added, so `heap_acc` always equals the full multiset sum
+    /// without a rescan. Every heap write must go through here.
+    pub(crate) fn heap_store(&mut self, addr: u32, value: ExprRef) {
+        if let Some(old) = self.heap.get(&addr) {
+            self.heap_acc = self.heap_acc.wrapping_sub(heap_entry_hash(addr, old));
+        }
+        self.heap_acc = self.heap_acc.wrapping_add(heap_entry_hash(addr, &value));
+        self.heap = self.heap.insert(addr, value);
+    }
+
+    /// Extends the path condition through the digest accumulator. The
+    /// constraint is simplified by [`PathCondition::with`] and may not be
+    /// stored at all (`true`) or only flip the trivially-false marker
+    /// (`false`); the accumulator folds exactly what was stored. Every
+    /// path extension must go through here.
+    pub(crate) fn path_push(&mut self, cond: ExprRef) {
+        let next = self.path.with(cond);
+        if next.len() > self.path.len() {
+            let stored = next.iter().next().expect("constraint just added");
+            self.path_acc = self.path_acc.wrapping_add(constraint_hash(stored));
+        }
+        self.path = next;
     }
 
     /// Marks the state bugged from outside the interpreter — the engine's
@@ -170,6 +204,7 @@ impl VmState {
         VmState {
             frames: Vec::new(),
             heap: sde_pds::PMap::new(),
+            heap_acc: 0,
             status: Status::Idle,
             ..self.clone()
         }
@@ -235,7 +270,37 @@ impl VmState {
     /// with equal configuration digests are duplicates in the paper's
     /// sense (§III-D) — modulo hashing, which the tests cross-check with
     /// [`VmState::config_eq`].
+    ///
+    /// The heap and path-condition components are read from accumulators
+    /// maintained incrementally at every mutation
+    /// ([`VmState::heap_store`] / [`VmState::path_push`]), so this is
+    /// O(frames) — and frames are empty between handlers, where the
+    /// engine's duplicate detection runs. The from-scratch rescan lives
+    /// in [`VmState::config_digest_reference`]; the two agree on every
+    /// state by construction (property-tested).
     pub fn config_digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.heap_acc.hash(&mut h);
+        self.path_acc.hash(&mut h);
+        // Frames: ordered.
+        for f in &self.frames {
+            f.func.hash(&mut h);
+            f.pc.hash(&mut h);
+            f.ret_dst.hash(&mut h);
+            for r in &f.regs {
+                r.hash(&mut h);
+            }
+        }
+        std::mem::discriminant(&self.status).hash(&mut h);
+        self.path_digest.hash(&mut h);
+        h.finish()
+    }
+
+    /// [`VmState::config_digest`] recomputed by rescanning the full heap
+    /// and path condition instead of reading the incremental accumulators.
+    /// Kept as the ground truth for digest-coherence tests and as the
+    /// baseline of the `digest/` criterion benchmark.
+    pub fn config_digest_reference(&self) -> u64 {
         let mut h = DefaultHasher::new();
         // Heap: multiset sum of per-entry hashes (iteration order is
         // unspecified, so the combine must be commutative — but unlike
@@ -243,18 +308,13 @@ impl VmState {
         // cancelling to zero).
         let mut heap_acc: u64 = 0;
         for (k, v) in self.heap.iter() {
-            let mut eh = DefaultHasher::new();
-            k.hash(&mut eh);
-            v.hash(&mut eh);
-            heap_acc = heap_acc.wrapping_add(mix64(eh.finish()));
+            heap_acc = heap_acc.wrapping_add(heap_entry_hash(*k, v));
         }
         heap_acc.hash(&mut h);
         // Path constraints: the same order-insensitive multiset combine.
         let mut pc_acc: u64 = 0;
         for c in self.path.iter() {
-            let mut ch = DefaultHasher::new();
-            c.hash(&mut ch);
-            pc_acc = pc_acc.wrapping_add(mix64(ch.finish()));
+            pc_acc = pc_acc.wrapping_add(constraint_hash(c));
         }
         pc_acc.hash(&mut h);
         // Frames: ordered.
@@ -295,6 +355,30 @@ impl VmState {
         // Path conditions as constraint sets.
         let mut mine: Vec<String> = self.path.iter().map(|c| c.to_string()).collect();
         let mut theirs: Vec<String> = other.path.iter().map(|c| c.to_string()).collect();
+        mine.sort();
+        theirs.sort();
+        mine == theirs
+    }
+
+    /// [`VmState::config_eq`] strengthened with every field a *future*
+    /// execution can observe: branch trace, replay-key occurrence
+    /// counters and memory size. This is the confirmation the engine's
+    /// duplicate-dispatch index runs after a digest hit — a hash
+    /// collision must never let two states that could diverge later be
+    /// treated as congruent.
+    pub fn dedup_eq(&self, other: &VmState) -> bool {
+        if !self.config_eq(other) || self.memory_size != other.memory_size {
+            return false;
+        }
+        if self.branch_trace.len() != other.branch_trace.len()
+            || !self.branch_trace.iter().eq(other.branch_trace.iter())
+        {
+            return false;
+        }
+        let mut mine: Vec<(&String, u32)> =
+            self.input_counts.iter().map(|(k, v)| (k, *v)).collect();
+        let mut theirs: Vec<(&String, u32)> =
+            other.input_counts.iter().map(|(k, v)| (k, *v)).collect();
         mine.sort();
         theirs.sort();
         mine == theirs
@@ -453,6 +537,16 @@ impl VmState {
                 .map_err(|_| CodecError::Malformed("input occurrence count"))?;
             input_counts = input_counts.insert(name, n);
         }
+        // The digest accumulators are derived data: recompute them once at
+        // decode time (the snapshot format stays unchanged).
+        let mut heap_acc: u64 = 0;
+        for (k, v) in heap.iter() {
+            heap_acc = heap_acc.wrapping_add(heap_entry_hash(*k, v));
+        }
+        let mut path_acc: u64 = 0;
+        for c in path.iter() {
+            path_acc = path_acc.wrapping_add(constraint_hash(c));
+        }
         Ok(VmState {
             frames,
             heap,
@@ -463,8 +557,25 @@ impl VmState {
             path_digest,
             instret,
             input_counts,
+            heap_acc,
+            path_acc,
         })
     }
+}
+
+/// Hash of one heap cell for the commutative multiset fold.
+fn heap_entry_hash(addr: u32, value: &ExprRef) -> u64 {
+    let mut eh = DefaultHasher::new();
+    addr.hash(&mut eh);
+    value.hash(&mut eh);
+    mix64(eh.finish())
+}
+
+/// Hash of one stored path constraint for the commutative multiset fold.
+fn constraint_hash(c: &ExprRef) -> u64 {
+    let mut ch = DefaultHasher::new();
+    c.hash(&mut ch);
+    mix64(ch.finish())
 }
 
 /// Reads a length prefix that cannot plausibly exceed the remaining
@@ -528,8 +639,8 @@ mod tests {
         let mut t = sde_symbolic::SymbolTable::new();
         let xv = t.fresh_keyed("x", Width::W8, 2, 0);
         let x = Expr::sym(xv.clone());
-        s.heap = s.heap.insert(7, x.clone());
-        s.heap = s.heap.insert(3, Expr::const_(9, Width::W8));
+        s.heap_store(7, x.clone());
+        s.heap_store(3, Expr::const_(9, Width::W8));
         s.constrain(Expr::ult(x.clone(), Expr::const_(5, Width::W8)));
         s.constrain(Expr::ne(x.clone(), Expr::const_(0, Width::W8)));
         s.branch_trace = s.branch_trace.prepend((
@@ -591,8 +702,35 @@ mod tests {
         let p = empty_program();
         let mut s = VmState::fresh(&p);
         let before = s.approx_bytes();
-        s.heap = s.heap.insert(0, Expr::const_(1, Width::W8));
-        s.heap = s.heap.insert(1, Expr::const_(2, Width::W8));
+        s.heap_store(0, Expr::const_(1, Width::W8));
+        s.heap_store(1, Expr::const_(2, Width::W8));
         assert!(s.approx_bytes() > before);
+    }
+
+    #[test]
+    fn incremental_digest_matches_reference() {
+        let p = empty_program();
+        let mut s = VmState::fresh(&p);
+        let mut t = sde_symbolic::SymbolTable::new();
+        let x = Expr::sym(t.fresh("x", Width::W8));
+        assert_eq!(s.config_digest(), s.config_digest_reference());
+        s.heap_store(10, x.clone());
+        assert_eq!(s.config_digest(), s.config_digest_reference());
+        // Overwriting a cell must subtract the replaced entry.
+        s.heap_store(10, Expr::const_(5, Width::W8));
+        assert_eq!(s.config_digest(), s.config_digest_reference());
+        s.constrain(Expr::ult(x.clone(), Expr::const_(9, Width::W8)));
+        assert_eq!(s.config_digest(), s.config_digest_reference());
+        // A constraint simplifying to `true` is not stored and must not
+        // disturb the accumulator.
+        s.constrain(Expr::eq(x.clone(), x.clone()));
+        assert_eq!(s.config_digest(), s.config_digest_reference());
+        // One simplifying to `false` only flips the trivially-false flag.
+        s.constrain(Expr::ne(x.clone(), x.clone()));
+        assert_eq!(s.config_digest(), s.config_digest_reference());
+        // Reboot clears memory (and its accumulator) but keeps the path.
+        let r = s.rebooted();
+        assert_eq!(r.config_digest(), r.config_digest_reference());
+        assert_eq!(r.heap_acc, 0);
     }
 }
