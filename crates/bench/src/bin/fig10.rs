@@ -17,6 +17,8 @@
 //! cargo run -p sde-bench --release --bin fig10 -- --workers 4    # parallel engine
 //! cargo run -p sde-bench --release --bin fig10 -- --dedup        # duplicate pruning (§10)
 //! cargo run -p sde-bench --release --bin fig10 -- --nodes 25 --trace f.jsonl
+//! cargo run -p sde-bench --release --bin fig10 -- --nodes 25 --faults all
+
 //! ```
 //!
 //! `--trace <path>` additionally records a structured event trace per
@@ -25,8 +27,8 @@
 
 use sde_bench::{
     paper_scenario, report_json, run_checkpointed_dedup, run_with_limits_dedup,
-    run_with_limits_traced_dedup, trace_file_for, write_bench_json, write_series_csv, write_trace,
-    Args, Checkpointing, RunLimits, SolverLayers,
+    run_with_limits_traced_dedup, trace_file_for, with_fault_axes, write_bench_json,
+    write_series_csv, write_trace, Args, Checkpointing, FaultAxis, RunLimits, SolverLayers,
 };
 use sde_core::{human_bytes, Algorithm};
 use std::path::PathBuf;
@@ -77,11 +79,21 @@ fn main() {
         "--trace cannot be combined with checkpointing in this bin"
     );
 
+    // `--faults partition,latency,corrupt,crashrec|all`: layer the
+    // extended fault model (DESIGN.md §11) on top of the workload.
+    let faults: Vec<FaultAxis> = args
+        .get::<String>("faults")
+        .map(|s| FaultAxis::parse_list(&s))
+        .unwrap_or_default();
+
     let mut json = Vec::new();
     for nodes in sizes {
         let side = side_for(nodes);
-        let scenario = paper_scenario(side);
+        let scenario = with_fault_axes(paper_scenario(side), &faults);
         println!("== Figure 10, {nodes}-node scenario ({side}x{side}) ==");
+        if !faults.is_empty() {
+            println!("fault axes: {}", FaultAxis::join(&faults));
+        }
         println!(
             "{:<4} | {:>12} | {:>10} | {:>12} | {:>8} | series file",
             "alg", "runtime", "states", "RAM (est.)", "groups"
@@ -139,8 +151,13 @@ fn main() {
                     report
                 }
             };
+            let fault_tag = if faults.is_empty() {
+                String::new()
+            } else {
+                format!("_faults_{}", FaultAxis::join(&faults))
+            };
             let file = out_dir.join(format!(
-                "fig10_{nodes}nodes_{}.csv",
+                "fig10_{nodes}nodes_{}{fault_tag}.csv",
                 report.algorithm.to_lowercase()
             ));
             write_series_csv(&report, &file).expect("write series");
@@ -170,7 +187,10 @@ fn main() {
                 );
             }
             json.push(report_json(
-                &format!("fig10_{nodes}nodes_{}", report.algorithm.to_lowercase()),
+                &format!(
+                    "fig10_{nodes}nodes_{}{fault_tag}",
+                    report.algorithm.to_lowercase()
+                ),
                 &report,
             ));
         }

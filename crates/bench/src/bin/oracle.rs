@@ -20,7 +20,16 @@
 //! cargo run -p sde-bench --release --bin oracle -- --max-assignments 200
 //! cargo run -p sde-bench --release --bin oracle -- --tag smoke --out bench_out
 //! cargo run -p sde-bench --release --bin oracle -- --dedup    # prune symbolic runs (§10)
+//! cargo run -p sde-bench --release --bin oracle -- --faults all   # per-axis fault sweep
+//! cargo run -p sde-bench --release --bin oracle -- --preset line3 --faults partition,crashrec
 //! ```
+//!
+//! `--faults` sweeps the extended fault model (DESIGN.md §11) **one
+//! axis at a time**: each named axis gets its own ground-truth
+//! enumeration and conformance pass on the preset scenario with only
+//! that axis enabled, so a divergence is attributable to a single
+//! fault mechanism. JSON labels become
+//! `oracle_<preset>_<axis>_<algorithm>`.
 //!
 //! Presets: `tiny` (2-node line), `line3` (3-node line, 2 packets),
 //! `grid` (2×2 grid, route + neighbor drops). The ground truth is
@@ -31,7 +40,9 @@
 //! `<out>/BENCH_oracle[_<tag>].json` — a capped verdict is a weaker
 //! verdict and must never look like a full one.
 
-use sde_bench::{conformance_json, oracle_scenario, write_bench_json, Args};
+use sde_bench::{
+    conformance_json, oracle_scenario, with_fault_axes, write_bench_json, Args, FaultAxis,
+};
 use sde_core::oracle::{conformance_against, ground_truth, OracleConfig};
 use sde_core::Algorithm;
 use std::path::PathBuf;
@@ -70,57 +81,80 @@ fn main() {
         .map(|t| format!("_{t}"))
         .unwrap_or_default();
 
-    let scenario = oracle_scenario(&preset);
-    println!(
-        "conformance oracle — preset {preset:?} ({} nodes), \
-         enumeration cap {} assignments, testgen cap {} cases{}",
-        scenario.node_count(),
-        cfg.max_assignments,
-        cfg.max_cases,
-        if cfg.dedup {
-            " (symbolic runs prune duplicate dispatches)"
-        } else {
-            ""
-        }
-    );
-
-    println!("\nenumerating ground truth (strict concrete replays)...");
-    let truth = ground_truth(&scenario, &cfg);
-    println!(
-        "ground truth: {} distinct outcomes from {} complete assignments \
-         ({} infeasible, {} replays total)",
-        truth.outcomes.len(),
-        truth.assignments,
-        truth.infeasible,
-        truth.replays
-    );
-    if truth.truncated {
-        println!("  WARNING: enumeration TRUNCATED at --max-assignments — outcome set is partial");
-    }
-    if !truth.domain_truncated.is_empty() {
-        let capped: Vec<&str> = truth.domain_truncated.iter().map(String::as_str).collect();
-        println!("  WARNING: domain cap hit for: {}", capped.join(", "));
-    }
+    // `--faults partition,latency,corrupt,crashrec|all`: one full
+    // ground-truth + conformance pass per axis (axis applied alone).
+    // `None` marks the faultless base pass run when the flag is absent.
+    let passes: Vec<Option<FaultAxis>> = match args.get::<String>("faults") {
+        None => vec![None],
+        Some(s) => FaultAxis::parse_list(&s).into_iter().map(Some).collect(),
+    };
 
     let mut json = Vec::new();
     let mut dirty = 0usize;
-    for alg in algorithms {
-        let report = conformance_against(&truth, &scenario, alg, None, &cfg);
-        println!("\n{}", report.summary());
-        for line in report.missing.iter().chain(report.phantom.iter()) {
-            println!("  {line}");
-        }
-        let verdict = match (report.is_clean(), report.exhaustive()) {
-            (true, true) => "CONFORMS (exhaustive)",
-            (true, false) => "conforms on the explored subset (TRUNCATED — not a full verdict)",
-            (false, _) => "DIVERGES",
+    for axis in passes {
+        let scenario = match axis {
+            None => oracle_scenario(&preset),
+            Some(a) => with_fault_axes(oracle_scenario(&preset), &[a]),
         };
-        println!("  verdict: {verdict}");
-        if !report.is_clean() {
-            dirty += 1;
+        let axis_name = axis.map_or("none", FaultAxis::name);
+        println!(
+            "\nconformance oracle — preset {preset:?} ({} nodes), fault axis {axis_name}, \
+             enumeration cap {} assignments, testgen cap {} cases{}",
+            scenario.node_count(),
+            cfg.max_assignments,
+            cfg.max_cases,
+            if cfg.dedup {
+                " (symbolic runs prune duplicate dispatches)"
+            } else {
+                ""
+            }
+        );
+
+        println!("enumerating ground truth (strict concrete replays)...");
+        let truth = ground_truth(&scenario, &cfg);
+        println!(
+            "ground truth: {} distinct outcomes from {} complete assignments \
+             ({} infeasible, {} replays total)",
+            truth.outcomes.len(),
+            truth.assignments,
+            truth.infeasible,
+            truth.replays
+        );
+        if truth.truncated {
+            println!(
+                "  WARNING: enumeration TRUNCATED at --max-assignments — outcome set is partial"
+            );
         }
-        let label = format!("oracle_{preset}_{}", report.algorithm.to_lowercase());
-        json.push(conformance_json(&label, &report));
+        if !truth.domain_truncated.is_empty() {
+            let capped: Vec<&str> = truth.domain_truncated.iter().map(String::as_str).collect();
+            println!("  WARNING: domain cap hit for: {}", capped.join(", "));
+        }
+
+        for alg in &algorithms {
+            let report = conformance_against(&truth, &scenario, *alg, None, &cfg);
+            println!("\n{}", report.summary());
+            for line in report.missing.iter().chain(report.phantom.iter()) {
+                println!("  {line}");
+            }
+            let verdict = match (report.is_clean(), report.exhaustive()) {
+                (true, true) => "CONFORMS (exhaustive)",
+                (true, false) => "conforms on the explored subset (TRUNCATED — not a full verdict)",
+                (false, _) => "DIVERGES",
+            };
+            println!("  verdict: {verdict}");
+            if !report.is_clean() {
+                dirty += 1;
+            }
+            let label = match axis {
+                None => format!("oracle_{preset}_{}", report.algorithm.to_lowercase()),
+                Some(a) => format!(
+                    "oracle_{preset}_{}_{}",
+                    a.name(),
+                    report.algorithm.to_lowercase()
+                ),
+            };
+            json.push(conformance_json(&label, &report));
+        }
     }
 
     let json_path = out_dir.join(format!("BENCH_oracle{tag}.json"));

@@ -21,6 +21,8 @@
 //! cargo run -p sde-bench --release --bin table1 -- --workers 4   # parallel engine
 //! cargo run -p sde-bench --release --bin table1 -- --dedup       # duplicate pruning (§10)
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny # CI smoke (3×3)
+//! cargo run -p sde-bench --release --bin table1 -- --preset tiny --faults all
+//! cargo run -p sde-bench --release --bin table1 -- --faults partition,crashrec
 //! cargo run -p sde-bench --release --bin table1 -- --layers exact --tag layers_exact
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny --trace out.jsonl
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny --testgen 64
@@ -41,7 +43,8 @@
 use sde_bench::{
     paper_scenario, report_json, run_checkpointed_dedup, run_with_limits_dedup,
     run_with_limits_traced_dedup, symbolic_grid, table_header, testgen_json, trace_file_for,
-    write_bench_json, write_trace, Args, Checkpointing, RunLimits, SolverLayers,
+    with_fault_axes, write_bench_json, write_trace, Args, Checkpointing, FaultAxis, RunLimits,
+    SolverLayers,
 };
 use sde_core::complexity::WorstCase;
 use sde_core::Algorithm;
@@ -110,15 +113,25 @@ fn main() {
     let workload = args
         .get::<String>("scenario")
         .unwrap_or_else(|| "collect".to_string());
+    // `--faults partition,latency,corrupt,crashrec|all`: layer the
+    // extended fault model (DESIGN.md §11) on top of the workload.
+    let faults: Vec<FaultAxis> = args
+        .get::<String>("faults")
+        .map(|s| FaultAxis::parse_list(&s))
+        .unwrap_or_default();
     let scenario = match workload.as_str() {
         "collect" => paper_scenario(side),
         "sense" => symbolic_grid(side),
         other => panic!("unknown --scenario {other:?} (expected collect or sense)"),
     };
+    let scenario = with_fault_axes(scenario, &faults);
     println!(
         "Table I — {}-node scenario ({side}x{side} grid), {workload} workload",
         scenario.node_count()
     );
+    if !faults.is_empty() {
+        println!("fault axes: {}", FaultAxis::join(&faults));
+    }
     println!(
         "state caps (40 GB-limit analogue): COB {cap_cob}, COW/SDS {cap}; \
          solver layers: {}\n",
@@ -198,10 +211,15 @@ fn main() {
             );
         }
         let label = format!(
-            "table1_{workload}_side{side}_{}_{}{}",
+            "table1_{workload}_side{side}_{}_{}{}{}",
             report.algorithm.to_lowercase(),
             layers.name(),
-            if dedup { "_dedup" } else { "" }
+            if dedup { "_dedup" } else { "" },
+            if faults.is_empty() {
+                String::new()
+            } else {
+                format!("_faults_{}", FaultAxis::join(&faults))
+            }
         );
         json.push(report_json(&label, &report));
         rows.push(report);

@@ -14,7 +14,7 @@
 use sde_core::oracle::ConformanceReport;
 use sde_core::testgen::TestGenReport;
 use sde_core::{Algorithm, Budget, Engine, EngineSnapshot, RunReport, Scenario};
-use sde_net::{FailureConfig, NodeId, Topology};
+use sde_net::{FailureConfig, FaultPlan, NodeId, Topology};
 use sde_os::apps::collect::{self, CollectConfig};
 use sde_os::apps::sense::{self, SenseConfig};
 use sde_symbolic::Solver;
@@ -97,6 +97,116 @@ pub fn oracle_scenario(preset: &str) -> Scenario {
         }
         other => panic!("unknown oracle preset {other:?} (expected tiny|line3|grid)"),
     }
+}
+
+/// One axis of the extended fault model (DESIGN.md §11) — the unit the
+/// bench bins' `--faults` flag and the oracle's per-axis sweep work in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAxis {
+    /// Symbolic partition of every link into the sink (node 0), healing
+    /// at one of two symbolic candidate times.
+    Partition,
+    /// Symbolic extra delivery delay on the sink.
+    Latency,
+    /// Symbolic payload-byte corruption on the sink.
+    Corrupt,
+    /// Symbolic crash-with-recovery on the sink (persistent window
+    /// survives, volatile state resets).
+    CrashRec,
+}
+
+impl FaultAxis {
+    /// Every axis, in `--faults all` order.
+    pub const ALL: [FaultAxis; 4] = [
+        FaultAxis::Partition,
+        FaultAxis::Latency,
+        FaultAxis::Corrupt,
+        FaultAxis::CrashRec,
+    ];
+
+    /// Stable name for CLI values, labels and filenames.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultAxis::Partition => "partition",
+            FaultAxis::Latency => "latency",
+            FaultAxis::Corrupt => "corrupt",
+            FaultAxis::CrashRec => "crashrec",
+        }
+    }
+
+    /// Parses a `--faults` value: `all`, or a comma-separated subset of
+    /// `partition,latency,corrupt,crashrec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown axis name — a typo'd axis must not silently
+    /// run a faultless experiment.
+    pub fn parse_list(s: &str) -> Vec<FaultAxis> {
+        if s == "all" {
+            return FaultAxis::ALL.to_vec();
+        }
+        s.split(',')
+            .map(|axis| match axis.trim() {
+                "partition" => FaultAxis::Partition,
+                "latency" => FaultAxis::Latency,
+                "corrupt" => FaultAxis::Corrupt,
+                "crashrec" => FaultAxis::CrashRec,
+                other => panic!(
+                    "unknown fault axis {other:?} \
+                     (expected partition|latency|corrupt|crashrec|all)"
+                ),
+            })
+            .collect()
+    }
+
+    /// Joins axis names for labels: `partition+latency`.
+    pub fn join(axes: &[FaultAxis]) -> String {
+        axes.iter().map(|a| a.name()).collect::<Vec<_>>().join("+")
+    }
+}
+
+/// Applies `axes` of the extended fault model to `scenario`, composing
+/// one [`FaultPlan`] sized from the scenario itself:
+///
+/// * **partition** cuts every link into node 0 (the sink of every bench
+///   workload — all traffic terminates there, so the cut is guaranteed
+///   to be exercised), healing at `duration/4` or `duration/2` — two
+///   candidates, so the heal time is itself one symbolic choice.
+/// * **latency** delays deliveries into node 0 by `3 × link_latency_ms`
+///   (budget 1).
+/// * **corrupt** flips one symbolic byte of node 0's deliveries
+///   (budget 1).
+/// * **crashrec** lets node 0 crash-and-recover once; the persistent
+///   window is the `sde-os` flash layout
+///   ([`sde_os::layout::PERSIST_BASE`]).
+pub fn with_fault_axes(scenario: Scenario, axes: &[FaultAxis]) -> Scenario {
+    if axes.is_empty() {
+        return scenario;
+    }
+    let sink = NodeId(0);
+    let mut plan = FaultPlan::new();
+    for axis in axes {
+        plan = match axis {
+            FaultAxis::Partition => {
+                let cut: Vec<(NodeId, NodeId)> = scenario
+                    .topology
+                    .neighbors(sink)
+                    .map(|n| (sink, n))
+                    .collect();
+                let d = scenario.duration_ms;
+                plan.with_partition(cut, [d / 4, d / 2])
+            }
+            FaultAxis::Latency => plan.with_latency([sink], scenario.link_latency_ms * 3, 1),
+            FaultAxis::Corrupt => plan.with_corruption([sink], 1),
+            FaultAxis::CrashRec => plan.with_crash_recovery(
+                [sink],
+                1,
+                sde_os::layout::PERSIST_BASE,
+                sde_os::layout::PERSIST_SIZE,
+            ),
+        };
+    }
+    scenario.with_faults(plan)
 }
 
 /// Per-algorithm run parameters for one experiment.
@@ -843,6 +953,34 @@ mod tests {
         assert_eq!(off.solver.group_cache_hits, 0, "{:?}", off.solver);
         assert_eq!(off.solver.model_reuse_hits, 0, "{:?}", off.solver);
         assert_eq!(off.solver.ucore_hits, 0, "{:?}", off.solver);
+    }
+
+    #[test]
+    fn fault_axes_parse_and_apply() {
+        assert_eq!(FaultAxis::parse_list("all"), FaultAxis::ALL.to_vec());
+        assert_eq!(
+            FaultAxis::parse_list("partition,crashrec"),
+            vec![FaultAxis::Partition, FaultAxis::CrashRec]
+        );
+        assert_eq!(
+            FaultAxis::join(&FaultAxis::ALL),
+            "partition+latency+corrupt+crashrec"
+        );
+        let base = oracle_scenario("tiny");
+        assert!(with_fault_axes(base.clone(), &[]).faults.is_empty());
+        let all = with_fault_axes(base, &FaultAxis::ALL);
+        assert!(all.faults.cut_contains(NodeId(0), NodeId(1)));
+        assert_eq!(all.faults.heal_choices().len(), 2, "heal time is symbolic");
+        assert_eq!(all.faults.latency_budget(NodeId(0)), 1);
+        assert_eq!(all.faults.corrupt_budget(NodeId(0)), 1);
+        assert_eq!(all.faults.crash_budget(NodeId(0)), 1);
+        assert_eq!(all.faults.persist_base(), sde_os::layout::PERSIST_BASE);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fault axis")]
+    fn fault_axis_typo_is_loud() {
+        FaultAxis::parse_list("partition,latncy");
     }
 
     #[test]

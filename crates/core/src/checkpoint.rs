@@ -39,8 +39,11 @@ use std::fmt;
 pub(crate) const SNAPSHOT_MAGIC: [u8; 8] = *b"SDESNAP1";
 
 /// Current snapshot format version; bumped on any codec change.
-/// Version 2 added the dedup fields (flag, counters, executed-state ids).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// Version 2 added the dedup fields (flag, counters, executed-state
+/// ids); version 3 added the fault subsystem (fault-plan fingerprint in
+/// the prelude, four per-state fault budgets plus the partition
+/// deadline, and five more fork counters).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Size of the fixed file header (magic + version + digest + prelude
 /// length).
@@ -239,6 +242,10 @@ pub struct EngineSnapshot {
     pub(crate) sample_every: u64,
     /// Scenario fingerprint: whether histories keep full logs.
     pub(crate) track_history: bool,
+    /// Scenario fingerprint: [`sde_net::FaultPlan::fingerprint`] of the
+    /// fault plan (the plan itself lives in the caller's scenario, like
+    /// programs and failure configs).
+    pub(crate) faults_fingerprint: u64,
     /// Symbol table in allocation order.
     pub(crate) symbols: Vec<SymbolEntry>,
     /// Resident states, sorted by id.
@@ -268,7 +275,7 @@ pub struct EngineSnapshot {
     /// Next state id to allocate.
     pub(crate) next_state: u64,
     /// Fork counts indexed by [`sde_trace::ForkReason::ALL`].
-    pub(crate) forks: [u64; 5],
+    pub(crate) forks: [u64; 10],
     /// The time series collected so far.
     pub(crate) samples: Vec<Sample>,
     /// Bugs found so far.
@@ -413,6 +420,7 @@ impl EngineSnapshot {
         w.varint(self.state_cap as u64);
         w.varint(self.sample_every);
         w.bool(self.track_history);
+        w.varint(self.faults_fingerprint);
         w.varint(self.symbols.len() as u64);
         for (name, width, node, occurrence) in &self.symbols {
             w.str(name);
@@ -451,6 +459,11 @@ impl EngineSnapshot {
             w.varint(u64::from(s.drop_budget));
             w.varint(u64::from(s.dup_budget));
             w.varint(u64::from(s.reboot_budget));
+            w.varint(u64::from(s.part_budget));
+            w.varint(u64::from(s.lat_budget));
+            w.varint(u64::from(s.cor_budget));
+            w.varint(u64::from(s.crash_budget));
+            w.varint(s.partition_until);
         }
         // Event queue (sorted by sequence number at snapshot time).
         w.varint(self.queue_next_seq);
@@ -546,8 +559,18 @@ impl EngineSnapshot {
         let _ = writeln!(
             out,
             "  \"forks\": {{\"branch\": {}, \"mapping\": {}, \"drop\": {}, \"duplicate\": {}, \
-             \"reboot\": {}}},",
-            self.forks[0], self.forks[1], self.forks[2], self.forks[3], self.forks[4]
+             \"reboot\": {}, \"latency\": {}, \"corrupt\": {}, \"crash\": {}, \
+             \"partition\": {}, \"heal\": {}}},",
+            self.forks[0],
+            self.forks[1],
+            self.forks[2],
+            self.forks[3],
+            self.forks[4],
+            self.forks[5],
+            self.forks[6],
+            self.forks[7],
+            self.forks[8],
+            self.forks[9]
         );
         let stats = mapper_stats(&self.mapper);
         let _ = writeln!(
@@ -869,6 +892,11 @@ fn write_trace_summary(w: &mut SnapWriter, t: &sde_trace::TraceSummary) {
         t.forks_drop,
         t.forks_duplicate,
         t.forks_reboot,
+        t.forks_latency,
+        t.forks_corrupt,
+        t.forks_crash,
+        t.forks_partition,
+        t.forks_heal,
         t.packets_sent,
         t.packets_delivered,
         t.packets_dropped,
@@ -895,6 +923,11 @@ fn read_trace_summary(r: &mut SnapReader<'_>) -> Result<sde_trace::TraceSummary,
         forks_drop: r.varint()?,
         forks_duplicate: r.varint()?,
         forks_reboot: r.varint()?,
+        forks_latency: r.varint()?,
+        forks_corrupt: r.varint()?,
+        forks_crash: r.varint()?,
+        forks_partition: r.varint()?,
+        forks_heal: r.varint()?,
         packets_sent: r.varint()?,
         packets_delivered: r.varint()?,
         packets_dropped: r.varint()?,
@@ -917,6 +950,7 @@ struct Prelude {
     state_cap: usize,
     sample_every: u64,
     track_history: bool,
+    faults_fingerprint: u64,
     symbols: Vec<SymbolEntry>,
 }
 
@@ -928,6 +962,7 @@ fn read_prelude(r: &mut SnapReader<'_>) -> Result<Prelude, CodecError> {
     let state_cap = read_usize(r, "state cap")?;
     let sample_every = r.varint()?;
     let track_history = r.bool()?;
+    let faults_fingerprint = r.varint()?;
     let nsymbols = checked_len(r, "symbol count")?;
     let mut symbols = Vec::with_capacity(nsymbols);
     for _ in 0..nsymbols {
@@ -946,6 +981,7 @@ fn read_prelude(r: &mut SnapReader<'_>) -> Result<Prelude, CodecError> {
         state_cap,
         sample_every,
         track_history,
+        faults_fingerprint,
         symbols,
     })
 }
@@ -984,6 +1020,15 @@ fn read_main(r: &mut SnapReader<'_>, p: Prelude) -> Result<EngineSnapshot, Codec
             u32::try_from(r.varint()?).map_err(|_| CodecError::Malformed("dup budget"))?;
         let reboot_budget =
             u32::try_from(r.varint()?).map_err(|_| CodecError::Malformed("reboot budget"))?;
+        let part_budget =
+            u32::try_from(r.varint()?).map_err(|_| CodecError::Malformed("partition budget"))?;
+        let lat_budget =
+            u32::try_from(r.varint()?).map_err(|_| CodecError::Malformed("latency budget"))?;
+        let cor_budget =
+            u32::try_from(r.varint()?).map_err(|_| CodecError::Malformed("corruption budget"))?;
+        let crash_budget =
+            u32::try_from(r.varint()?).map_err(|_| CodecError::Malformed("crash budget"))?;
+        let partition_until = r.varint()?;
         states.push(SdeState {
             id,
             node,
@@ -992,6 +1037,11 @@ fn read_main(r: &mut SnapReader<'_>, p: Prelude) -> Result<EngineSnapshot, Codec
             drop_budget,
             dup_budget,
             reboot_budget,
+            part_budget,
+            lat_budget,
+            cor_budget,
+            crash_budget,
+            partition_until,
         });
     }
     let queue_next_seq = r.varint()?;
@@ -1016,7 +1066,7 @@ fn read_main(r: &mut SnapReader<'_>, p: Prelude) -> Result<EngineSnapshot, Codec
     let aborted = r.bool()?;
     let total_states = read_usize(r, "total state count")?;
     let next_state = r.varint()?;
-    let mut forks = [0u64; 5];
+    let mut forks = [0u64; 10];
     for f in &mut forks {
         *f = r.varint()?;
     }
@@ -1066,6 +1116,7 @@ fn read_main(r: &mut SnapReader<'_>, p: Prelude) -> Result<EngineSnapshot, Codec
         state_cap: p.state_cap,
         sample_every: p.sample_every,
         track_history: p.track_history,
+        faults_fingerprint: p.faults_fingerprint,
         symbols: p.symbols,
         states,
         queue_next_seq,
@@ -1251,7 +1302,7 @@ mod tests {
         let json = engine.snapshot().to_debug_json();
         for needle in [
             "\"algorithm\": \"SDS\"",
-            "\"version\": 2",
+            "\"version\": 3",
             "state_table",
             "trace_key",
             "\"dedup\": {\"enabled\": false",

@@ -32,8 +32,13 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-/// `(drop, dup, reboot)` failure budgets at dispatch entry.
-pub(crate) type Budgets = (u32, u32, u32);
+/// `(drop, dup, reboot, part, lat, cor, crash, partition_until)` —
+/// every failure/fault budget plus the active-partition deadline at
+/// dispatch entry (the order [`crate::state::SdeState::budgets`]
+/// returns). The deadline is part of the key: two states with equal VM
+/// configurations but different heal times behave differently at the
+/// next cut-crossing delivery.
+pub(crate) type Budgets = (u32, u32, u32, u32, u32, u32, u32, u64);
 
 /// One engine-level side effect of a recorded dispatch. States touched
 /// by the dispatch (the *family*: the dispatched state plus everything
@@ -50,7 +55,9 @@ pub(crate) type Budgets = (u32, u32, u32);
 #[derive(Debug, Clone)]
 pub(crate) enum LogOp {
     /// A failure-model fork (`kind`: 1 = drop, 2 = duplicate,
-    /// 3 = reboot) of family variant `parent`; appends a new variant.
+    /// 3 = reboot, 4 = latency, 5 = corruption, 6 = crash,
+    /// 7 = partition, 8 = heal-choice) of family variant `parent`;
+    /// appends a new variant.
     FailureFork { parent: usize, kind: u32 },
     /// A VM branch fork of family variant `parent`; appends a new
     /// variant.
@@ -73,6 +80,14 @@ pub(crate) enum LogOp {
     ClearEvents { state: usize },
     /// Variant `state` dropped the delivered packet (failure model).
     PacketDropped { state: usize },
+    /// Variant `state` silently lost the delivered packet to an active
+    /// partition cut (fault plan; no fork, no handler). `until` is the
+    /// cut's heal deadline, re-emitted in the replayed trace event.
+    PartitionDrop { state: usize, until: u64 },
+    /// Variant `state` took the delayed-delivery branch (fault plan):
+    /// the dispatched packet is re-enqueued to it `delay` ms from the
+    /// dispatch time instead of being processed now.
+    DeferDeliver { state: usize, delay: u64 },
     /// Variant `state` consumed one delivery of the dispatched packet.
     PacketDelivered { state: usize, duplicate: bool },
 }
@@ -298,6 +313,16 @@ impl DispatchRecorder {
     pub(crate) fn note_packet_dropped(&mut self, state: StateId) {
         let state = self.variant(state);
         self.ops.push(LogOp::PacketDropped { state });
+    }
+
+    pub(crate) fn note_partition_drop(&mut self, state: StateId, until: u64) {
+        let state = self.variant(state);
+        self.ops.push(LogOp::PartitionDrop { state, until });
+    }
+
+    pub(crate) fn note_defer_deliver(&mut self, state: StateId, delay: u64) {
+        let state = self.variant(state);
+        self.ops.push(LogOp::DeferDeliver { state, delay });
     }
 
     pub(crate) fn note_packet_delivered(&mut self, state: StateId, duplicate: bool) {

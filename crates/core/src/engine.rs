@@ -20,7 +20,7 @@ use crate::mapping::{Algorithm, StateMapper, StateStore};
 use crate::scenario::Scenario;
 use crate::state::{SdeState, StateId};
 use crate::stats::{BugFound, DedupStats, ParallelStats, RunReport, Sample, TimeSeries};
-use sde_net::{Event, EventQueue, NodeId, Packet, PacketId};
+use sde_net::{Event, EventQueue, FaultPlan, NodeId, Packet, PacketId};
 use sde_os::handlers;
 use sde_symbolic::{Expr, ExprRef, Solver, SymbolTable, Width};
 use sde_vm::{
@@ -61,7 +61,7 @@ struct Store {
     fork_reason: sde_trace::ForkReason,
     /// Fork counts indexed by [`sde_trace::ForkReason::ALL`] — always on,
     /// they feed [`sde_trace::TraceSummary`].
-    forks: [u64; 5],
+    forks: [u64; 10],
     /// Children forked since the engine last cleared it; drained into
     /// `MapBranch`/`MapSend` decision events (populated only when traced).
     fork_scratch: Vec<u64>,
@@ -75,6 +75,28 @@ fn reason_index(reason: sde_trace::ForkReason) -> usize {
         Drop => 2,
         Duplicate => 3,
         Reboot => 4,
+        Latency => 5,
+        Corrupt => 6,
+        Crash => 7,
+        Partition => 8,
+        Heal => 9,
+    }
+}
+
+/// The [`sde_trace::ForkReason`] of a failure/fault-model fork `kind`
+/// (the `record_external_branch` numbering: 1 = drop, 2 = duplicate,
+/// 3 = reboot, 4 = latency, 5 = corruption, 6 = crash, 7 = partition,
+/// 8 = heal-choice).
+fn failure_fork_reason(kind: u32) -> sde_trace::ForkReason {
+    match kind {
+        1 => sde_trace::ForkReason::Drop,
+        2 => sde_trace::ForkReason::Duplicate,
+        3 => sde_trace::ForkReason::Reboot,
+        4 => sde_trace::ForkReason::Latency,
+        5 => sde_trace::ForkReason::Corrupt,
+        6 => sde_trace::ForkReason::Crash,
+        7 => sde_trace::ForkReason::Partition,
+        _ => sde_trace::ForkReason::Heal,
     }
 }
 
@@ -207,7 +229,7 @@ impl Engine {
                 sink: Arc::new(sde_trace::NoopSink),
                 traced: false,
                 fork_reason: sde_trace::ForkReason::Mapping,
-                forks: [0; 5],
+                forks: [0; 10],
                 fork_scratch: Vec::new(),
             },
             now: 0,
@@ -542,6 +564,7 @@ impl Engine {
                                 state: state.clone(),
                                 events,
                                 program: self.scenario.program(state.node).clone(),
+                                faults: self.scenario.faults.clone(),
                                 symbols: self.symbols.forked(),
                             };
                             if job_tx.send(job).is_ok() {
@@ -675,6 +698,7 @@ impl Engine {
             state_cap: self.scenario.state_cap,
             sample_every: self.scenario.sample_every,
             track_history: self.scenario.track_history,
+            faults_fingerprint: self.scenario.faults.fingerprint(),
             symbols,
             states,
             queue_next_seq: self.store.events.next_seq(),
@@ -741,6 +765,9 @@ impl Engine {
         }
         if scenario.track_history != snapshot.track_history {
             return Err(SnapshotError::ScenarioMismatch("track_history"));
+        }
+        if scenario.faults.fingerprint() != snapshot.faults_fingerprint {
+            return Err(SnapshotError::ScenarioMismatch("fault_plan"));
         }
         let mut engine = Engine::new(scenario, snapshot.algorithm);
         // Re-mint the symbol table in allocation order so ids line up
@@ -896,6 +923,7 @@ impl Engine {
                 node,
                 vm,
                 &self.scenario.failures,
+                &self.scenario.faults,
                 self.scenario.track_history,
             );
             self.store.states.insert(id, state);
@@ -945,13 +973,7 @@ impl Engine {
         if self.dedup && self.preset.is_none() {
             let key = {
                 let s = &self.store.states[&state_id];
-                memo_key(
-                    s.node,
-                    s.vm.config_digest(),
-                    (s.drop_budget, s.dup_budget, s.reboot_budget),
-                    self.now,
-                    &kind,
-                )
+                memo_key(s.node, s.vm.config_digest(), s.budgets(), self.now, &kind)
             };
             if self.try_replay(key, state_id, &kind) {
                 return;
@@ -985,7 +1007,7 @@ impl Engine {
     fn try_replay(&mut self, key: u64, state_id: StateId, kind: &NodeEvent) -> bool {
         let entry = {
             let s = &self.store.states[&state_id];
-            let budgets = (s.drop_budget, s.dup_budget, s.reboot_budget);
+            let budgets = s.budgets();
             let Some(candidates) = self.dedup_index.lookup(key) else {
                 return false;
             };
@@ -1018,7 +1040,7 @@ impl Engine {
             key,
             s.node,
             self.now,
-            (s.drop_budget, s.dup_budget, s.reboot_budget),
+            s.budgets(),
             s.vm.clone(),
             event,
             state_id,
@@ -1041,7 +1063,7 @@ impl Engine {
                 .states
                 .get(id)
                 .expect("family member resident at dispatch end");
-            finals.push((s.vm.clone(), (s.drop_budget, s.dup_budget, s.reboot_budget)));
+            finals.push((s.vm.clone(), s.budgets()));
         }
         let bugs = self.bugs[rec.bugs_start..]
             .iter()
@@ -1090,11 +1112,7 @@ impl Engine {
                     kind: fkind,
                 } => {
                     let parent_id = family[*parent];
-                    self.store.fork_reason = match fkind {
-                        1 => sde_trace::ForkReason::Drop,
-                        2 => sde_trace::ForkReason::Duplicate,
-                        _ => sde_trace::ForkReason::Reboot,
-                    };
+                    self.store.fork_reason = failure_fork_reason(*fkind);
                     let child = self.store.fork(parent_id);
                     self.store.fork_reason = sde_trace::ForkReason::Mapping;
                     self.store.fork_scratch.clear();
@@ -1183,21 +1201,7 @@ impl Engine {
                         dest: *dest,
                         payload: payload.clone(),
                     };
-                    let deliver_at = self.now + self.scenario.link_latency_ms;
-                    for receiver in delivery.receivers {
-                        let r = self
-                            .store
-                            .states
-                            .get_mut(&receiver)
-                            .unwrap_or_else(|| panic!("receiver {receiver} not resident"));
-                        r.history.record(HistoryEvent::Received {
-                            id: pid,
-                            peer: node,
-                        });
-                        self.store
-                            .events
-                            .push(deliver_at, (receiver, NodeEvent::Deliver(packet.clone())));
-                    }
+                    self.schedule_deliveries(delivery.receivers, &packet);
                 }
                 LogOp::Timer {
                     state,
@@ -1215,6 +1219,20 @@ impl Engine {
                     let pid =
                         packet_id.expect("PacketDropped is only recorded for Deliver dispatches");
                     self.note_drop(family[*state], node, pid);
+                }
+                LogOp::PartitionDrop { state, until } => {
+                    let pid =
+                        packet_id.expect("PartitionDrop is only recorded for Deliver dispatches");
+                    self.note_partition_drop(family[*state], node, pid, *until);
+                }
+                LogOp::DeferDeliver { state, delay } => {
+                    let NodeEvent::Deliver(packet) = kind else {
+                        unreachable!("DeferDeliver is only recorded for Deliver dispatches");
+                    };
+                    self.store.events.push(
+                        self.now + delay,
+                        (family[*state], NodeEvent::Deliver(packet.clone())),
+                    );
                 }
                 LogOp::PacketDelivered { state, duplicate } => {
                     let pid =
@@ -1239,7 +1257,16 @@ impl Engine {
                 .get_mut(id)
                 .expect("family member resident after replay");
             s.vm = vm.clone();
-            (s.drop_budget, s.dup_budget, s.reboot_budget) = *budgets;
+            (
+                s.drop_budget,
+                s.dup_budget,
+                s.reboot_budget,
+                s.part_budget,
+                s.lat_budget,
+                s.cor_budget,
+                s.crash_budget,
+                s.partition_until,
+            ) = *budgets;
         }
         for (variant, report) in &entry.bugs {
             self.bugs.push(BugFound {
@@ -1260,12 +1287,151 @@ impl Engine {
         }
     }
 
-    /// Packet delivery: apply the symbolic failure models (each a local
-    /// fork registered with the mapper), then run `on_recv` on every
-    /// branch that keeps the packet.
+    /// Packet delivery: apply the symbolic failure and fault models (each
+    /// a local fork registered with the mapper), then run `on_recv` on
+    /// every branch that keeps the packet. Decision order is fixed —
+    /// active partition, partition onset, latency, drop, duplicate,
+    /// reboot, crash, corruption — so symbol minting (and with it dedup
+    /// replay and parallel speculation) is deterministic.
     fn deliver(&mut self, state_id: StateId, packet: Packet) {
-        // --- symbolic packet drop ------------------------------------------
         let receiving = state_id;
+
+        // --- active partition ----------------------------------------------
+        // A delivery crossing a cut this lineage holds active is lost
+        // silently: no fork, no symbol, no handler — the network edge
+        // simply does not exist until the heal deadline.
+        {
+            let s = &self.store.states[&state_id];
+            let (node, until) = (s.node, s.partition_until);
+            if self.now < until && self.scenario.faults.cut_contains(packet.src, node) {
+                self.note_partition_drop(state_id, node, packet.id, until);
+                return;
+            }
+        }
+
+        // --- symbolic partition onset --------------------------------------
+        // The first delivery crossing a declared cut edge asks "did the
+        // network partition just now?": the partitioned branch loses this
+        // packet and every cut-crossing delivery until the (symbolically
+        // chosen) heal time; the connected branch proceeds.
+        if self.store.states[&state_id].part_budget > 0
+            && self
+                .scenario
+                .faults
+                .cut_contains(packet.src, self.store.states[&state_id].node)
+        {
+            let node = self.store.states[&state_id].node;
+            let heal: Vec<u64> = self.scenario.faults.heal_choices().to_vec();
+            let occurrence = {
+                let s = self.store.states.get_mut(&state_id).expect("resident");
+                s.part_budget -= 1;
+                s.vm.next_input_occurrence("part")
+            };
+            let var = self
+                .symbols
+                .fresh_keyed("part", Width::BOOL, node.0, occurrence);
+            if self.preset.is_some() {
+                let _ = var;
+                match self.replay_failure_decision(state_id, "part", 7, occurrence) {
+                    None => return, // strict-preset miss: state bugged
+                    Some(true) => {
+                        let mut until = self.now + heal[0];
+                        if heal.len() == 2 {
+                            let hocc = {
+                                let s = self.store.states.get_mut(&state_id).expect("resident");
+                                s.vm.next_input_occurrence("heal")
+                            };
+                            let hvar = self.symbols.fresh_keyed("heal", Width::BOOL, node.0, hocc);
+                            let _ = hvar;
+                            match self.replay_failure_decision(state_id, "heal", 8, hocc) {
+                                None => return,
+                                Some(true) => until = self.now + heal[1],
+                                Some(false) => {}
+                            }
+                        }
+                        let s = self.store.states.get_mut(&state_id).expect("resident");
+                        s.partition_until = until;
+                        self.note_partition_drop(state_id, node, packet.id, until);
+                        return; // the delivery itself is lost to the cut
+                    }
+                    Some(false) => {}
+                }
+            } else {
+                let part_id = self.fork_local(state_id, &Expr::sym(var.clone()), 7, occurrence);
+                {
+                    let s = self.store.states.get_mut(&state_id).expect("resident");
+                    s.vm.constrain(Expr::not(Expr::sym(var)));
+                }
+                let until0 = self.now + heal[0];
+                {
+                    let p = self.store.states.get_mut(&part_id).expect("resident");
+                    p.partition_until = until0;
+                }
+                self.note_partition_drop(part_id, node, packet.id, until0);
+                if heal.len() == 2 {
+                    // Nested heal-time choice on the partitioned branch.
+                    let hocc = {
+                        let p = self.store.states.get_mut(&part_id).expect("resident");
+                        p.vm.next_input_occurrence("heal")
+                    };
+                    let hvar = self.symbols.fresh_keyed("heal", Width::BOOL, node.0, hocc);
+                    let heal_id = self.fork_local(part_id, &Expr::sym(hvar.clone()), 8, hocc);
+                    {
+                        let p = self.store.states.get_mut(&part_id).expect("resident");
+                        p.vm.constrain(Expr::not(Expr::sym(hvar)));
+                    }
+                    let until1 = self.now + heal[1];
+                    {
+                        let h = self.store.states.get_mut(&heal_id).expect("resident");
+                        h.partition_until = until1;
+                    }
+                    self.note_partition_drop(heal_id, node, packet.id, until1);
+                }
+                // Partitioned branches never run on_recv; the connected
+                // parent falls through to the remaining models.
+            }
+        }
+
+        // --- symbolic delivery latency -------------------------------------
+        // "Did this packet take a slow link?": the delayed branch
+        // re-enqueues the delivery [`sde_net::FaultPlan::latency_extra_ms`]
+        // later — reordering it against everything else in the virtual-time
+        // queue — and processes nothing now; the on-time parent falls
+        // through to the remaining models.
+        if self.store.states[&receiving].lat_budget > 0 {
+            let node = self.store.states[&receiving].node;
+            let extra = self.scenario.faults.latency_extra_ms();
+            let occurrence = {
+                let s = self.store.states.get_mut(&receiving).expect("resident");
+                s.lat_budget -= 1;
+                s.vm.next_input_occurrence("lat")
+            };
+            let var = self
+                .symbols
+                .fresh_keyed("lat", Width::BOOL, node.0, occurrence);
+            if self.preset.is_some() {
+                let _ = var;
+                match self.replay_failure_decision(receiving, "lat", 4, occurrence) {
+                    None => return, // strict-preset miss: state bugged
+                    Some(true) => {
+                        // The preset chose the slow path: defer, and
+                        // handle the packet when it comes back around.
+                        self.defer_delivery(receiving, &packet, extra);
+                        return;
+                    }
+                    Some(false) => {}
+                }
+            } else {
+                let late_id = self.fork_local(receiving, &Expr::sym(var.clone()), 4, occurrence);
+                {
+                    let s = self.store.states.get_mut(&receiving).expect("resident");
+                    s.vm.constrain(Expr::not(Expr::sym(var)));
+                }
+                self.defer_delivery(late_id, &packet, extra);
+            }
+        }
+
+        // --- symbolic packet drop ------------------------------------------
         if self.store.states[&state_id].drop_budget > 0 {
             let node = self.store.states[&state_id].node;
             let occurrence = {
@@ -1371,13 +1537,123 @@ impl Engine {
             }
         }
 
+        // --- symbolic crash-recovery ---------------------------------------
+        // Like reboot, but through [`VmState::crash_rebooted`]: the
+        // persistent window survives, everything volatile resets. The
+        // crashing branch misses the packet.
+        if self.store.states[&receiving].crash_budget > 0 {
+            let node = self.store.states[&receiving].node;
+            let (pbase, psize) = (
+                self.scenario.faults.persist_base(),
+                self.scenario.faults.persist_size(),
+            );
+            let occurrence = {
+                let s = self.store.states.get_mut(&receiving).expect("resident");
+                s.crash_budget -= 1;
+                s.vm.next_input_occurrence("crash")
+            };
+            let var = self
+                .symbols
+                .fresh_keyed("crash", Width::BOOL, node.0, occurrence);
+            if self.preset.is_some() {
+                let _ = var;
+                match self.replay_failure_decision(receiving, "crash", 6, occurrence) {
+                    None => return, // strict-preset miss: state bugged
+                    Some(true) => {
+                        let s = self.store.states.get_mut(&receiving).expect("resident");
+                        s.vm = s.vm.crash_rebooted(pbase, psize);
+                        self.store.clear_events(receiving);
+                        self.run_handler(receiving, handlers::ON_BOOT, &[]);
+                        return; // the crashing node misses the packet
+                    }
+                    Some(false) => {}
+                }
+            } else {
+                let crash_id = self.fork_local(receiving, &Expr::sym(var.clone()), 6, occurrence);
+                {
+                    let s = self.store.states.get_mut(&receiving).expect("resident");
+                    s.vm.constrain(Expr::not(Expr::sym(var)));
+                }
+                {
+                    let d = self.store.states.get_mut(&crash_id).expect("resident");
+                    d.vm = d.vm.crash_rebooted(pbase, psize);
+                }
+                self.store.clear_events(crash_id);
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.note_clear_events(crash_id);
+                }
+                self.run_handler(crash_id, handlers::ON_BOOT, &[]);
+            }
+        }
+
+        // --- symbolic payload corruption -----------------------------------
+        // The corrupted branch receives the packet with its first payload
+        // word XOR-flipped by a fresh symbolic byte (`corb` —
+        // unconstrained, so the identity flip 0 is a legitimate value and
+        // the branch condition alone distinguishes the lineages).
+        if self.store.states[&receiving].cor_budget > 0
+            && !packet.payload.is_empty()
+            && packet.payload[0].width().bits() >= 8
+        {
+            let node = self.store.states[&receiving].node;
+            let w = packet.payload[0].width();
+            let occurrence = {
+                let s = self.store.states.get_mut(&receiving).expect("resident");
+                s.cor_budget -= 1;
+                s.vm.next_input_occurrence("cor")
+            };
+            let var = self
+                .symbols
+                .fresh_keyed("cor", Width::BOOL, node.0, occurrence);
+            if self.preset.is_some() {
+                let _ = var;
+                match self.replay_failure_decision(receiving, "cor", 5, occurrence) {
+                    None => return, // strict-preset miss: state bugged
+                    Some(true) => {
+                        let cocc = {
+                            let s = self.store.states.get_mut(&receiving).expect("resident");
+                            s.vm.next_input_occurrence("corb")
+                        };
+                        let cvar = self.symbols.fresh_keyed("corb", Width::W8, node.0, cocc);
+                        let _ = cvar;
+                        let Some(byte) = self.replay_value_input(receiving, "corb", cocc) else {
+                            return; // strict-preset miss: state bugged
+                        };
+                        let mut corrupted = packet.clone();
+                        corrupted.payload[0] = Expr::xor(
+                            packet.payload[0].clone(),
+                            Expr::zext(Expr::const_(byte, Width::W8), w),
+                        );
+                        self.run_recv(receiving, &corrupted, deliveries);
+                        return;
+                    }
+                    Some(false) => {}
+                }
+            } else {
+                let cor_id = self.fork_local(receiving, &Expr::sym(var.clone()), 5, occurrence);
+                {
+                    let s = self.store.states.get_mut(&receiving).expect("resident");
+                    s.vm.constrain(Expr::not(Expr::sym(var)));
+                }
+                let cocc = {
+                    let c = self.store.states.get_mut(&cor_id).expect("resident");
+                    c.vm.next_input_occurrence("corb")
+                };
+                let cvar = self.symbols.fresh_keyed("corb", Width::W8, node.0, cocc);
+                let mut corrupted = packet.clone();
+                corrupted.payload[0] =
+                    Expr::xor(packet.payload[0].clone(), Expr::zext(Expr::sym(cvar), w));
+                self.run_recv(cor_id, &corrupted, deliveries);
+            }
+        }
+
         self.run_recv(receiving, &packet, deliveries);
     }
 
-    /// Resolves one failure-model decision during a replay (`kind`:
-    /// 1 = drop, 2 = duplicate, 3 = reboot; the
+    /// Resolves one failure/fault-model decision during a replay
+    /// (`kind`: the
     /// [`record_external_branch`](sde_vm::VmState::record_external_branch)
-    /// numbering). The decision is folded into the state's path digest so
+    /// numbering — see [`failure_fork_reason`]). The decision is folded into the state's path digest so
     /// replays are path-identifying, mirroring what `fork_local` records
     /// on both sides of a symbolic failure fork.
     ///
@@ -1428,6 +1704,55 @@ impl Engine {
         Some(taken)
     }
 
+    /// Resolves one engine-minted *value* input during a replay (the
+    /// corruption byte `corb`, [`Width::W8`]). Unlike a failure decision
+    /// the value is data, not a branch: it flows into the payload, and
+    /// any branch the program takes on it lands in the path digest
+    /// through the VM's ordinary branch recording.
+    ///
+    /// Returns `None` when a strict preset had no value for the key (the
+    /// state has been marked [`BugKind::UnkeyedInput`]).
+    fn replay_value_input(
+        &mut self,
+        state_id: StateId,
+        name: &str,
+        occurrence: u32,
+    ) -> Option<u64> {
+        let node = self.store.states[&state_id].node;
+        let (resolved, strict) = {
+            let preset = self.preset.as_ref().expect("replay mode");
+            (
+                preset.resolve(node.0, name, occurrence, Width::W8),
+                preset.is_strict(),
+            )
+        };
+        if resolved.is_none() && strict {
+            let report = BugReport {
+                kind: BugKind::UnkeyedInput,
+                message: std::sync::Arc::from(format!(
+                    "strict replay has no value for fault input \
+                     `{name}` (occurrence {occurrence}) on node {node}"
+                )),
+                // The synthetic location scheme of record_external_branch
+                // (5 = the corruption model).
+                loc: Loc {
+                    func: FuncId(0xffff_0000 | 5),
+                    index: occurrence,
+                },
+                model: None,
+            };
+            self.bugs.push(BugFound {
+                node,
+                state: state_id,
+                report: report.clone(),
+            });
+            let s = self.store.states.get_mut(&state_id).expect("resident");
+            s.vm.set_bugged(report);
+            return None;
+        }
+        Some(resolved.unwrap_or(0))
+    }
+
     /// Counts (and, when traced, records) a failure-model packet drop.
     fn note_drop(&mut self, state: StateId, node: NodeId, packet: PacketId) {
         if let Some(rec) = self.recorder.as_mut() {
@@ -1441,6 +1766,38 @@ impl Engine {
                 packet: packet.0,
             });
         }
+    }
+
+    /// Counts (and, when traced, records) a packet lost to a partition
+    /// cut active until `until`.
+    fn note_partition_drop(&mut self, state: StateId, node: NodeId, packet: PacketId, until: u64) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.note_partition_drop(state, until);
+        }
+        self.trace.packets_dropped += 1;
+        if self.traced {
+            self.sink.record(sde_trace::TraceEvent::PartitionDrop {
+                state: state.0,
+                node: node.0,
+                packet: packet.0,
+                until,
+            });
+        }
+    }
+
+    /// Re-enqueues `packet`'s delivery to `state` `extra` ms from now —
+    /// the delayed branch of a symbolic-latency fork. The receiver's
+    /// history already holds the `Received` record from schedule time
+    /// (deferral changes *when* the handler runs, not whether the packet
+    /// arrived), so only the event moves.
+    fn defer_delivery(&mut self, state: StateId, packet: &Packet, extra: u64) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.note_defer_deliver(state, extra);
+        }
+        self.store.events.push(
+            self.now + extra,
+            (state, NodeEvent::Deliver(packet.clone())),
+        );
     }
 
     /// Runs `on_recv` on `state` `times` times in a row. Each handler
@@ -1481,11 +1838,7 @@ impl Engine {
         let node = self.store.states[&parent].node;
         // Attribute the fork to its failure model; mapper forks performed
         // by `on_branch` below revert to the default `Mapping` reason.
-        self.store.fork_reason = match kind {
-            1 => sde_trace::ForkReason::Drop,
-            2 => sde_trace::ForkReason::Duplicate,
-            _ => sde_trace::ForkReason::Reboot,
-        };
+        self.store.fork_reason = failure_fork_reason(kind);
         let child = self.store.fork(parent);
         self.store.fork_reason = sde_trace::ForkReason::Mapping;
         if let Some(rec) = self.recorder.as_mut() {
@@ -1672,20 +2025,32 @@ impl Engine {
             dest,
             payload,
         };
-        let deliver_at = self.now + self.scenario.link_latency_ms;
-        for receiver in delivery.receivers {
+        self.schedule_deliveries(delivery.receivers, &packet);
+    }
+
+    /// Schedules one delivery event per mapped receiver — the tail of
+    /// every transmission, shared between [`Engine::transmit`] and the
+    /// [`LogOp::Send`] replay arm. The symbolic-latency decision is NOT
+    /// made here: receiver-side forks at transmission time are
+    /// incompatible with eager mappers (COB would have to copy the
+    /// sender mid-handler, while it is off the store being executed), so
+    /// latency forks at *delivery* time in [`Engine::deliver`], where
+    /// every state is resident.
+    fn schedule_deliveries(&mut self, receivers: Vec<StateId>, packet: &Packet) {
+        let base = self.now + self.scenario.link_latency_ms;
+        for sid in receivers {
             let r = self
                 .store
                 .states
-                .get_mut(&receiver)
-                .unwrap_or_else(|| panic!("receiver {receiver} not resident"));
+                .get_mut(&sid)
+                .unwrap_or_else(|| panic!("receiver {sid} not resident"));
             r.history.record(HistoryEvent::Received {
-                id: pid,
+                id: packet.id,
                 peer: packet.src,
             });
             self.store
                 .events
-                .push(deliver_at, (receiver, NodeEvent::Deliver(packet.clone())));
+                .push(base, (sid, NodeEvent::Deliver(packet.clone())));
         }
     }
 
@@ -1747,6 +2112,11 @@ impl Engine {
             forks_drop: self.store.forks[2],
             forks_duplicate: self.store.forks[3],
             forks_reboot: self.store.forks[4],
+            forks_latency: self.store.forks[5],
+            forks_corrupt: self.store.forks[6],
+            forks_crash: self.store.forks[7],
+            forks_partition: self.store.forks[8],
+            forks_heal: self.store.forks[9],
             packets_sent: self.packets_sent,
             solver_queries: solver.queries,
             solver_exact_hits: solver.cache_hits,
@@ -1802,6 +2172,10 @@ struct SpecJob {
     state: SdeState,
     events: Vec<NodeEvent>,
     program: Program,
+    /// The scenario's fault plan (partition cut, heal choices, crash
+    /// persistence window) — the deliver mirror needs it to replicate
+    /// the fault-model minting order.
+    faults: FaultPlan,
     /// Allocator window continuing the engine's symbol-id sequence
     /// ([`SymbolTable::forked`]), so minted [`sde_symbolic::SymId`]s match
     /// the authoritative pass's and queries share cache entries.
@@ -1835,6 +2209,7 @@ fn speculate_group(job: SpecJob, solver: &Solver) -> SpecOutcome {
         solver,
         symbols: job.symbols,
         program: job.program,
+        faults: job.faults,
         now: job.now,
         states: HashMap::from([(root, job.state)]),
         queue: job.events.into_iter().map(|ev| (root, ev)).collect(),
@@ -1859,6 +2234,7 @@ struct Speculator<'a> {
     solver: &'a Solver,
     symbols: SymbolTable,
     program: Program,
+    faults: FaultPlan,
     now: u64,
     states: HashMap<StateId, SdeState>,
     /// FIFO of pending same-time events; forks append their duplicated
@@ -1904,11 +2280,78 @@ impl Speculator<'_> {
     }
 
     /// Mirrors [`Engine::deliver`] (the non-preset path — speculation is
-    /// skipped entirely under a replay preset). The drop/dup/reboot
-    /// variables are minted in the same order with the same replay keys,
-    /// so the window hands out the ids the engine is about to mint.
+    /// skipped entirely under a replay preset). The fault/failure
+    /// variables are minted in the exact engine order —
+    /// partition/heal, drop, dup, reboot, crash, cor/corb — with the
+    /// same replay keys, so the window hands out the ids the engine is
+    /// about to mint.
     fn deliver(&mut self, state_id: StateId, packet: Packet) {
         let receiving = state_id;
+        {
+            let s = &self.states[&state_id];
+            if self.now < s.partition_until && self.faults.cut_contains(packet.src, s.node) {
+                return; // active partition: silent loss, no symbols
+            }
+        }
+
+        if self.states[&state_id].part_budget > 0
+            && self
+                .faults
+                .cut_contains(packet.src, self.states[&state_id].node)
+        {
+            let node = self.states[&state_id].node;
+            let heal: Vec<u64> = self.faults.heal_choices().to_vec();
+            let occurrence = {
+                let s = self.states.get_mut(&state_id).expect("resident");
+                s.part_budget -= 1;
+                s.vm.next_input_occurrence("part")
+            };
+            let var = self
+                .symbols
+                .fresh_keyed("part", Width::BOOL, node.0, occurrence);
+            let part_id = self.fork_local(state_id, &Expr::sym(var.clone()), 7, occurrence);
+            {
+                let s = self.states.get_mut(&state_id).expect("resident");
+                s.vm.constrain(Expr::not(Expr::sym(var)));
+            }
+            {
+                let p = self.states.get_mut(&part_id).expect("resident");
+                p.partition_until = self.now + heal[0];
+            }
+            if heal.len() == 2 {
+                let hocc = {
+                    let p = self.states.get_mut(&part_id).expect("resident");
+                    p.vm.next_input_occurrence("heal")
+                };
+                let hvar = self.symbols.fresh_keyed("heal", Width::BOOL, node.0, hocc);
+                let heal_id = self.fork_local(part_id, &Expr::sym(hvar.clone()), 8, hocc);
+                {
+                    let p = self.states.get_mut(&part_id).expect("resident");
+                    p.vm.constrain(Expr::not(Expr::sym(hvar)));
+                }
+                let h = self.states.get_mut(&heal_id).expect("resident");
+                h.partition_until = self.now + heal[1];
+            }
+        }
+
+        if self.states[&state_id].lat_budget > 0 {
+            let node = self.states[&state_id].node;
+            let occurrence = {
+                let s = self.states.get_mut(&state_id).expect("resident");
+                s.lat_budget -= 1;
+                s.vm.next_input_occurrence("lat")
+            };
+            let var = self
+                .symbols
+                .fresh_keyed("lat", Width::BOOL, node.0, occurrence);
+            let _late = self.fork_local(state_id, &Expr::sym(var.clone()), 4, occurrence);
+            let s = self.states.get_mut(&state_id).expect("resident");
+            s.vm.constrain(Expr::not(Expr::sym(var)));
+            // The delayed branch's redelivery lands outside this
+            // speculation window (extra_ms in the future) — discarded
+            // like sends; the symbol minting is what must match.
+        }
+
         if self.states[&state_id].drop_budget > 0 {
             let node = self.states[&state_id].node;
             let occurrence = {
@@ -1964,6 +2407,60 @@ impl Speculator<'_> {
             }
             self.queue.retain(|(sid, _)| *sid != reboot_id);
             self.run_handler(reboot_id, handlers::ON_BOOT, &[]);
+        }
+
+        if self.states[&receiving].crash_budget > 0 {
+            let node = self.states[&receiving].node;
+            let (pbase, psize) = (self.faults.persist_base(), self.faults.persist_size());
+            let occurrence = {
+                let s = self.states.get_mut(&receiving).expect("resident");
+                s.crash_budget -= 1;
+                s.vm.next_input_occurrence("crash")
+            };
+            let var = self
+                .symbols
+                .fresh_keyed("crash", Width::BOOL, node.0, occurrence);
+            let crash_id = self.fork_local(receiving, &Expr::sym(var.clone()), 6, occurrence);
+            {
+                let s = self.states.get_mut(&receiving).expect("resident");
+                s.vm.constrain(Expr::not(Expr::sym(var)));
+            }
+            {
+                let d = self.states.get_mut(&crash_id).expect("resident");
+                d.vm = d.vm.crash_rebooted(pbase, psize);
+            }
+            self.queue.retain(|(sid, _)| *sid != crash_id);
+            self.run_handler(crash_id, handlers::ON_BOOT, &[]);
+        }
+
+        if self.states[&receiving].cor_budget > 0
+            && !packet.payload.is_empty()
+            && packet.payload[0].width().bits() >= 8
+        {
+            let node = self.states[&receiving].node;
+            let w = packet.payload[0].width();
+            let occurrence = {
+                let s = self.states.get_mut(&receiving).expect("resident");
+                s.cor_budget -= 1;
+                s.vm.next_input_occurrence("cor")
+            };
+            let var = self
+                .symbols
+                .fresh_keyed("cor", Width::BOOL, node.0, occurrence);
+            let cor_id = self.fork_local(receiving, &Expr::sym(var.clone()), 5, occurrence);
+            {
+                let s = self.states.get_mut(&receiving).expect("resident");
+                s.vm.constrain(Expr::not(Expr::sym(var)));
+            }
+            let cocc = {
+                let c = self.states.get_mut(&cor_id).expect("resident");
+                c.vm.next_input_occurrence("corb")
+            };
+            let cvar = self.symbols.fresh_keyed("corb", Width::W8, node.0, cocc);
+            let mut corrupted = packet.clone();
+            corrupted.payload[0] =
+                Expr::xor(packet.payload[0].clone(), Expr::zext(Expr::sym(cvar), w));
+            self.run_recv(cor_id, &corrupted, deliveries);
         }
 
         self.run_recv(receiving, &packet, deliveries);

@@ -1,6 +1,6 @@
 //! Scenario descriptions: everything a run needs besides the algorithm.
 
-use sde_net::{FailureConfig, NodeId, Topology};
+use sde_net::{FailureConfig, FaultPlan, NodeId, Topology};
 use sde_vm::Program;
 
 /// A complete test scenario: who exists, what they run, which failures
@@ -27,6 +27,9 @@ pub struct Scenario {
     pub programs: Vec<Program>,
     /// Symbolic failure injection.
     pub failures: FailureConfig,
+    /// Extended fault injection: partitions, symbolic latency, payload
+    /// corruption, crash-recovery.
+    pub faults: FaultPlan,
     /// Virtual duration in milliseconds (paper: 10 000).
     pub duration_ms: u64,
     /// Per-hop delivery latency in virtual milliseconds.
@@ -59,6 +62,7 @@ impl Scenario {
             topology,
             programs,
             failures: FailureConfig::new(),
+            faults: FaultPlan::new(),
             duration_ms: 10_000,
             link_latency_ms: 2,
             state_cap: usize::MAX,
@@ -71,6 +75,24 @@ impl Scenario {
     #[must_use]
     pub fn with_failures(mut self, failures: FailureConfig) -> Scenario {
         self.failures = failures;
+        self
+    }
+
+    /// Sets the extended fault plan (partitions / latency / corruption /
+    /// crash-recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan names a cut edge that is not a link of this
+    /// scenario's topology — such an edge could never partition anything
+    /// and almost certainly indicates a mis-specified plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Scenario {
+        assert!(
+            faults.cut_edges_exist_in(&self.topology),
+            "fault plan names a cut edge missing from the topology"
+        );
+        self.faults = faults;
         self
     }
 

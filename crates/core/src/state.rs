@@ -1,7 +1,7 @@
 //! Distributed execution states: a VM state plus its network identity.
 
 use crate::history::CommHistory;
-use sde_net::{FailureConfig, FailureKind, NodeId};
+use sde_net::{FailureConfig, FailureKind, FaultPlan, NodeId};
 use sde_vm::{Status, VmState};
 use std::fmt;
 
@@ -34,6 +34,17 @@ pub struct SdeState {
     pub dup_budget: u32,
     /// Remaining symbolic-reboot opportunities.
     pub reboot_budget: u32,
+    /// Remaining symbolic-partition opportunities (fault plan).
+    pub part_budget: u32,
+    /// Remaining symbolic-latency opportunities (fault plan).
+    pub lat_budget: u32,
+    /// Remaining symbolic-corruption opportunities (fault plan).
+    pub cor_budget: u32,
+    /// Remaining symbolic crash-recovery opportunities (fault plan).
+    pub crash_budget: u32,
+    /// Virtual time (ms) until which this lineage's partition cut is
+    /// active; 0 when no partition is active.
+    pub partition_until: u64,
 }
 
 impl SdeState {
@@ -43,6 +54,7 @@ impl SdeState {
         node: NodeId,
         vm: VmState,
         failures: &FailureConfig,
+        faults: &FaultPlan,
         track_history: bool,
     ) -> SdeState {
         SdeState {
@@ -53,7 +65,28 @@ impl SdeState {
             drop_budget: failures.budget(node, FailureKind::PacketDrop),
             dup_budget: failures.budget(node, FailureKind::PacketDuplicate),
             reboot_budget: failures.budget(node, FailureKind::NodeReboot),
+            part_budget: faults.partition_budget(node),
+            lat_budget: faults.latency_budget(node),
+            cor_budget: faults.corrupt_budget(node),
+            crash_budget: faults.crash_budget(node),
+            partition_until: 0,
         }
+    }
+
+    /// All failure/fault budgets plus the partition deadline, in the
+    /// fixed order the dedup memo key hashes them:
+    /// `(drop, dup, reboot, part, lat, cor, crash, partition_until)`.
+    pub fn budgets(&self) -> (u32, u32, u32, u32, u32, u32, u32, u64) {
+        (
+            self.drop_budget,
+            self.dup_budget,
+            self.reboot_budget,
+            self.part_budget,
+            self.lat_budget,
+            self.cor_budget,
+            self.crash_budget,
+            self.partition_until,
+        )
     }
 
     /// An exact copy under a fresh identity.
@@ -79,6 +112,11 @@ impl SdeState {
             drop_budget: self.drop_budget,
             dup_budget: self.dup_budget,
             reboot_budget: self.reboot_budget,
+            part_budget: self.part_budget,
+            lat_budget: self.lat_budget,
+            cor_budget: self.cor_budget,
+            crash_budget: self.crash_budget,
+            partition_until: self.partition_until,
         }
     }
 
@@ -133,17 +171,38 @@ mod tests {
     #[test]
     fn boot_budgets_come_from_config() {
         let failures = FailureConfig::new().with_drops([NodeId(3)], 2);
-        let s = SdeState::boot(StateId(0), NodeId(3), vm(), &failures, false);
+        let s = SdeState::boot(
+            StateId(0),
+            NodeId(3),
+            vm(),
+            &failures,
+            &FaultPlan::new(),
+            false,
+        );
         assert_eq!(s.drop_budget, 2);
         assert_eq!(s.dup_budget, 0);
-        let t = SdeState::boot(StateId(1), NodeId(4), vm(), &failures, false);
+        let t = SdeState::boot(
+            StateId(1),
+            NodeId(4),
+            vm(),
+            &failures,
+            &FaultPlan::new(),
+            false,
+        );
         assert_eq!(t.drop_budget, 0);
     }
 
     #[test]
     fn fork_changes_only_identity() {
         let failures = FailureConfig::new();
-        let s = SdeState::boot(StateId(0), NodeId(1), vm(), &failures, false);
+        let s = SdeState::boot(
+            StateId(0),
+            NodeId(1),
+            vm(),
+            &failures,
+            &FaultPlan::new(),
+            false,
+        );
         let t = s.fork_as(StateId(9));
         assert_eq!(t.id, StateId(9));
         assert_eq!(t.node, s.node);
@@ -153,7 +212,14 @@ mod tests {
     #[test]
     fn history_differentiates_duplicates() {
         let failures = FailureConfig::new();
-        let a = SdeState::boot(StateId(0), NodeId(1), vm(), &failures, false);
+        let a = SdeState::boot(
+            StateId(0),
+            NodeId(1),
+            vm(),
+            &failures,
+            &FaultPlan::new(),
+            false,
+        );
         let mut b = a.fork_as(StateId(1));
         assert_eq!(a.config_digest(), b.config_digest());
         b.history.record(HistoryEvent::Sent {
@@ -167,7 +233,14 @@ mod tests {
     fn fork_shares_history_storage() {
         let failures = FailureConfig::new();
         // Tracked: a long log is shared structurally, never copied.
-        let mut s = SdeState::boot(StateId(0), NodeId(1), vm(), &failures, true);
+        let mut s = SdeState::boot(
+            StateId(0),
+            NodeId(1),
+            vm(),
+            &failures,
+            &FaultPlan::new(),
+            true,
+        );
         for i in 0..10_000 {
             s.history.record(HistoryEvent::Sent {
                 id: PacketId(i),
@@ -177,7 +250,14 @@ mod tests {
         let t = s.fork_as(StateId(1));
         assert!(t.history.shares_log_storage(&s.history));
         // Untracked: there is no log at all — the clone is three words.
-        let mut u = SdeState::boot(StateId(2), NodeId(1), vm(), &failures, false);
+        let mut u = SdeState::boot(
+            StateId(2),
+            NodeId(1),
+            vm(),
+            &failures,
+            &FaultPlan::new(),
+            false,
+        );
         for i in 0..10_000 {
             u.history.record(HistoryEvent::Sent {
                 id: PacketId(i),
@@ -193,8 +273,22 @@ mod tests {
     #[test]
     fn same_vm_on_different_nodes_is_not_a_duplicate() {
         let failures = FailureConfig::new();
-        let a = SdeState::boot(StateId(0), NodeId(1), vm(), &failures, false);
-        let b = SdeState::boot(StateId(1), NodeId(2), vm(), &failures, false);
+        let a = SdeState::boot(
+            StateId(0),
+            NodeId(1),
+            vm(),
+            &failures,
+            &FaultPlan::new(),
+            false,
+        );
+        let b = SdeState::boot(
+            StateId(1),
+            NodeId(2),
+            vm(),
+            &failures,
+            &FaultPlan::new(),
+            false,
+        );
         assert_ne!(a.config_digest(), b.config_digest());
     }
 }

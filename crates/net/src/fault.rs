@@ -1,0 +1,351 @@
+//! Extended fault-injection plans: partitions, symbolic link latency,
+//! payload corruption, and crash-recovery with persistent storage.
+//!
+//! [`FaultPlan`] is the second half of the failure model. Where
+//! [`FailureConfig`](crate::FailureConfig) covers the paper's original
+//! three axes (drop, duplicate, reboot), a `FaultPlan` adds four more,
+//! each still expressed as *symbolic decisions* the engine forks on at
+//! delivery or transmission time:
+//!
+//! - **Partitions**: a cut set of topology edges. The first delivery
+//!   that crosses a cut edge forks a lineage in which the partition is
+//!   active until a (possibly symbolic) heal time; while active, every
+//!   cut-crossing delivery is silently dropped.
+//! - **Link latency**: deliveries to latency-enabled receivers fork on
+//!   an extra symbolic delay, reordering them in the virtual-time queue.
+//! - **Corruption**: deliveries to corruption-enabled receivers fork on
+//!   a byte flip; the flipped byte is a fresh symbolic input.
+//! - **Crash-recovery**: like reboot, but heap cells inside the
+//!   persistence window survive while everything volatile resets.
+//!
+//! The plan is pure configuration — budgets and node/edge sets — so it
+//! lives here in `sde-net` next to `FailureConfig`; the decision
+//! semantics live in `sde-core`'s engine.
+
+use crate::topology::{NodeId, Topology};
+use std::collections::BTreeSet;
+
+/// Normalizes an undirected edge to `(min, max)` node-id order.
+fn edge(a: NodeId, b: NodeId) -> (u16, u16) {
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
+}
+
+/// An extended fault-injection plan: which links may partition (and for
+/// how long), which nodes see symbolic latency, corruption, or
+/// crash-recovery, and how many symbolic decisions each node may spend
+/// per axis.
+///
+/// The empty plan (`FaultPlan::new()` / `Default`) injects nothing.
+///
+/// # Examples
+///
+/// ```
+/// use sde_net::{FaultPlan, NodeId, Topology};
+///
+/// let topology = Topology::line(3);
+/// let plan = FaultPlan::new()
+///     .with_partition([(NodeId(0), NodeId(1))], [40])
+///     .with_latency([NodeId(2)], 6, 1);
+/// assert!(plan.cut_contains(NodeId(1), NodeId(0)));
+/// assert_eq!(plan.partition_budget(NodeId(1)), 1);
+/// assert_eq!(plan.latency_budget(NodeId(2)), 1);
+/// assert!(!plan.is_empty());
+/// let _ = topology;
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Partitionable edges, normalized to `(min, max)` node-id order.
+    cut: BTreeSet<(u16, u16)>,
+    /// Candidate heal durations (virtual ms); 1 entry = concrete heal
+    /// time, 2 entries = one extra symbolic choice between them.
+    heal_ms: Vec<u64>,
+    /// Nodes whose incoming deliveries may be symbolically delayed.
+    latency_nodes: BTreeSet<NodeId>,
+    /// Extra delay (virtual ms) of the delayed branch.
+    latency_extra_ms: u64,
+    /// Symbolic-latency decisions per latency node.
+    latency_budget: u32,
+    /// Nodes whose incoming payloads may be symbolically corrupted.
+    corrupt_nodes: BTreeSet<NodeId>,
+    /// Symbolic-corruption decisions per corruption node.
+    corrupt_budget: u32,
+    /// Nodes that may crash-and-recover (persistent storage survives).
+    crash_nodes: BTreeSet<NodeId>,
+    /// Symbolic crash decisions per crash node.
+    crash_budget: u32,
+    /// First heap address of the persistence window.
+    persist_base: u32,
+    /// Size (bytes of address space) of the persistence window.
+    persist_size: u32,
+}
+
+impl FaultPlan {
+    /// An empty plan: no partitions, no latency, no corruption, no
+    /// crashes.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Declares a partitionable cut set and its candidate heal
+    /// durations. Edges are undirected (normalized internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `heal_ms` has one or two entries (two entries make
+    /// the heal time itself one extra symbolic choice).
+    #[must_use]
+    pub fn with_partition(
+        mut self,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+        heal_ms: impl IntoIterator<Item = u64>,
+    ) -> FaultPlan {
+        self.cut = edges.into_iter().map(|(a, b)| edge(a, b)).collect();
+        self.heal_ms = heal_ms.into_iter().collect();
+        assert!(
+            (1..=2).contains(&self.heal_ms.len()),
+            "heal_ms needs one or two candidate durations"
+        );
+        self
+    }
+
+    /// Enables symbolic delivery latency on `nodes`: each gets `budget`
+    /// decisions, and the delayed branch arrives `extra_ms` later.
+    #[must_use]
+    pub fn with_latency(
+        mut self,
+        nodes: impl IntoIterator<Item = NodeId>,
+        extra_ms: u64,
+        budget: u32,
+    ) -> FaultPlan {
+        self.latency_nodes = nodes.into_iter().collect();
+        self.latency_extra_ms = extra_ms;
+        self.latency_budget = budget;
+        self
+    }
+
+    /// Enables symbolic payload corruption on `nodes`, `budget`
+    /// decisions each.
+    #[must_use]
+    pub fn with_corruption(
+        mut self,
+        nodes: impl IntoIterator<Item = NodeId>,
+        budget: u32,
+    ) -> FaultPlan {
+        self.corrupt_nodes = nodes.into_iter().collect();
+        self.corrupt_budget = budget;
+        self
+    }
+
+    /// Enables symbolic crash-recovery on `nodes`, `budget` decisions
+    /// each; heap cells in `[persist_base, persist_base + persist_size)`
+    /// survive a crash.
+    #[must_use]
+    pub fn with_crash_recovery(
+        mut self,
+        nodes: impl IntoIterator<Item = NodeId>,
+        budget: u32,
+        persist_base: u32,
+        persist_size: u32,
+    ) -> FaultPlan {
+        self.crash_nodes = nodes.into_iter().collect();
+        self.crash_budget = budget;
+        self.persist_base = persist_base;
+        self.persist_size = persist_size;
+        self
+    }
+
+    /// Is the undirected edge `a`–`b` in the partitionable cut set?
+    pub fn cut_contains(&self, a: NodeId, b: NodeId) -> bool {
+        self.cut.contains(&edge(a, b))
+    }
+
+    /// Partition decisions available to `node`: 1 when the node is an
+    /// endpoint of a cut edge (one partition episode per lineage), else
+    /// 0.
+    pub fn partition_budget(&self, node: NodeId) -> u32 {
+        u32::from(self.cut.iter().any(|&(a, b)| a == node.0 || b == node.0))
+    }
+
+    /// Candidate heal durations (1 or 2 entries; empty when no
+    /// partition is configured).
+    pub fn heal_choices(&self) -> &[u64] {
+        &self.heal_ms
+    }
+
+    /// Latency decisions available to `node`.
+    pub fn latency_budget(&self, node: NodeId) -> u32 {
+        if self.latency_nodes.contains(&node) {
+            self.latency_budget
+        } else {
+            0
+        }
+    }
+
+    /// Extra delay of the delayed delivery branch, in virtual ms.
+    pub fn latency_extra_ms(&self) -> u64 {
+        self.latency_extra_ms
+    }
+
+    /// Corruption decisions available to `node`.
+    pub fn corrupt_budget(&self, node: NodeId) -> u32 {
+        if self.corrupt_nodes.contains(&node) {
+            self.corrupt_budget
+        } else {
+            0
+        }
+    }
+
+    /// Crash decisions available to `node`.
+    pub fn crash_budget(&self, node: NodeId) -> u32 {
+        if self.crash_nodes.contains(&node) {
+            self.crash_budget
+        } else {
+            0
+        }
+    }
+
+    /// First heap address that survives a crash.
+    pub fn persist_base(&self) -> u32 {
+        self.persist_base
+    }
+
+    /// Length of the persistence window.
+    pub fn persist_size(&self) -> u32 {
+        self.persist_size
+    }
+
+    /// Declares every cut edge that actually exists in `topology` —
+    /// a plan naming non-edges partitions nothing on them (deliveries
+    /// only ever cross real links), so this is a configuration lint.
+    pub fn cut_edges_exist_in(&self, topology: &Topology) -> bool {
+        self.cut
+            .iter()
+            .all(|&(a, b)| topology.are_neighbors(NodeId(a), NodeId(b)))
+    }
+
+    /// Does this plan inject nothing at all?
+    pub fn is_empty(&self) -> bool {
+        self.cut.is_empty()
+            && self.latency_nodes.is_empty()
+            && self.corrupt_nodes.is_empty()
+            && self.crash_nodes.is_empty()
+    }
+
+    /// Order-independent FNV-style fingerprint of the whole plan, for
+    /// snapshot compatibility checks: a checkpoint resumed under a
+    /// different fault plan would silently change the meaning of every
+    /// stored budget.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        fold(self.cut.len() as u64);
+        for &(a, b) in &self.cut {
+            fold(u64::from(a) << 16 | u64::from(b));
+        }
+        fold(self.heal_ms.len() as u64);
+        for &ms in &self.heal_ms {
+            fold(ms);
+        }
+        fold(self.latency_nodes.len() as u64);
+        for n in &self.latency_nodes {
+            fold(u64::from(n.0));
+        }
+        fold(self.latency_extra_ms);
+        fold(u64::from(self.latency_budget));
+        fold(self.corrupt_nodes.len() as u64);
+        for n in &self.corrupt_nodes {
+            fold(u64::from(n.0));
+        }
+        fold(u64::from(self.corrupt_budget));
+        fold(self.crash_nodes.len() as u64);
+        for n in &self.crash_nodes {
+            fold(u64::from(n.0));
+        }
+        fold(u64::from(self.crash_budget));
+        fold(u64::from(self.persist_base));
+        fold(u64::from(self.persist_size));
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.partition_budget(NodeId(0)), 0);
+        assert_eq!(p.latency_budget(NodeId(0)), 0);
+        assert_eq!(p.corrupt_budget(NodeId(0)), 0);
+        assert_eq!(p.crash_budget(NodeId(0)), 0);
+        assert!(p.heal_choices().is_empty());
+        assert!(!p.cut_contains(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn cut_edges_are_undirected() {
+        let p = FaultPlan::new().with_partition([(NodeId(2), NodeId(1))], [10]);
+        assert!(p.cut_contains(NodeId(1), NodeId(2)));
+        assert!(p.cut_contains(NodeId(2), NodeId(1)));
+        assert!(!p.cut_contains(NodeId(0), NodeId(1)));
+        assert_eq!(p.partition_budget(NodeId(1)), 1);
+        assert_eq!(p.partition_budget(NodeId(2)), 1);
+        assert_eq!(p.partition_budget(NodeId(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one or two candidate durations")]
+    fn heal_needs_at_most_two_choices() {
+        let _ = FaultPlan::new().with_partition([(NodeId(0), NodeId(1))], [1, 2, 3]);
+    }
+
+    #[test]
+    fn per_node_budgets_are_independent() {
+        let p = FaultPlan::new()
+            .with_latency([NodeId(1)], 6, 2)
+            .with_corruption([NodeId(2)], 1)
+            .with_crash_recovery([NodeId(0)], 1, 0x8000, 64);
+        assert_eq!(p.latency_budget(NodeId(1)), 2);
+        assert_eq!(p.latency_budget(NodeId(2)), 0);
+        assert_eq!(p.latency_extra_ms(), 6);
+        assert_eq!(p.corrupt_budget(NodeId(2)), 1);
+        assert_eq!(p.corrupt_budget(NodeId(1)), 0);
+        assert_eq!(p.crash_budget(NodeId(0)), 1);
+        assert_eq!(p.persist_base(), 0x8000);
+        assert_eq!(p.persist_size(), 64);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn cut_edge_lint_checks_the_topology() {
+        let t = Topology::line(3);
+        let real = FaultPlan::new().with_partition([(NodeId(0), NodeId(1))], [10]);
+        assert!(real.cut_edges_exist_in(&t));
+        let fake = FaultPlan::new().with_partition([(NodeId(0), NodeId(2))], [10]);
+        assert!(!fake.cut_edges_exist_in(&t));
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field() {
+        let base = FaultPlan::new().with_latency([NodeId(1)], 6, 1);
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        assert_ne!(base.fingerprint(), FaultPlan::new().fingerprint());
+        let more = base.clone().with_latency([NodeId(1)], 7, 1);
+        assert_ne!(base.fingerprint(), more.fingerprint());
+        let crash = base.clone().with_crash_recovery([NodeId(0)], 1, 0x8000, 64);
+        assert_ne!(base.fingerprint(), crash.fingerprint());
+        let part = base.with_partition([(NodeId(0), NodeId(1))], [40, 80]);
+        assert_ne!(part.fingerprint(), FaultPlan::new().fingerprint());
+    }
+}

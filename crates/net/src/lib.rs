@@ -17,6 +17,9 @@
 //!   (packet drop / duplication / node reboot), as in the paper's test
 //!   setup where "nodes on the data path towards the destination and
 //!   their neighbors should symbolically drop one packet".
+//! * [`FaultPlan`] — the extended fault axes: network partitions with
+//!   (symbolic) heal times, symbolic link latency, payload corruption,
+//!   and crash-recovery with a persistent heap window.
 //!
 //! # Examples
 //!
@@ -36,10 +39,12 @@
 
 mod event;
 mod failure;
+mod fault;
 mod packet;
 mod topology;
 
 pub use event::{Event, EventQueue};
 pub use failure::{FailureConfig, FailureKind};
+pub use fault::FaultPlan;
 pub use packet::{Packet, PacketId};
 pub use topology::{NodeId, Topology};

@@ -4,5 +4,6 @@ pub mod collect;
 pub mod fig1;
 pub mod flood;
 pub mod hello;
+pub mod persist;
 pub mod pingpong;
 pub mod sense;

@@ -49,6 +49,24 @@ pub const CLASS_HIGH: u32 = 48;
 /// flood app).
 pub const SEEN_BASE: u32 = 64;
 
+/// Base of the persistent storage window: heap cells at
+/// `[PERSIST_BASE, PERSIST_BASE + PERSIST_SIZE)` survive a
+/// crash-with-recovery (`FaultPlan::with_crash_recovery`), modeling a
+/// node's small flash/EEPROM region. Placed far above every volatile
+/// field so the two regions can never overlap.
+pub const PERSIST_BASE: u32 = 0x8000;
+
+/// Length of the persistent storage window, in bytes.
+pub const PERSIST_SIZE: u32 = 64;
+
+/// Boot counter (16-bit, persist app): incremented by every `on_boot`,
+/// lives in the persistent window so it survives crashes.
+pub const BOOT_COUNT: u32 = PERSIST_BASE;
+
+/// Crash-surviving copy of the highest sequence number seen (16-bit,
+/// persist app).
+pub const PERSIST_SEQ: u32 = PERSIST_BASE + 4;
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -18,6 +18,9 @@
 //!   broadcasts a HELLO and counts answers), a third, milder workload.
 //! * [`apps::fig1`] — the paper's Figure 1 single-node branching program
 //!   (used by the quickstart example).
+//! * [`apps::persist`] — the crash-recovery workload: boot counters and
+//!   sequence high-water marks live in the persistent memory window
+//!   ([`layout::PERSIST_BASE`]) and survive symbolic crashes.
 //!
 //! # Engine contract
 //!

@@ -19,6 +19,20 @@ pub enum ForkReason {
     Duplicate,
     /// Failure model: symbolic node reboot decided at delivery.
     Reboot,
+    /// Fault plan: symbolic extra delivery latency decided at
+    /// transmission.
+    Latency,
+    /// Fault plan: symbolic payload corruption decided at delivery.
+    Corrupt,
+    /// Fault plan: symbolic crash-with-recovery decided at delivery
+    /// (persistent window survives).
+    Crash,
+    /// Fault plan: symbolic partition activation decided at the first
+    /// cut-crossing delivery.
+    Partition,
+    /// Fault plan: symbolic choice between candidate partition heal
+    /// times (nested under a partition fork).
+    Heal,
 }
 
 impl ForkReason {
@@ -30,6 +44,11 @@ impl ForkReason {
             ForkReason::Drop => "drop",
             ForkReason::Duplicate => "duplicate",
             ForkReason::Reboot => "reboot",
+            ForkReason::Latency => "latency",
+            ForkReason::Corrupt => "corrupt",
+            ForkReason::Crash => "crash",
+            ForkReason::Partition => "partition",
+            ForkReason::Heal => "heal",
         }
     }
 
@@ -41,17 +60,27 @@ impl ForkReason {
             "drop" => ForkReason::Drop,
             "duplicate" => ForkReason::Duplicate,
             "reboot" => ForkReason::Reboot,
+            "latency" => ForkReason::Latency,
+            "corrupt" => ForkReason::Corrupt,
+            "crash" => ForkReason::Crash,
+            "partition" => ForkReason::Partition,
+            "heal" => ForkReason::Heal,
             _ => return None,
         })
     }
 
     /// All reasons, in encoding order.
-    pub const ALL: [ForkReason; 5] = [
+    pub const ALL: [ForkReason; 10] = [
         ForkReason::Branch,
         ForkReason::Mapping,
         ForkReason::Drop,
         ForkReason::Duplicate,
         ForkReason::Reboot,
+        ForkReason::Latency,
+        ForkReason::Corrupt,
+        ForkReason::Crash,
+        ForkReason::Partition,
+        ForkReason::Heal,
     ];
 }
 
@@ -297,6 +326,18 @@ pub enum TraceEvent {
         /// Packet id.
         packet: u64,
     },
+    /// A packet was silently dropped because it crossed an *active*
+    /// partition cut (fault plan): no handler ran, no fork happened.
+    PartitionDrop {
+        /// State in which the partition swallowed the delivery.
+        state: u64,
+        /// Receiving node.
+        node: u16,
+        /// Packet id.
+        packet: u64,
+        /// Virtual time (ms) at which this lineage's partition heals.
+        until: u64,
+    },
     /// The solver answered a feasibility query.
     Query {
         /// Which layer of the stack answered it.
@@ -361,6 +402,7 @@ impl TraceEvent {
             TraceEvent::Send { .. } => "Send",
             TraceEvent::Deliver { .. } => "Deliver",
             TraceEvent::Drop { .. } => "Drop",
+            TraceEvent::PartitionDrop { .. } => "PartitionDrop",
             TraceEvent::Query { .. } => "Query",
             TraceEvent::QueryGroup { .. } => "QueryGroup",
             TraceEvent::Speculate { .. } => "Speculate",
@@ -371,7 +413,7 @@ impl TraceEvent {
 
     /// Every variant name, in declaration order (used by the DESIGN.md
     /// sync lint and the schema validator).
-    pub const VARIANTS: [&'static str; 14] = [
+    pub const VARIANTS: [&'static str; 15] = [
         "Boot",
         "QueuePush",
         "Dispatch",
@@ -381,6 +423,7 @@ impl TraceEvent {
         "Send",
         "Deliver",
         "Drop",
+        "PartitionDrop",
         "Query",
         "QueryGroup",
         "Speculate",

@@ -113,6 +113,17 @@ pub fn event_to_json(ev: &TraceEvent, ts_us: Option<u64>, deterministic: bool) -
                 .int("node", u64::from(*node))
                 .int("packet", *packet);
         }
+        TraceEvent::PartitionDrop {
+            state,
+            node,
+            packet,
+            until,
+        } => {
+            o.int("state", *state)
+                .int("node", u64::from(*node))
+                .int("packet", *packet)
+                .int("until", *until);
+        }
         TraceEvent::Query {
             layer,
             verdict,
@@ -260,6 +271,12 @@ pub fn event_from_json(line: &str) -> Result<TimedEvent, String> {
             state: get_int(&map, "state")?,
             node: get_node(&map, "node")?,
             packet: get_int(&map, "packet")?,
+        },
+        "PartitionDrop" => TraceEvent::PartitionDrop {
+            state: get_int(&map, "state")?,
+            node: get_node(&map, "node")?,
+            packet: get_int(&map, "packet")?,
+            until: get_int(&map, "until")?,
         },
         "Query" => TraceEvent::Query {
             layer: QueryLayer::parse(get_str(&map, "layer")?)

@@ -28,6 +28,16 @@ pub struct TraceSummary {
     pub forks_duplicate: u64,
     /// Forks from the symbolic node-reboot failure model.
     pub forks_reboot: u64,
+    /// Forks from the symbolic link-latency fault model.
+    pub forks_latency: u64,
+    /// Forks from the symbolic payload-corruption fault model.
+    pub forks_corrupt: u64,
+    /// Forks from the symbolic crash-recovery fault model.
+    pub forks_crash: u64,
+    /// Forks from the symbolic partition fault model.
+    pub forks_partition: u64,
+    /// Forks from the symbolic partition-heal-time choice.
+    pub forks_heal: u64,
     /// Packets sent (transmissions mapped).
     pub packets_sent: u64,
     /// Packet deliveries handed to a receiver handler (duplicate copies
@@ -60,6 +70,11 @@ impl TraceSummary {
             + self.forks_drop
             + self.forks_duplicate
             + self.forks_reboot
+            + self.forks_latency
+            + self.forks_corrupt
+            + self.forks_crash
+            + self.forks_partition
+            + self.forks_heal
     }
 
     /// The deterministic slice of the summary, for equivalence keys:
@@ -69,6 +84,7 @@ impl TraceSummary {
     pub fn deterministic_key(&self) -> String {
         format!(
             "forks branch={} mapping={} drop={} duplicate={} reboot={} \
+             latency={} corrupt={} crash={} partition={} heal={} \
              packets sent={} delivered={} dropped={} \
              dispatch boot={} timer={} deliver={}",
             self.forks_branch,
@@ -76,6 +92,11 @@ impl TraceSummary {
             self.forks_drop,
             self.forks_duplicate,
             self.forks_reboot,
+            self.forks_latency,
+            self.forks_corrupt,
+            self.forks_crash,
+            self.forks_partition,
+            self.forks_heal,
             self.packets_sent,
             self.packets_delivered,
             self.packets_dropped,
@@ -90,7 +111,8 @@ impl TraceSummary {
         format!(
             "phases: boot {:.1}ms, run {:.1}ms\n\
              dispatch: boot={} timer={} deliver={}\n\
-             forks: branch={} mapping={} drop={} duplicate={} reboot={} (total {})\n\
+             forks: branch={} mapping={} drop={} duplicate={} reboot={} \
+             latency={} corrupt={} crash={} partition={} heal={} (total {})\n\
              packets: sent={} delivered={} dropped={}\n\
              solver: queries={} exact={} group={} reuse={} ucore={}",
             self.boot_wall_us as f64 / 1000.0,
@@ -103,6 +125,11 @@ impl TraceSummary {
             self.forks_drop,
             self.forks_duplicate,
             self.forks_reboot,
+            self.forks_latency,
+            self.forks_corrupt,
+            self.forks_crash,
+            self.forks_partition,
+            self.forks_heal,
             self.forks_total(),
             self.packets_sent,
             self.packets_delivered,

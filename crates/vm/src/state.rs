@@ -210,6 +210,33 @@ impl VmState {
         }
     }
 
+    /// Returns this state as it looks after a *crash with recovery*: like
+    /// [`VmState::rebooted`], except heap cells inside the persistence
+    /// window `[persist_base, persist_base + persist_size)` survive —
+    /// they model a small non-volatile store (flash/EEPROM) that a real
+    /// node would reload on boot. The incremental heap accumulator is
+    /// rebuilt from the surviving cells so duplicate detection stays
+    /// exact across the crash.
+    #[must_use]
+    pub fn crash_rebooted(&self, persist_base: u32, persist_size: u32) -> VmState {
+        let end = persist_base.saturating_add(persist_size);
+        let mut heap = sde_pds::PMap::new();
+        let mut heap_acc: u64 = 0;
+        for (addr, value) in self.heap.iter() {
+            if *addr >= persist_base && *addr < end {
+                heap_acc = heap_acc.wrapping_add(heap_entry_hash(*addr, value));
+                heap = heap.insert(*addr, value.clone());
+            }
+        }
+        VmState {
+            frames: Vec::new(),
+            heap,
+            heap_acc,
+            status: Status::Idle,
+            ..self.clone()
+        }
+    }
+
     /// The path condition accumulated so far.
     pub fn path_condition(&self) -> &PathCondition {
         &self.path

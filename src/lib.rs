@@ -61,7 +61,7 @@ pub mod prelude {
         run, run_parallel, Algorithm, Budget, Engine, EngineSnapshot, ParallelStats, RunOutcome,
         RunReport, Scenario, SdeState, SnapshotError, StateId, TimeSeries,
     };
-    pub use sde_net::{FailureConfig, NodeId, Topology};
+    pub use sde_net::{FailureConfig, FaultPlan, NodeId, Topology};
     pub use sde_os::apps::collect::CollectConfig;
     pub use sde_os::apps::flood::FloodConfig;
     pub use sde_os::apps::hello::HelloConfig;

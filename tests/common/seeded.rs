@@ -1,5 +1,8 @@
 //! Shared helper: seed-derived random scenarios for property tests.
 
+#[path = "faults.rs"]
+mod faults;
+
 use sde::prelude::*;
 
 /// splitmix64: tiny, high-quality, dependency-free seed expander.
@@ -68,12 +71,10 @@ pub fn scenario_from_seed(seed: u64) -> (String, Scenario) {
     }
     let (failure_name, failures) = match next() % 4 {
         0 => ("none", FailureConfig::new()),
-        1 => ("drop", FailureConfig::new().with_drops(victims, 1)),
-        2 => (
-            "duplicate",
-            FailureConfig::new().with_duplicates(victims, 1),
-        ),
-        _ => ("reboot", FailureConfig::new().with_reboots(victims, 1)),
+        n => {
+            let name = faults::FAILURE_MODELS[(n - 1) as usize];
+            (name, faults::failure_model(name, &victims))
+        }
     };
 
     let label = format!("seed={seed:#x} {topo_name} {app_name} {failure_name} packets={packets}");

@@ -13,6 +13,8 @@
 //! therefore *canonical*: `path_digest` is location-based and
 //! symbol-id-free, and bug/testgen outputs are compared by content.
 
+#[path = "common/faults.rs"]
+mod faults;
 #[path = "common/fingerprints.rs"]
 mod fingerprints;
 #[path = "common/grid.rs"]
@@ -43,13 +45,7 @@ fn failure_scenario(topology: &Topology, failure: &str) -> Scenario {
         packet_count: 1,
         strict_sink: false,
     };
-    let victims = [NodeId(1), NodeId(k / 2)];
-    let failures = match failure {
-        "drop" => FailureConfig::new().with_drops(victims, 1),
-        "duplicate" => FailureConfig::new().with_duplicates(victims, 1),
-        "reboot" => FailureConfig::new().with_reboots(victims, 1),
-        other => panic!("unknown failure model {other}"),
-    };
+    let failures = faults::failure_model(failure, &[NodeId(1), NodeId(k / 2)]);
     let programs = collect::programs(topology, &cfg);
     Scenario::new(topology.clone(), programs)
         .with_failures(failures)

@@ -16,6 +16,8 @@
 //! top. Every verdict here is *exhaustive*: the scenarios are sized so
 //! that no enumeration, domain, or testgen cap ever truncates.
 
+#[path = "common/faults.rs"]
+mod faults;
 #[path = "common/grid.rs"]
 mod grid;
 #[path = "common/line.rs"]
@@ -173,6 +175,137 @@ fn mixed_failure_models_conform() {
     );
 }
 
+// --- extended fault-axis sweep (DESIGN.md §11) -----------------------------
+
+/// Faultless collect on the paper's 2×2 grid — the second topology of
+/// the fault-axis matrix (the first is the 3-node line).
+fn grid_base() -> Scenario {
+    let topology = Topology::grid(2, 2);
+    let cfg = CollectConfig {
+        source: NodeId(3),
+        sink: NodeId(0),
+        interval_ms: 1000,
+        packet_count: 1,
+        strict_sink: false,
+    };
+    let programs = sde::os::apps::collect::programs(&topology, &cfg);
+    Scenario::new(topology, programs)
+        .with_duration_ms(4000)
+        .with_history_tracking(true)
+}
+
+/// One fault axis, layered alone on two topologies, under all three
+/// algorithms: a divergence here is attributable to a single fault
+/// mechanism on a single topology.
+fn check_fault_axis(axis: &'static str) {
+    for (name, base) in [
+        ("line3", line_with_failures(3, 1, FailureConfig::new())),
+        ("grid2x2", grid_base()),
+    ] {
+        let scenario = base.clone().with_faults(faults::fault_preset(axis, &base));
+        let label = format!("{name}-{axis}");
+        let truth = assert_all_algorithms_conform(&label, &scenario, &OracleConfig::default());
+        assert!(
+            truth.outcomes.len() >= 2,
+            "{label}: a fault axis must split the outcome set ({} outcomes)",
+            truth.outcomes.len()
+        );
+    }
+}
+
+#[test]
+fn partition_axis_conforms() {
+    check_fault_axis("partition");
+}
+
+#[test]
+fn latency_axis_conforms() {
+    check_fault_axis("latency");
+}
+
+#[test]
+fn corruption_axis_conforms() {
+    check_fault_axis("corrupt");
+}
+
+#[test]
+fn crash_recovery_axis_conforms() {
+    check_fault_axis("crashrec");
+}
+
+#[test]
+fn crash_recovery_persist_workload_conforms() {
+    // The persist workload is *built* to observe the crash-recovery
+    // split: a persistent boot counter and sequence high-water mark
+    // against volatile mirrors. Its outcome set under the crashrec axis
+    // must still enumerate exactly.
+    use sde::os::apps::persist::{self, PersistConfig};
+    let topology = Topology::line(2);
+    let cfg = PersistConfig {
+        source: NodeId(1),
+        ..PersistConfig::default()
+    };
+    let programs = persist::programs(&topology, &cfg);
+    let base = Scenario::new(topology, programs)
+        .with_duration_ms(1000)
+        .with_history_tracking(true);
+    let scenario = base
+        .clone()
+        .with_faults(faults::fault_preset("crashrec", &base));
+    let truth = assert_all_algorithms_conform(
+        "line2-persist-crashrec",
+        &scenario,
+        &OracleConfig::default(),
+    );
+    assert!(
+        truth.outcomes.len() >= 2,
+        "{} outcomes",
+        truth.outcomes.len()
+    );
+}
+
+#[test]
+fn truncated_fault_sweeps_are_flagged_not_silent() {
+    // Corruption mints a W8 byte input (domain 256). Capping the oracle's
+    // per-axis domain below that must surface as an explicit truncation
+    // flag on the ground truth *and* the conformance report — a capped
+    // verdict must never look like a full one.
+    let base = line_with_failures(2, 1, FailureConfig::new());
+    let scenario = base
+        .clone()
+        .with_faults(faults::fault_preset("corrupt", &base));
+    let cfg = OracleConfig {
+        domains: sde::core::oracle::Domains::new().with_max_domain(16),
+        ..OracleConfig::default()
+    };
+    let truth = ground_truth(&scenario, &cfg);
+    assert!(
+        !truth.exhaustive(),
+        "a 16-value cap on a 256-value byte domain must truncate"
+    );
+    assert!(
+        truth.domain_truncated.iter().any(|n| n.contains("cor")),
+        "the corruption input must be named in the truncation flags: {:?}",
+        truth.domain_truncated
+    );
+    let report = conformance_against(&truth, &scenario, Algorithm::Sds, None, &cfg);
+    assert!(
+        !report.exhaustive(),
+        "the conformance report must inherit the truncation: {}",
+        report.summary()
+    );
+    assert!(!report.domain_truncated.is_empty());
+
+    // The enumeration cap is surfaced the same way.
+    let capped = OracleConfig {
+        max_assignments: 3,
+        ..OracleConfig::default()
+    };
+    let truth = ground_truth(&scenario, &capped);
+    assert!(truth.truncated, "3 replays cannot cover a byte domain");
+    assert!(!truth.exhaustive());
+}
+
 // --- data-symbolic workload (inputs beyond failure decisions) --------------
 
 #[test]
@@ -247,17 +380,8 @@ fn fuzz_scenario(seed: u64) -> (String, Scenario) {
     let n = topology.len() as u16;
     let packets = 1 + (next() % 2) as u16;
     let victims: Vec<NodeId> = (0..n).filter(|_| next() % 2 == 0).map(NodeId).collect();
-    let (fail_name, failures) = match next() % 3 {
-        0 => ("drop", FailureConfig::new().with_drops(victims.clone(), 1)),
-        1 => (
-            "duplicate",
-            FailureConfig::new().with_duplicates(victims.clone(), 1),
-        ),
-        _ => (
-            "reboot",
-            FailureConfig::new().with_reboots(victims.clone(), 1),
-        ),
-    };
+    let fail_name = faults::FAILURE_MODELS[(next() % 3) as usize];
+    let failures = faults::failure_model(fail_name, &victims);
     let cfg = CollectConfig {
         source: NodeId(n - 1),
         sink: NodeId(0),

@@ -7,6 +7,9 @@
 //! solver's totals), both of which `RunReport::equivalence_key`
 //! deliberately excludes.
 
+#[path = "common/faults.rs"]
+mod faults;
+
 use sde::prelude::*;
 use sde_core::Engine;
 use sde_os::apps::collect::{self, CollectConfig};
@@ -34,13 +37,7 @@ fn scenario(topology: &Topology, failure: &str) -> Scenario {
         packet_count: 1,
         strict_sink: false,
     };
-    let victims = [NodeId(1), NodeId(k / 2)];
-    let failures = match failure {
-        "drop" => FailureConfig::new().with_drops(victims, 1),
-        "duplicate" => FailureConfig::new().with_duplicates(victims, 1),
-        "reboot" => FailureConfig::new().with_reboots(victims, 1),
-        other => panic!("unknown failure model {other}"),
-    };
+    let failures = faults::failure_model(failure, &[NodeId(1), NodeId(k / 2)]);
     let programs = collect::programs(topology, &cfg);
     Scenario::new(topology.clone(), programs)
         .with_failures(failures)
