@@ -26,6 +26,7 @@
 //! cargo run -p sde-bench --release --bin table1 -- --layers exact --tag layers_exact
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny --trace out.jsonl
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny --testgen 64
+//! cargo run -p sde-bench --release --bin table1 -- --preset tiny --check  # invariants (§12)
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny --checkpoint-every 5 \
 //!     --snapshot-dir snaps --stop-after 1       # interrupt after the first snapshot
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny --checkpoint-every 5 \
@@ -256,6 +257,40 @@ fn main() {
         }
     }
 
+    // `--check`: re-run each algorithm with the workload's invariants
+    // (DESIGN.md §12) and report violations. The collect/sense
+    // invariants hold, so any violation is an engine bug; the process
+    // exits nonzero to make that failure impossible to miss in CI.
+    let mut check_violations = 0usize;
+    if args.flag("check") {
+        let source = sde_net::NodeId(side * side - 1);
+        let sink = sde_net::NodeId(0);
+        println!("\ninvariant check (--check, sink-within-source):");
+        for alg in Algorithm::ALL {
+            let state_cap = if alg == Algorithm::Cob { cap_cob } else { cap };
+            let mut engine = sde_core::Engine::new(scenario.clone().with_state_cap(state_cap), alg)
+                .with_dedup(dedup);
+            engine.run_in_place();
+            let checker = sde_bench::workload_checker(source, sink);
+            let violations = checker.check(&engine);
+            println!(
+                "  {:4} | {} violation(s) across {} state(s)",
+                alg.name(),
+                violations.len(),
+                engine.states().count(),
+            );
+            for v in &violations {
+                println!(
+                    "       | {} (digest {:#018x}, {} witness entries)",
+                    v.report,
+                    v.digest(),
+                    v.witness_entries()
+                );
+            }
+            check_violations += violations.len();
+        }
+    }
+
     let json_path = out_dir.join(format!("BENCH_table1{tag}.json"));
     write_bench_json(&json_path, &json).expect("write BENCH_table1 json");
     println!("\nrecorded: {}", json_path.display());
@@ -316,5 +351,10 @@ fn main() {
         }
         println!("(measured COB stays astronomically below the bound: real programs");
         println!(" branch only at symbolic inputs, not at every instruction.)");
+    }
+
+    if check_violations > 0 {
+        eprintln!("table1: {check_violations} invariant violation(s) — failing the run");
+        std::process::exit(1);
     }
 }

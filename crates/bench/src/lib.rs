@@ -11,13 +11,18 @@
 //! numbers of the authors' 2011 Xeon testbed; see DESIGN.md for the
 //! substitutions.
 
+use sde_core::check::Checker;
+use sde_core::minimize::MinimizeReport;
 use sde_core::oracle::ConformanceReport;
 use sde_core::testgen::TestGenReport;
 use sde_core::{Algorithm, Budget, Engine, EngineSnapshot, RunReport, Scenario};
 use sde_net::{FailureConfig, FaultPlan, NodeId, Topology};
 use sde_os::apps::collect::{self, CollectConfig};
+use sde_os::apps::persist::{self, PersistConfig};
 use sde_os::apps::sense::{self, SenseConfig};
-use sde_symbolic::Solver;
+use sde_os::apps::token::{self, TokenConfig};
+use sde_os::layout;
+use sde_symbolic::{Expr, ExprRef, Solver, Width};
 use std::path::{Path, PathBuf};
 
 /// The paper's §IV-A scenario for a `side × side` grid: corner-to-corner
@@ -97,6 +102,114 @@ pub fn oracle_scenario(preset: &str) -> Scenario {
         }
         other => panic!("unknown oracle preset {other:?} (expected tiny|line3|grid)"),
     }
+}
+
+/// Named demo workloads for the `repro` bin and `table1 --check`
+/// (DESIGN.md §12):
+///
+/// * `token` — the token-passing app on a 2×2 grid, route `0→1→3→2`.
+///   With the seeded bug (`fixed == false`) a hand-off leaks the
+///   persistent ownership flag, so a crash-recovery of node 0 under
+///   `--faults crashrec` (or `all`) resurrects stale ownership and
+///   violates `unique-token-owner`.
+/// * `persist` — the crash-persistence app on a 3-node line. Its
+///   invariants *hold*: this is the negative control that must exit 0.
+///
+/// # Panics
+///
+/// Panics on an unknown demo name.
+pub fn demo_scenario(name: &str, fixed: bool) -> Scenario {
+    match name {
+        "token" => {
+            let topology = Topology::grid(2, 2);
+            let cfg = TokenConfig {
+                route: vec![NodeId(0), NodeId(1), NodeId(3), NodeId(2)],
+                leak_persistent_flag: !fixed,
+                ..TokenConfig::default()
+            };
+            let programs = token::programs(&topology, &cfg);
+            Scenario::new(topology, programs).with_duration_ms(2000)
+        }
+        "persist" => {
+            let topology = Topology::line(3);
+            let cfg = PersistConfig::default();
+            let programs = persist::programs(&topology, &cfg);
+            Scenario::new(topology, programs).with_duration_ms(1000)
+        }
+        other => panic!("unknown demo {other:?} (expected token|persist)"),
+    }
+}
+
+/// The invariants checked against [`demo_scenario`]'s workloads.
+///
+/// # Panics
+///
+/// Panics on an unknown demo name.
+pub fn demo_checker(name: &str) -> Checker {
+    match name {
+        "token" => Checker::new().cross_node("unique-token-owner", |views| {
+            // Violated when any two nodes of one consistent global
+            // snapshot both believe they hold the token.
+            let owns: Vec<ExprRef> = views
+                .iter()
+                .map(|v| Expr::ne(v.memory_u16(layout::TOKEN_OWN), Expr::const_(0, Width::W16)))
+                .collect();
+            let mut violated: Option<ExprRef> = None;
+            for i in 0..owns.len() {
+                for j in i + 1..owns.len() {
+                    let both = Expr::and_bool(owns[i].clone(), owns[j].clone());
+                    violated = Some(match violated {
+                        Some(v) => Expr::or_bool(v, both),
+                        None => both,
+                    });
+                }
+            }
+            violated
+        }),
+        "persist" => Checker::new()
+            .node_local("boot-count-positive", |view| {
+                // Every booted node has incremented its persistent boot
+                // counter at least once — zero means the persistent
+                // window was lost.
+                Some(Expr::eq(
+                    view.memory_u16(layout::BOOT_COUNT),
+                    Expr::const_(0, Width::W16),
+                ))
+            })
+            .cross_node("seq-high-water-bounded", |views| {
+                // No receiver's persisted high-water mark may exceed
+                // what the source actually transmitted.
+                let source = views.iter().find(|v| v.node == NodeId(0))?;
+                let sent = source.memory_u16(layout::PERSIST_SEQ);
+                let mut violated: Option<ExprRef> = None;
+                for v in views.iter().filter(|v| v.node != NodeId(0)) {
+                    let above = Expr::ugt(v.memory_u16(layout::PERSIST_SEQ), sent.clone());
+                    violated = Some(match violated {
+                        Some(prev) => Expr::or_bool(prev, above),
+                        None => above,
+                    });
+                }
+                violated
+            }),
+        other => panic!("unknown demo {other:?} (expected token|persist)"),
+    }
+}
+
+/// The invariant `table1 --check` evaluates on the collect/sense
+/// workloads: the sink can never have accepted more packets than the
+/// source transmitted (drops only lose packets; the table workloads run
+/// no duplication axis). Holds on every dscenario of a correct engine —
+/// the check exercises the invariant layer at benchmark scale rather
+/// than hunting a seeded bug.
+pub fn workload_checker(source: NodeId, sink: NodeId) -> Checker {
+    Checker::new().cross_node("sink-within-source", move |views| {
+        let sink_view = views.iter().find(|v| v.node == sink)?;
+        let source_view = views.iter().find(|v| v.node == source)?;
+        Some(Expr::ugt(
+            sink_view.memory_u16(layout::RECEIVED),
+            source_view.memory_u16(layout::SEQ),
+        ))
+    })
 }
 
 /// One axis of the extended fault model (DESIGN.md §11) — the unit the
@@ -207,6 +320,42 @@ pub fn with_fault_axes(scenario: Scenario, axes: &[FaultAxis]) -> Scenario {
         };
     }
     scenario.with_faults(plan)
+}
+
+/// Renders a self-contained repro artifact for a minimized violation
+/// (DESIGN.md §12): a JSON array of flat objects — a header carrying
+/// enough to rebuild the scenario (demo name, fault axes, both durations,
+/// fault-plan fingerprint) and diff the outcome (`bug_digest`), then one
+/// object per witness entry. Rendering is a pure function of the
+/// [`MinimizeReport`], and minimization replays are serial, so the bytes
+/// are identical no matter how many workers found the violation.
+pub fn render_artifact(
+    demo: &str,
+    fixed: bool,
+    algorithm: &str,
+    base_duration_ms: u64,
+    report: &MinimizeReport,
+    digest: u64,
+) -> String {
+    let axes = report.scenario.faults.active_axes().join(",");
+    let mut lines = vec![format!(
+        "  {{\"version\": 1, \"demo\": \"{demo}\", \"fixed\": {fixed}, \
+         \"algorithm\": \"{algorithm}\", \"invariant\": \"{}\", \"faults\": \"{axes}\", \
+         \"base_duration_ms\": {base_duration_ms}, \"duration_ms\": {}, \
+         \"fault_fingerprint\": \"{:#018x}\", \"bug_digest\": \"{digest:#018x}\", \
+         \"entries\": {}}}",
+        report.violation.invariant,
+        report.final_duration_ms,
+        report.scenario.faults.fingerprint(),
+        report.assignment.len(),
+    )];
+    for ((node, name, occurrence), value) in &report.assignment {
+        lines.push(format!(
+            "  {{\"node\": {node}, \"name\": \"{name}\", \
+             \"occurrence\": {occurrence}, \"value\": {value}}}"
+        ));
+    }
+    format!("[\n{}\n]\n", lines.join(",\n"))
 }
 
 /// Per-algorithm run parameters for one experiment.

@@ -42,8 +42,9 @@ pub(crate) const SNAPSHOT_MAGIC: [u8; 8] = *b"SDESNAP1";
 /// Version 2 added the dedup fields (flag, counters, executed-state
 /// ids); version 3 added the fault subsystem (fault-plan fingerprint in
 /// the prelude, four per-state fault budgets plus the partition
-/// deadline, and five more fork counters).
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// deadline, and five more fork counters); version 4 added the
+/// `bugs_found`/`shrink_steps` trace counters of the checking layer.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Size of the fixed file header (magic + version + digest + prelude
 /// length).
@@ -660,7 +661,7 @@ impl EngineSnapshot {
 // ---------------------------------------------------------------------------
 
 /// FNV-1a over a byte slice — the snapshot content digest.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -905,6 +906,8 @@ fn write_trace_summary(w: &mut SnapWriter, t: &sde_trace::TraceSummary) {
         t.solver_group_hits,
         t.solver_reuse_hits,
         t.solver_ucore_hits,
+        t.bugs_found,
+        t.shrink_steps,
         t.boot_wall_us,
         t.run_wall_us,
     ] {
@@ -936,6 +939,8 @@ fn read_trace_summary(r: &mut SnapReader<'_>) -> Result<sde_trace::TraceSummary,
         solver_group_hits: r.varint()?,
         solver_reuse_hits: r.varint()?,
         solver_ucore_hits: r.varint()?,
+        bugs_found: r.varint()?,
+        shrink_steps: r.varint()?,
         boot_wall_us: r.varint()?,
         run_wall_us: r.varint()?,
     })
@@ -1302,7 +1307,7 @@ mod tests {
         let json = engine.snapshot().to_debug_json();
         for needle in [
             "\"algorithm\": \"SDS\"",
-            "\"version\": 3",
+            "\"version\": 4",
             "state_table",
             "trace_key",
             "\"dedup\": {\"enabled\": false",

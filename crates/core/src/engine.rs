@@ -877,6 +877,18 @@ impl Engine {
         &self.symbols
     }
 
+    /// Virtual time reached so far, in ms (the dispatch clock). Used by
+    /// the invariant checker to evaluate vtime-barrier predicates
+    /// between [`Engine::run_until`] segments.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The bugs found so far (final list in `RunReport::bugs`).
+    pub fn bugs(&self) -> &[BugFound] {
+        &self.bugs
+    }
+
     /// Replays with every symbolic input pinned to the values in
     /// `preset` (keyed run-independently by `(node, name, occurrence)`):
     /// branches stop forking and the run follows the single concrete
@@ -1047,6 +1059,22 @@ impl Engine {
             self.bugs.len(),
             self.instructions,
         ));
+    }
+
+    /// Records a found bug: appends it to the run's bug list and, when a
+    /// sink is attached, emits a [`BugFound`](sde_trace::TraceEvent)
+    /// trace event. Dedup-replayed bug copies bypass this (the
+    /// `StatePruned` event stands in for the whole replayed dispatch).
+    fn note_bug(&mut self, bug: BugFound) {
+        if self.traced {
+            self.sink.record(sde_trace::TraceEvent::BugFound {
+                state: bug.state.0,
+                node: bug.node.0,
+                time: self.now,
+                kind: bug.report.kind.to_string(),
+            });
+        }
+        self.bugs.push(bug);
     }
 
     /// Seals the active recording into a [`MemoEntry`]: captures the
@@ -1689,7 +1717,7 @@ impl Engine {
                 },
                 model: None,
             };
-            self.bugs.push(BugFound {
+            self.note_bug(BugFound {
                 node,
                 state: state_id,
                 report: report.clone(),
@@ -1741,7 +1769,7 @@ impl Engine {
                 },
                 model: None,
             };
-            self.bugs.push(BugFound {
+            self.note_bug(BugFound {
                 node,
                 state: state_id,
                 report: report.clone(),
@@ -1917,7 +1945,7 @@ impl Engine {
                         let bugged = matches!(sibling.vm.status(), Status::Bugged(_));
                         if bugged {
                             if let Status::Bugged(report) = sibling.vm.status().clone() {
-                                self.bugs.push(BugFound {
+                                self.note_bug(BugFound {
                                     node: sibling.node,
                                     state: sib_id,
                                     report,
@@ -1962,7 +1990,7 @@ impl Engine {
                         break;
                     }
                     StepResult::Bug(report) => {
-                        self.bugs.push(BugFound {
+                        self.note_bug(BugFound {
                             node: st.node,
                             state: st.id,
                             report,
@@ -2123,6 +2151,7 @@ impl Engine {
             solver_group_hits: solver.group_cache_hits,
             solver_reuse_hits: solver.model_reuse_hits,
             solver_ucore_hits: solver.ucore_hits,
+            bugs_found: self.bugs.len() as u64,
             ..self.trace
         };
         RunReport {

@@ -43,12 +43,14 @@
 #![warn(missing_docs)]
 
 mod bignum;
+pub mod check;
 mod checkpoint;
 pub mod complexity;
 mod dedup;
 mod engine;
 mod history;
 pub mod mapping;
+pub mod minimize;
 pub mod oracle;
 pub mod parallel;
 mod scenario;
@@ -57,10 +59,12 @@ mod stats;
 pub mod testgen;
 
 pub use bignum::BigUint;
+pub use check::{Checker, NodeView, Violation};
 pub use checkpoint::{Budget, EngineSnapshot, RunOutcome, SnapshotError, SNAPSHOT_VERSION};
 pub use engine::{run, Engine, NodeEvent};
 pub use history::{CommHistory, HistoryEvent};
 pub use mapping::{Algorithm, Delivery, MapperSnapshot, MapperStats, StateMapper, StateStore};
+pub use minimize::{MinimizeReport, Minimizer};
 pub use parallel::run_parallel;
 pub use scenario::Scenario;
 pub use state::{SdeState, StateId};

@@ -235,6 +235,103 @@ impl FaultPlan {
             && self.crash_nodes.is_empty()
     }
 
+    /// The four axis names, in the canonical order every sweep and the
+    /// minimizer's shrink pass use.
+    pub const AXES: [&'static str; 4] = ["partition", "latency", "corrupt", "crashrec"];
+
+    /// Is the partition axis active (at least one cut edge)?
+    pub fn has_partition(&self) -> bool {
+        !self.cut.is_empty()
+    }
+
+    /// Is the latency axis active (at least one latency node)?
+    pub fn has_latency(&self) -> bool {
+        !self.latency_nodes.is_empty()
+    }
+
+    /// Is the corruption axis active (at least one corruption node)?
+    pub fn has_corruption(&self) -> bool {
+        !self.corrupt_nodes.is_empty()
+    }
+
+    /// Is the crash-recovery axis active (at least one crash node)?
+    pub fn has_crash_recovery(&self) -> bool {
+        !self.crash_nodes.is_empty()
+    }
+
+    /// The active axes, in [`FaultPlan::AXES`] order — the minimizer's
+    /// shrink candidates and the repro artifact's fault label.
+    pub fn active_axes(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.has_partition() {
+            out.push(Self::AXES[0]);
+        }
+        if self.has_latency() {
+            out.push(Self::AXES[1]);
+        }
+        if self.has_corruption() {
+            out.push(Self::AXES[2]);
+        }
+        if self.has_crash_recovery() {
+            out.push(Self::AXES[3]);
+        }
+        out
+    }
+
+    /// Removes the partition axis entirely (cut set and heal choices).
+    #[must_use]
+    pub fn without_partition(mut self) -> FaultPlan {
+        self.cut.clear();
+        self.heal_ms.clear();
+        self
+    }
+
+    /// Removes the latency axis entirely.
+    #[must_use]
+    pub fn without_latency(mut self) -> FaultPlan {
+        self.latency_nodes.clear();
+        self.latency_extra_ms = 0;
+        self.latency_budget = 0;
+        self
+    }
+
+    /// Removes the corruption axis entirely.
+    #[must_use]
+    pub fn without_corruption(mut self) -> FaultPlan {
+        self.corrupt_nodes.clear();
+        self.corrupt_budget = 0;
+        self
+    }
+
+    /// Removes the crash-recovery axis entirely (the persistence window
+    /// bounds stay: they describe memory layout, not injected behavior).
+    #[must_use]
+    pub fn without_crash_recovery(mut self) -> FaultPlan {
+        self.crash_nodes.clear();
+        self.crash_budget = 0;
+        self
+    }
+
+    /// Removes the named axis — the minimizer's generic shrink hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a name outside [`FaultPlan::AXES`]: a typo must fail
+    /// loudly, not silently shrink nothing.
+    #[must_use]
+    pub fn without_axis(self, axis: &str) -> FaultPlan {
+        match axis {
+            "partition" => self.without_partition(),
+            "latency" => self.without_latency(),
+            "corrupt" => self.without_corruption(),
+            "crashrec" => self.without_crash_recovery(),
+            other => panic!(
+                "unknown fault axis {other:?} (expected one of {:?})",
+                Self::AXES
+            ),
+        }
+    }
+
     /// Order-independent FNV-style fingerprint of the whole plan, for
     /// snapshot compatibility checks: a checkpoint resumed under a
     /// different fault plan would silently change the meaning of every
@@ -334,6 +431,42 @@ mod tests {
         assert!(real.cut_edges_exist_in(&t));
         let fake = FaultPlan::new().with_partition([(NodeId(0), NodeId(2))], [10]);
         assert!(!fake.cut_edges_exist_in(&t));
+    }
+
+    #[test]
+    fn axis_shrink_hooks_remove_exactly_one_axis() {
+        let full = FaultPlan::new()
+            .with_partition([(NodeId(0), NodeId(1))], [40, 80])
+            .with_latency([NodeId(0)], 6, 1)
+            .with_corruption([NodeId(0)], 1)
+            .with_crash_recovery([NodeId(0)], 1, 0x8000, 64);
+        assert_eq!(full.active_axes(), FaultPlan::AXES.to_vec());
+        for axis in FaultPlan::AXES {
+            let shrunk = full.clone().without_axis(axis);
+            let expected: Vec<&str> = FaultPlan::AXES
+                .iter()
+                .copied()
+                .filter(|a| *a != axis)
+                .collect();
+            assert_eq!(shrunk.active_axes(), expected, "{axis}");
+            assert_ne!(shrunk.fingerprint(), full.fingerprint(), "{axis}");
+        }
+        let empty = FaultPlan::AXES
+            .iter()
+            .fold(full, |plan, axis| plan.without_axis(axis));
+        assert!(empty.is_empty());
+        assert!(empty.active_axes().is_empty());
+        assert_eq!(empty.partition_budget(NodeId(0)), 0);
+        assert_eq!(empty.latency_budget(NodeId(0)), 0);
+        assert_eq!(empty.corrupt_budget(NodeId(0)), 0);
+        assert_eq!(empty.crash_budget(NodeId(0)), 0);
+        assert!(empty.heal_choices().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fault axis")]
+    fn unknown_axis_name_fails_loudly() {
+        let _ = FaultPlan::new().without_axis("gamma-rays");
     }
 
     #[test]

@@ -7,3 +7,4 @@ pub mod hello;
 pub mod persist;
 pub mod pingpong;
 pub mod sense;
+pub mod token;

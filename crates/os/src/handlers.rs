@@ -18,6 +18,8 @@ pub mod timers {
     pub const SEND: u16 = 1;
     /// One-shot startup delay (hello).
     pub const STARTUP: u16 = 2;
+    /// Token hand-off delay (token app).
+    pub const PASS: u16 = 3;
 }
 
 #[cfg(test)]
@@ -29,5 +31,7 @@ mod tests {
         assert_ne!(ON_BOOT, ON_TIMER);
         assert_ne!(ON_TIMER, ON_RECV);
         assert_ne!(timers::SEND, timers::STARTUP);
+        assert_ne!(timers::STARTUP, timers::PASS);
+        assert_ne!(timers::SEND, timers::PASS);
     }
 }

@@ -45,6 +45,13 @@ pub const CLASS_LOW: u32 = 44;
 /// app).
 pub const CLASS_HIGH: u32 = 48;
 
+/// Volatile "this node believes it holds the token" flag (16-bit, token
+/// app).
+pub const TOKEN_OWN: u32 = 52;
+
+/// Count of grants this node has sent (16-bit, token app).
+pub const TOKEN_PASSES: u32 = 56;
+
 /// Base of the seen-sequence bitmap (one byte per sequence number,
 /// flood app).
 pub const SEEN_BASE: u32 = 64;
@@ -67,6 +74,12 @@ pub const BOOT_COUNT: u32 = PERSIST_BASE;
 /// persist app).
 pub const PERSIST_SEQ: u32 = PERSIST_BASE + 4;
 
+/// Crash-surviving token-ownership flag (16-bit, token app). The seeded
+/// bug of the token demo is precisely that a hand-off clears only the
+/// volatile [`TOKEN_OWN`] mirror and forgets this cell, so a
+/// crash-recovery resurrects stale ownership.
+pub const PERSIST_TOKEN: u32 = PERSIST_BASE + 8;
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -86,6 +99,8 @@ mod tests {
             super::RETRIES,
             super::CLASS_LOW,
             super::CLASS_HIGH,
+            super::TOKEN_OWN,
+            super::TOKEN_PASSES,
         ];
         for (i, a) in fields.iter().enumerate() {
             for b in fields.iter().skip(i + 1) {

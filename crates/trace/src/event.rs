@@ -387,6 +387,34 @@ pub enum TraceEvent {
         /// Virtual time of the pruned dispatch (ms).
         time: u64,
     },
+    /// A bug report was recorded: a VM safety check fired, a strict
+    /// replay hit an unkeyed input, or an invariant of the checking
+    /// layer (DESIGN.md §12) was violated on `state`.
+    BugFound {
+        /// The state that hit the bug.
+        state: u64,
+        /// Node the state lives on.
+        node: u16,
+        /// Virtual time of the detection (ms).
+        time: u64,
+        /// The `BugKind` rendered lowercase (e.g. "assertion failed",
+        /// "invariant violated").
+        kind: String,
+    },
+    /// One candidate evaluation of the counterexample minimizer: the
+    /// ddmin loop replayed a shrunk witness and either kept it (the
+    /// violation still reproduced) or discarded it.
+    ShrinkStep {
+        /// Monotone candidate index within one minimization.
+        step: u64,
+        /// The shrink move ("axis", "entry", "value", "horizon").
+        axis: String,
+        /// Witness entries remaining in the candidate.
+        entries: u64,
+        /// `true` when the candidate still reproduced the violation and
+        /// became the new current witness.
+        kept: bool,
+    },
 }
 
 impl TraceEvent {
@@ -408,12 +436,14 @@ impl TraceEvent {
             TraceEvent::Speculate { .. } => "Speculate",
             TraceEvent::SpecQuery { .. } => "SpecQuery",
             TraceEvent::StatePruned { .. } => "StatePruned",
+            TraceEvent::BugFound { .. } => "BugFound",
+            TraceEvent::ShrinkStep { .. } => "ShrinkStep",
         }
     }
 
     /// Every variant name, in declaration order (used by the DESIGN.md
     /// sync lint and the schema validator).
-    pub const VARIANTS: [&'static str; 15] = [
+    pub const VARIANTS: [&'static str; 17] = [
         "Boot",
         "QueuePush",
         "Dispatch",
@@ -429,6 +459,8 @@ impl TraceEvent {
         "Speculate",
         "SpecQuery",
         "StatePruned",
+        "BugFound",
+        "ShrinkStep",
     ];
 }
 

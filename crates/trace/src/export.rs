@@ -157,6 +157,28 @@ pub fn event_to_json(ev: &TraceEvent, ts_us: Option<u64>, deterministic: bool) -
                 .int("survivor", *survivor)
                 .int("time", *time);
         }
+        TraceEvent::BugFound {
+            state,
+            node,
+            time,
+            kind,
+        } => {
+            o.int("state", *state)
+                .int("node", u64::from(*node))
+                .int("time", *time)
+                .str("kind", kind);
+        }
+        TraceEvent::ShrinkStep {
+            step,
+            axis,
+            entries,
+            kept,
+        } => {
+            o.int("step", *step)
+                .str("axis", axis)
+                .int("entries", *entries)
+                .bool("kept", *kept);
+        }
     }
     o.finish()
 }
@@ -305,6 +327,21 @@ pub fn event_from_json(line: &str) -> Result<TimedEvent, String> {
             node: get_node(&map, "node")?,
             survivor: get_int(&map, "survivor")?,
             time: get_int(&map, "time")?,
+        },
+        "BugFound" => TraceEvent::BugFound {
+            state: get_int(&map, "state")?,
+            node: get_node(&map, "node")?,
+            time: get_int(&map, "time")?,
+            kind: get_str(&map, "kind")?.to_string(),
+        },
+        "ShrinkStep" => TraceEvent::ShrinkStep {
+            step: get_int(&map, "step")?,
+            axis: get_str(&map, "axis")?.to_string(),
+            entries: get_int(&map, "entries")?,
+            kept: map
+                .get("kept")
+                .and_then(JsonValue::as_bool)
+                .ok_or("missing/invalid bool field `kept`")?,
         },
         other => return Err(format!("unknown event tag `{other}`")),
     };

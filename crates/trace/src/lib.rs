@@ -182,6 +182,18 @@ mod tests {
             },
             TraceEvent::Speculate { time: 5, jobs: 2 },
             TraceEvent::SpecQuery { groups: 1 },
+            TraceEvent::BugFound {
+                state: 4,
+                node: 1,
+                time: 7,
+                kind: "invariant violated".to_string(),
+            },
+            TraceEvent::ShrinkStep {
+                step: 0,
+                axis: "axis".to_string(),
+                entries: 6,
+                kept: true,
+            },
         ];
         evs.into_iter()
             .enumerate()

@@ -56,6 +56,12 @@ pub struct TraceSummary {
     pub solver_reuse_hits: u64,
     /// Independence groups answered by a cached UNSAT core.
     pub solver_ucore_hits: u64,
+    /// Bug reports recorded by the run (VM safety checks, strict-replay
+    /// unkeyed inputs, invariant violations).
+    pub bugs_found: u64,
+    /// Candidate evaluations performed by the counterexample minimizer
+    /// (zero for plain engine runs; set by `sde-core::minimize`).
+    pub shrink_steps: u64,
     /// Wall-clock of the boot phase, microseconds.
     pub boot_wall_us: u64,
     /// Wall-clock of the event loop, microseconds.
@@ -86,7 +92,7 @@ impl TraceSummary {
             "forks branch={} mapping={} drop={} duplicate={} reboot={} \
              latency={} corrupt={} crash={} partition={} heal={} \
              packets sent={} delivered={} dropped={} \
-             dispatch boot={} timer={} deliver={}",
+             dispatch boot={} timer={} deliver={} bugs={}",
             self.forks_branch,
             self.forks_mapping,
             self.forks_drop,
@@ -103,6 +109,7 @@ impl TraceSummary {
             self.dispatch_boot,
             self.dispatch_timer,
             self.dispatch_deliver,
+            self.bugs_found,
         )
     }
 
@@ -114,6 +121,7 @@ impl TraceSummary {
              forks: branch={} mapping={} drop={} duplicate={} reboot={} \
              latency={} corrupt={} crash={} partition={} heal={} (total {})\n\
              packets: sent={} delivered={} dropped={}\n\
+             bugs: found={} (shrink steps {})\n\
              solver: queries={} exact={} group={} reuse={} ucore={}",
             self.boot_wall_us as f64 / 1000.0,
             self.run_wall_us as f64 / 1000.0,
@@ -134,6 +142,8 @@ impl TraceSummary {
             self.packets_sent,
             self.packets_delivered,
             self.packets_dropped,
+            self.bugs_found,
+            self.shrink_steps,
             self.solver_queries,
             self.solver_exact_hits,
             self.solver_group_hits,

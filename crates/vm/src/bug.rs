@@ -32,6 +32,11 @@ pub enum BugKind {
     /// means the assignment (or the solve that produced it) was
     /// incomplete and must not be papered over.
     UnkeyedInput,
+    /// A registered invariant of the checking layer
+    /// (`sde-core::check`) was violated: a node-local or cross-node
+    /// predicate over the explored states is satisfiable together with
+    /// their path conditions.
+    InvariantViolated,
 }
 
 impl fmt::Display for BugKind {
@@ -44,6 +49,7 @@ impl fmt::Display for BugKind {
             BugKind::ExplicitFail => write!(f, "explicit failure"),
             BugKind::Internal => write!(f, "internal interpreter error"),
             BugKind::UnkeyedInput => write!(f, "unkeyed input in strict replay"),
+            BugKind::InvariantViolated => write!(f, "invariant violated"),
         }
     }
 }
@@ -76,6 +82,7 @@ impl BugReport {
             BugKind::ExplicitFail => w.u8(4),
             BugKind::Internal => w.u8(5),
             BugKind::UnkeyedInput => w.u8(6),
+            BugKind::InvariantViolated => w.u8(7),
         }
         w.str(&self.message);
         w.varint(u64::from(self.loc.func.0));
@@ -104,6 +111,7 @@ impl BugReport {
             4 => BugKind::ExplicitFail,
             5 => BugKind::Internal,
             6 => BugKind::UnkeyedInput,
+            7 => BugKind::InvariantViolated,
             _ => return Err(CodecError::Malformed("bug kind tag")),
         };
         let message: Arc<str> = Arc::from(r.str()?.as_str());

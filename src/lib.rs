@@ -58,8 +58,9 @@ pub use sde_vm as vm;
 /// The names almost every user needs.
 pub mod prelude {
     pub use sde_core::{
-        run, run_parallel, Algorithm, Budget, Engine, EngineSnapshot, ParallelStats, RunOutcome,
-        RunReport, Scenario, SdeState, SnapshotError, StateId, TimeSeries,
+        run, run_parallel, Algorithm, Budget, Checker, Engine, EngineSnapshot, MinimizeReport,
+        Minimizer, NodeView, ParallelStats, RunOutcome, RunReport, Scenario, SdeState,
+        SnapshotError, StateId, TimeSeries, Violation,
     };
     pub use sde_net::{FailureConfig, FaultPlan, NodeId, Topology};
     pub use sde_os::apps::collect::CollectConfig;
@@ -67,6 +68,7 @@ pub mod prelude {
     pub use sde_os::apps::hello::HelloConfig;
     pub use sde_os::apps::pingpong::PingPongConfig;
     pub use sde_os::apps::sense::SenseConfig;
+    pub use sde_os::apps::token::TokenConfig;
     pub use sde_symbolic::{Expr, Model, PathCondition, Solver, SymbolTable, Width};
     pub use sde_trace::{Lineage, RingSink, TraceEvent, TraceSink, TraceSummary};
     pub use sde_vm::{Program, ProgramBuilder, VmState};

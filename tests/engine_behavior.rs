@@ -1,6 +1,8 @@
 //! Engine-level behavior: the KleeNet execution model, the three failure
 //! models, and resource-cap semantics.
 
+#[path = "common/faults.rs"]
+mod faults;
 #[path = "common/grid.rs"]
 mod grid;
 #[path = "common/line.rs"]
@@ -8,21 +10,16 @@ mod line;
 #[path = "common/ring.rs"]
 mod ring;
 
+use faults::failure_model;
 use grid::grid_collect;
 use line::line_collect;
 use ring::ring_hello;
 use sde::prelude::*;
 use sde_core::Engine;
-use sde_net::Topology;
-use sde_os::apps::collect::{self, CollectConfig};
-use sde_os::apps::hello::{self, HelloConfig};
 
 #[test]
 fn hello_ring_counts_neighbors() {
-    let topology = Topology::ring(6);
-    let programs = hello::programs(&topology, &HelloConfig::default());
-    let scenario = Scenario::new(topology, programs).with_duration_ms(2000);
-    let mut engine = Engine::new(scenario, Algorithm::Sds);
+    let mut engine = Engine::new(ring_hello(6), Algorithm::Sds);
     engine.run_in_place();
     for s in engine.states() {
         let neighbors =
@@ -39,26 +36,14 @@ fn hello_ring_counts_neighbors() {
 
 #[test]
 fn collect_delivers_all_packets_without_failures() {
-    let topology = Topology::line(4);
-    let cfg = CollectConfig {
-        source: NodeId(3),
-        sink: NodeId(0),
-        interval_ms: 1000,
-        packet_count: 5,
-        strict_sink: true, // must NOT fire without failures
-    };
-    let programs = collect::programs(&topology, &cfg);
-    let scenario = Scenario::new(topology, programs).with_duration_ms(8000);
+    // Strict sink, no failure model: the assert must NOT fire.
+    let scenario = line_collect(4, &[], 5, true).with_duration_ms(8000);
     let report = sde_core::run(&scenario, Algorithm::Sds);
     assert!(report.bugs.is_empty());
     assert_eq!(report.total_states, 4, "no symbolic input → no forks");
 
     let mut engine = Engine::new(
-        {
-            let topology = Topology::line(4);
-            let programs = collect::programs(&topology, &cfg);
-            Scenario::new(topology, programs).with_duration_ms(8000)
-        },
+        line_collect(4, &[], 5, true).with_duration_ms(8000),
         Algorithm::Sds,
     );
     engine.run_in_place();
@@ -83,18 +68,8 @@ fn drop_budget_limits_forking() {
 
 #[test]
 fn packet_duplication_forks_and_delivers_twice() {
-    let topology = Topology::line(3);
-    let cfg = CollectConfig {
-        source: NodeId(2),
-        sink: NodeId(0),
-        interval_ms: 1000,
-        packet_count: 1,
-        strict_sink: false,
-    };
-    let failures = FailureConfig::new().with_duplicates([NodeId(0)], 1);
-    let programs = collect::programs(&topology, &cfg);
-    let scenario = Scenario::new(topology, programs)
-        .with_failures(failures)
+    let scenario = line_collect(3, &[], 1, false)
+        .with_failures(failure_model("duplicate", &[NodeId(0)]))
         .with_duration_ms(4000);
     let mut engine = Engine::new(scenario, Algorithm::Sds);
     engine.run_in_place();
@@ -115,18 +90,8 @@ fn packet_duplication_forks_and_delivers_twice() {
 
 #[test]
 fn node_reboot_clears_memory_and_reruns_boot() {
-    let topology = Topology::line(3);
-    let cfg = CollectConfig {
-        source: NodeId(2),
-        sink: NodeId(0),
-        interval_ms: 1000,
-        packet_count: 2,
-        strict_sink: false,
-    };
-    let failures = FailureConfig::new().with_reboots([NodeId(0)], 1);
-    let programs = collect::programs(&topology, &cfg);
-    let scenario = Scenario::new(topology, programs)
-        .with_failures(failures)
+    let scenario = line_collect(3, &[], 2, false)
+        .with_failures(failure_model("reboot", &[NodeId(0)]))
         .with_duration_ms(5000);
     let mut engine = Engine::new(scenario, Algorithm::Sds);
     engine.run_in_place();

@@ -159,6 +159,45 @@ fn cow_duplicates_are_exactly_the_bystander_copies() {
 }
 
 #[test]
+fn declared_invariants_check_cleanly_on_benign_scenarios() {
+    // The declarative checking layer (DESIGN.md §12) on a failure-free
+    // ring: "a ring node never hears more than its two neighbors" holds
+    // in every final state, on every algorithm.
+    let neighbors = |view: &NodeView| {
+        let count = view.memory_byte(sde::os::layout::NEIGHBORS);
+        Some(Expr::ugt(count, Expr::const_(2, Width::W8)))
+    };
+    for alg in Algorithm::ALL {
+        let mut engine = Engine::new(ring_hello(5), alg);
+        engine.run_in_place();
+        let checker = Checker::new().node_local("neighbor-count-bounded", neighbors);
+        assert!(
+            checker.check(&engine).is_empty(),
+            "{alg}: bounded neighbor count must hold on a benign ring"
+        );
+    }
+}
+
+#[test]
+fn a_false_invariant_is_reported_with_a_witness() {
+    // Positive control for the layer itself: claim every ring node hears
+    // *fewer* than two neighbors — false everywhere — and demand a
+    // structured violation naming the invariant and a concrete witness.
+    let mut engine = Engine::new(ring_hello(4), Algorithm::Sds);
+    engine.run_in_place();
+    let checker = Checker::new().node_local("too-few-neighbors", |view: &NodeView| {
+        let count = view.memory_byte(sde::os::layout::NEIGHBORS);
+        Some(Expr::eq(count, Expr::const_(2, Width::W8)))
+    });
+    let violations = checker.check(&engine);
+    assert!(!violations.is_empty(), "the false invariant must be caught");
+    let v = &violations[0];
+    assert_eq!(v.invariant, "too-few-neighbors");
+    assert!(!v.nodes.is_empty());
+    assert_ne!(v.digest(), 0);
+}
+
+#[test]
 fn histories_grow_only_on_communication() {
     let scenario = ring_hello(4);
     let mut engine = Engine::new(scenario, Algorithm::Sds);

@@ -13,12 +13,18 @@
 //!   transmission — the exploration itself diverges from the ground
 //!   truth, so the verdict must be dirty.
 
+#[path = "common/faults.rs"]
+mod faults;
 #[path = "common/line.rs"]
 mod line;
 
+use faults::{fault_preset, FAULT_AXES};
 use line::line_collect;
-use sde::core::oracle::{conformance_against, ground_truth, Mutation, OracleConfig};
+use sde::core::oracle::{
+    conformance_against, ground_truth, Domains, GroundTruth, Mutation, OracleConfig,
+};
 use sde::prelude::*;
+use std::collections::BTreeSet;
 
 fn scenario() -> Scenario {
     line_collect(3, &[0, 1], 2, false)
@@ -94,6 +100,98 @@ fn every_dscenario_position_matters() {
             !report.is_clean(),
             "SDS: dropping dscenario {n} of {} went unnoticed: {}",
             baseline.cases,
+            report.summary()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fault-axis kill coverage (DESIGN.md §11 × §9)
+// ---------------------------------------------------------------------------
+
+/// Oracle config for the fault-axis sweep: the corruption axis carries
+/// an 8-bit value symbol, so cap its enumeration domain — four values
+/// are plenty to move the outcome set, and the sweep stays fast.
+fn axis_cfg() -> OracleConfig {
+    OracleConfig {
+        domains: Domains::new().with_max_domain(4),
+        ..OracleConfig::default()
+    }
+}
+
+fn outcome_set(truth: &GroundTruth) -> BTreeSet<sde::core::oracle::ScenarioOutcome> {
+    truth.outcomes.keys().cloned().collect()
+}
+
+#[test]
+fn every_fault_axis_changes_the_canonical_outcome_set() {
+    // Kill-the-mutant coverage for the fault subsystem itself: an axis
+    // wired to nothing would leave the ground truth unchanged, so each
+    // of partition/latency/corrupt/crashrec must *independently* move
+    // the canonical outcome set on line3.
+    let base = scenario();
+    let cfg = axis_cfg();
+    let baseline = outcome_set(&ground_truth(&base, &cfg));
+    assert!(!baseline.is_empty());
+    let mut per_axis = Vec::new();
+    for axis in FAULT_AXES {
+        let faulted = base.clone().with_faults(fault_preset(axis, &base));
+        let truth = ground_truth(&faulted, &cfg);
+        let outcomes = outcome_set(&truth);
+        assert_ne!(
+            outcomes,
+            baseline,
+            "{axis}: the axis must change the canonical outcome set \
+             ({} outcomes either way)",
+            baseline.len()
+        );
+        assert!(
+            outcomes.len() > baseline.len(),
+            "{axis}: a new symbolic choice must widen the outcome set, \
+             got {} vs baseline {}",
+            outcomes.len(),
+            baseline.len()
+        );
+        per_axis.push((axis, outcomes));
+    }
+    // And the axes are pairwise distinguishable — no two collapse into
+    // the same behavior.
+    for i in 0..per_axis.len() {
+        for j in i + 1..per_axis.len() {
+            assert_ne!(
+                per_axis[i].1, per_axis[j].1,
+                "{} and {} produced identical outcome sets",
+                per_axis[i].0, per_axis[j].0
+            );
+        }
+    }
+}
+
+#[test]
+fn mutants_stay_killed_under_every_fault_axis() {
+    // The oracle's kill-power must survive the larger fault space: with
+    // each axis active, suppressing a dscenario is still caught.
+    let base = scenario();
+    let cfg = axis_cfg();
+    for axis in FAULT_AXES {
+        let faulted = base.clone().with_faults(fault_preset(axis, &base));
+        let truth = ground_truth(&faulted, &cfg);
+        let clean = conformance_against(&truth, &faulted, Algorithm::Sds, None, &cfg);
+        assert!(
+            clean.is_clean(),
+            "{axis}: unmutated control arm must stay clean: {}",
+            clean.summary()
+        );
+        let report = conformance_against(
+            &truth,
+            &faulted,
+            Algorithm::Sds,
+            Some(Mutation::DropDscenario(0)),
+            &cfg,
+        );
+        assert!(
+            !report.is_clean(),
+            "{axis}: dropping a dscenario went unnoticed under the axis: {}",
             report.summary()
         );
     }

@@ -1,0 +1,163 @@
+//! Adversarial fuzz of the snapshot codec, beyond the single-flip and
+//! truncation properties of `snapshot_roundtrip.rs`: multi-byte flips,
+//! region splices, varint bombs, zero-fill and truncate-then-extend —
+//! each with the header checksum re-patched so the corrupted payload
+//! reaches the *structural* decoder, not just the digest check.
+//!
+//! The properties under test:
+//!
+//! * `EngineSnapshot::from_bytes` never panics — every malformed input
+//!   surfaces as a typed [`SnapshotError`];
+//! * length prefixes are validated before allocation, so a corrupted
+//!   count can never trigger a capacity panic or an absurd allocation;
+//! * any corrupted input that *does* decode is a well-formed snapshot:
+//!   re-encoding it and decoding again is a fixed point.
+
+#[path = "common/seeded.rs"]
+mod seeded;
+
+use proptest::prelude::*;
+use sde::prelude::*;
+use seeded::scenario_from_seed;
+
+fn mid_run_bytes(seed: u64, algorithm: Algorithm, pause_events: u64) -> Vec<u8> {
+    let (_label, scenario) = scenario_from_seed(seed);
+    let mut engine = Engine::new(scenario, algorithm);
+    engine.run_until(Budget::events(pause_events));
+    engine.snapshot().to_bytes()
+}
+
+/// Recomputes the header's FNV-1a content digest over `bytes[20..]` and
+/// patches it in place, pushing the mutation past the checksum.
+fn patch_digest(bytes: &mut [u8]) {
+    if bytes.len() <= 20 {
+        return;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in &bytes[20..] {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    bytes[12..20].copy_from_slice(&h.to_le_bytes());
+}
+
+/// Decoding must not panic; when it succeeds the decoded value must be
+/// a self-consistent snapshot (encode → decode is a fixed point).
+fn assert_robust(corrupted: &[u8]) -> Result<(), TestCaseError> {
+    if let Ok(decoded) = EngineSnapshot::from_bytes(corrupted) {
+        let reencoded = decoded.to_bytes();
+        let again = EngineSnapshot::from_bytes(&reencoded);
+        prop_assert!(
+            again.is_ok(),
+            "a successfully decoded snapshot must re-encode decodably"
+        );
+        prop_assert_eq!(
+            reencoded,
+            again.unwrap().to_bytes(),
+            "re-encode must be a fixed point"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Up to 8 independent byte flips, checksum re-patched.
+    #[test]
+    fn multi_byte_flips_never_panic(
+        seed in any::<u64>(),
+        flip_seed in any::<u64>(),
+        flips in 1usize..8,
+    ) {
+        let mut bytes = mid_run_bytes(seed, Algorithm::Sds, 9);
+        let mut rng = flip_seed;
+        for _ in 0..flips {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pos = 20 + (rng % (bytes.len() as u64 - 20)) as usize;
+            bytes[pos] ^= (rng >> 32) as u8 | 1;
+        }
+        patch_digest(&mut bytes);
+        assert_robust(&bytes)?;
+    }
+
+    /// Copies one payload region over another — structural corruption
+    /// that keeps every byte individually plausible.
+    #[test]
+    fn region_splices_never_panic(
+        seed in any::<u64>(),
+        src_seed in any::<u64>(),
+        dst_seed in any::<u64>(),
+        len in 1usize..64,
+    ) {
+        let mut bytes = mid_run_bytes(seed, Algorithm::Cow, 9);
+        let payload = bytes.len() - 20;
+        let len = len.min(payload / 2).max(1);
+        let src = 20 + (src_seed % (payload - len) as u64) as usize;
+        let dst = 20 + (dst_seed % (payload - len) as u64) as usize;
+        let chunk = bytes[src..src + len].to_vec();
+        bytes[dst..dst + len].copy_from_slice(&chunk);
+        patch_digest(&mut bytes);
+        assert_robust(&bytes)?;
+    }
+
+    /// Overwrites a run of payload bytes with `0xFF` — maximal varint
+    /// continuation bytes, the classic length-bomb shape. The decoder's
+    /// `checked_len` guard must reject the count before allocating.
+    #[test]
+    fn varint_bombs_never_panic_or_overallocate(
+        seed in any::<u64>(),
+        pos_seed in any::<u64>(),
+        run in 1usize..12,
+    ) {
+        let mut bytes = mid_run_bytes(seed, Algorithm::Cob, 9);
+        let payload = bytes.len() - 20;
+        let run = run.min(payload);
+        let pos = 20 + (pos_seed % (payload - run + 1) as u64) as usize;
+        for b in &mut bytes[pos..pos + run] {
+            *b = 0xFF;
+        }
+        patch_digest(&mut bytes);
+        assert_robust(&bytes)?;
+    }
+
+    /// Zeroes a run of payload bytes (nulls out tags and counts).
+    #[test]
+    fn zero_fill_never_panics(
+        seed in any::<u64>(),
+        pos_seed in any::<u64>(),
+        run in 1usize..48,
+    ) {
+        let mut bytes = mid_run_bytes(seed, Algorithm::Sds, 5);
+        let payload = bytes.len() - 20;
+        let run = run.min(payload);
+        let pos = 20 + (pos_seed % (payload - run + 1) as u64) as usize;
+        for b in &mut bytes[pos..pos + run] {
+            *b = 0;
+        }
+        patch_digest(&mut bytes);
+        assert_robust(&bytes)?;
+    }
+
+    /// Truncates the snapshot and appends random junk of the same
+    /// length, so segment boundaries land mid-structure while the total
+    /// length stays plausible.
+    #[test]
+    fn truncate_then_extend_never_panics(
+        seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+        junk_seed in any::<u64>(),
+    ) {
+        let mut bytes = mid_run_bytes(seed, Algorithm::Cow, 7);
+        let original = bytes.len();
+        let cut = 21 + (cut_seed % (original as u64 - 21)) as usize;
+        bytes.truncate(cut);
+        let mut rng = junk_seed;
+        while bytes.len() < original {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            bytes.push((rng >> 56) as u8);
+        }
+        patch_digest(&mut bytes);
+        assert_robust(&bytes)?;
+    }
+}
