@@ -15,6 +15,7 @@
 //! cargo run -p sde-bench --release --bin fig10 -- --nodes 100    # one size
 //! cargo run -p sde-bench --release --bin fig10 -- --all          # 25 + 49 + 100
 //! cargo run -p sde-bench --release --bin fig10 -- --workers 4    # parallel engine
+//! cargo run -p sde-bench --release --bin fig10 -- --workers 4 --mode shard  # sharded (§13)
 //! cargo run -p sde-bench --release --bin fig10 -- --dedup        # duplicate pruning (§10)
 //! cargo run -p sde-bench --release --bin fig10 -- --nodes 25 --trace f.jsonl
 //! cargo run -p sde-bench --release --bin fig10 -- --nodes 25 --faults all
@@ -28,7 +29,8 @@
 use sde_bench::{
     paper_scenario, report_json, run_checkpointed_dedup, run_with_limits_dedup,
     run_with_limits_traced_dedup, trace_file_for, with_fault_axes, write_bench_json,
-    write_series_csv, write_trace, Args, Checkpointing, FaultAxis, RunLimits, SolverLayers,
+    write_series_csv, write_trace, Args, Checkpointing, FaultAxis, ParMode, RunLimits,
+    SolverLayers,
 };
 use sde_core::{human_bytes, Algorithm};
 use std::path::PathBuf;
@@ -63,8 +65,11 @@ fn main() {
     );
     // `--workers N`: run through the parallel engine. The CSV series are
     // bit-identical per RunReport::equivalence_key (wall_ms excepted);
-    // the extra summary line shows what the workers did.
+    // the extra summary line shows what the workers did. `--mode
+    // spec|shard` picks the parallel engine (speculative warming vs
+    // sharded frontier exploration, DESIGN.md §13).
     let workers: Option<usize> = args.get("workers");
+    let mode = ParMode::from_args(&args);
     // `--dedup`: online duplicate-dispatch pruning (DESIGN.md §10); the
     // curves keep their shape (state *creation* is unchanged), execution
     // work drops.
@@ -114,6 +119,7 @@ fn main() {
                         workers,
                         SolverLayers::Full,
                         dedup,
+                        mode,
                         ckpt,
                         &label,
                     )
@@ -130,6 +136,7 @@ fn main() {
                     workers,
                     SolverLayers::Full,
                     dedup,
+                    mode,
                 ),
                 (None, Some(base)) => {
                     let (report, events) = run_with_limits_traced_dedup(
@@ -139,6 +146,7 @@ fn main() {
                         workers,
                         SolverLayers::Full,
                         dedup,
+                        mode,
                     );
                     let label = format!("{nodes}nodes_{}", report.algorithm.to_lowercase());
                     let trace_path = trace_file_for(base, &label);

@@ -1,17 +1,22 @@
 //! Worker-count sweep for the parallel engine on the solver-bound
 //! `sense` workload (`sde_bench::symbolic_grid`): sequential baseline,
-//! then `Engine::run_parallel` at 1/2/4/8 workers, asserting bit-identity
-//! against the baseline at every point and recording wall time, solver
-//! counters, and per-phase `ParallelStats` to `bench_out/`.
+//! then the selected parallel engine at 1/2/4/8 workers, asserting
+//! bit-identity against the baseline at every point and recording wall
+//! time, solver counters, and per-phase `ParallelStats` to `bench_out/`.
 //!
-//! Speculation converts authoritative solver time into cache hits only
-//! when spare cores exist to overlap it with; the report therefore leads
-//! with the host's core count so single-core numbers (where speculation
-//! is pure overhead by construction) are not misread as a design
+//! `--mode spec` (default) sweeps `Engine::run_parallel` — speculative
+//! cache-warming, which converts authoritative solver time into cache
+//! hits only when spare cores exist to overlap it with. `--mode shard`
+//! sweeps `Engine::run_sharded` (DESIGN.md §13) — workers execute
+//! disjoint frontier subtrees authoritatively and the deterministic
+//! merge keeps every report bit-identical to serial. The report leads
+//! with the host's core count so single-core numbers (where both modes
+//! are pure overhead by construction) are not misread as a design
 //! regression.
 //!
 //! ```sh
 //! cargo run -p sde-bench --release --bin parallel_sweep
+//! cargo run -p sde-bench --release --bin parallel_sweep -- --mode shard
 //! cargo run -p sde-bench --release --bin parallel_sweep -- --side 3 --out bench_out
 //! cargo run -p sde-bench --release --bin parallel_sweep -- --trace sweep.jsonl
 //! cargo run -p sde-bench --release --bin parallel_sweep -- --dedup
@@ -20,11 +25,17 @@
 //! `--trace <base>` records a deterministic JSONL trace of the
 //! sequential baseline and of every parallel point, and asserts the
 //! parallel traces are **byte-identical** across worker counts (the
-//! engine merges speculative-worker events in job submission order).
+//! speculative engine merges worker events in job submission order; the
+//! sharded engine degenerates to serial execution while traced, so its
+//! traces additionally equal the sequential one byte-for-byte).
+//!
+//! Every point also writes its canonical equivalence key to
+//! `<out>/sweep_<mode>_<alg>_{seq,wN}.key` — wall times and solver
+//! counters excluded — so CI can `cmp` the files across the sweep.
 
 use sde_bench::{
-    run_checkpointed_dedup, symbolic_grid, trace_file_for, write_trace, Args, Checkpointing,
-    RunLimits, SolverLayers,
+    run_checkpointed_dedup, symbolic_grid, trace_file_for, write_equivalence_report, write_trace,
+    Args, Checkpointing, ParMode, RunLimits, SolverLayers,
 };
 use sde_core::{Algorithm, Engine, RunReport};
 use std::fmt::Write as _;
@@ -32,16 +43,17 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Runs `engine` with a recorder attached; returns the report plus the
-/// deterministic JSONL rendering of the captured events.
+/// captured events. `workers == None` runs sequentially.
 fn run_recorded(
     engine: Engine,
     workers: Option<usize>,
+    mode: ParMode,
 ) -> (RunReport, Vec<sde_core::trace::TimedEvent>) {
     let sink = Arc::new(sde_core::RingSink::default());
     let engine = engine.with_trace_sink(sink.clone() as Arc<dyn sde_core::TraceSink>);
     let report = match workers {
         None => engine.run(),
-        Some(w) => engine.run_parallel(w),
+        Some(w) => mode.run(engine, w),
     };
     (report, sink.take())
 }
@@ -56,16 +68,17 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    let mode = ParMode::from_args(&args);
     // `--dedup`: online duplicate-dispatch pruning on the authoritative
-    // serial-commit path (DESIGN.md §10). The seq-vs-parallel bit-identity
+    // merge path (DESIGN.md §10). The seq-vs-parallel bit-identity
     // assertions below hold with it on: pruning decisions are made only
-    // at commit time, identically in both modes.
+    // at commit time, identically in every mode.
     let dedup = args.flag("dedup");
     let trace_base: Option<PathBuf> = args.get::<String>("trace").map(PathBuf::from);
     // Checkpoint/resume flags (DESIGN.md §8); snapshots land at
-    // `<snapshot-dir>/sweep_<alg>_w<workers>.snap`. Each parallel point
-    // pauses only at the serial-commit barrier, so its snapshots are
-    // valid sequential pause points too.
+    // `<snapshot-dir>/sweep_<mode>_<alg>_w<workers>.snap`. Both parallel
+    // engines pause only at the serial-merge barrier between batches, so
+    // their snapshots are valid sequential pause points too.
     let ckpt = Checkpointing::from_args(&args);
     assert!(
         ckpt.is_none() || trace_base.is_none(),
@@ -82,11 +95,12 @@ fn main() {
     let mut report = String::new();
     let _ = writeln!(
         report,
-        "parallel engine sweep — sense workload, {side}x{side} grid, host cores: {cores}"
+        "parallel engine sweep ({} mode) — sense workload, {side}x{side} grid, host cores: {cores}",
+        mode.name()
     );
     let _ = writeln!(
         report,
-        "(speculative warming needs spare cores; with {cores} core(s) on this host, \
+        "(parallel payoff needs spare cores; with {cores} core(s) on this host, \
          speedup > 1 is {})\n",
         if cores > 1 {
             "expected"
@@ -96,17 +110,26 @@ fn main() {
     );
 
     for alg in [Algorithm::Cow, Algorithm::Sds] {
+        let mut seq_jsonl: Option<String> = None;
         let seq = match &trace_base {
             None => Engine::new(scenario.clone(), alg).with_dedup(dedup).run(),
             Some(base) => {
-                let (seq, events) =
-                    run_recorded(Engine::new(scenario.clone(), alg).with_dedup(dedup), None);
+                let (seq, events) = run_recorded(
+                    Engine::new(scenario.clone(), alg).with_dedup(dedup),
+                    None,
+                    mode,
+                );
                 let file = trace_file_for(base, &format!("{}_seq", seq.algorithm.to_lowercase()));
                 write_trace(&file, &events).expect("write seq trace");
                 let _ = writeln!(report, "{} seq trace: {}", alg.name(), file.display());
+                seq_jsonl = Some(sde_core::trace::to_jsonl(&events, true));
                 seq
             }
         };
+        let alg_lower = alg.name().to_lowercase();
+        let key_file =
+            |point: &str| out_dir.join(format!("sweep_{}_{alg_lower}_{point}.key", mode.name()));
+        write_equivalence_report(&key_file("seq"), &seq).expect("write seq key");
         let _ = writeln!(
             report,
             "{} seq: wall={:.1?} states={} events={} queries={} hits={} \
@@ -126,7 +149,7 @@ fn main() {
         for workers in [1usize, 2, 4, 8] {
             let par = match (&ckpt, &trace_base) {
                 (Some(ckpt), _) => {
-                    let label = format!("sweep_{}_w{workers}", alg.name().to_lowercase());
+                    let label = format!("sweep_{}_{alg_lower}_w{workers}", mode.name());
                     let outcome = run_checkpointed_dedup(
                         &scenario,
                         alg,
@@ -134,6 +157,7 @@ fn main() {
                         Some(workers),
                         SolverLayers::Full,
                         dedup,
+                        mode,
                         ckpt,
                         &label,
                     )
@@ -143,23 +167,35 @@ fn main() {
                         None => continue, // interrupted by --stop-after
                     }
                 }
-                (None, None) => Engine::new(scenario.clone(), alg)
-                    .with_dedup(dedup)
-                    .run_parallel(workers),
+                (None, None) => mode.run(
+                    Engine::new(scenario.clone(), alg).with_dedup(dedup),
+                    workers,
+                ),
                 (None, Some(base)) => {
                     let (par, events) = run_recorded(
                         Engine::new(scenario.clone(), alg).with_dedup(dedup),
                         Some(workers),
+                        mode,
                     );
                     let jsonl = sde_core::trace::to_jsonl(&events, true);
                     match &first_parallel_jsonl {
-                        None => first_parallel_jsonl = Some(jsonl),
+                        None => first_parallel_jsonl = Some(jsonl.clone()),
                         Some(reference) => assert_eq!(
                             reference.as_str(),
                             jsonl.as_str(),
                             "{} trace diverged at {workers} workers",
                             alg.name()
                         ),
+                    }
+                    if mode == ParMode::Shard {
+                        // Traced shard runs degenerate to serial — the
+                        // trace must equal the sequential one exactly.
+                        assert_eq!(
+                            seq_jsonl.as_deref(),
+                            Some(jsonl.as_str()),
+                            "{} shard trace diverged from the serial trace at {workers} workers",
+                            alg.name()
+                        );
                     }
                     let file = trace_file_for(
                         base,
@@ -175,6 +211,8 @@ fn main() {
                 "{} diverged at {workers} workers",
                 alg.name()
             );
+            write_equivalence_report(&key_file(&format!("w{workers}")), &par)
+                .expect("write parallel key");
             let p = par.parallel.as_ref().expect("parallel stats");
             let speedup = seq.wall.as_secs_f64() / par.wall.as_secs_f64();
             let _ = writeln!(
@@ -203,7 +241,7 @@ fn main() {
 
     print!("{report}");
     std::fs::create_dir_all(&out_dir).expect("create out dir");
-    let path = out_dir.join(format!("parallel_sweep_grid{side}.txt"));
+    let path = out_dir.join(format!("parallel_sweep_{}_grid{side}.txt", mode.name()));
     std::fs::write(&path, &report).expect("write sweep report");
     println!("recorded: {}", path.display());
 }

@@ -12,7 +12,9 @@
 //!
 //! Exits **1** when a violation was found (the artifact carries the
 //! minimal witness), **0** when every invariant held (`--emit` then
-//! writes an empty report). `--fixed` runs the repaired token protocol;
+//! writes an empty report), and **2** when the artifact cannot be
+//! written — IO failures never surface as a panic's exit 101, the
+//! 0/1/2 contract is total. `--fixed` runs the repaired token protocol;
 //! `--demo persist` is the holding negative control.
 //!
 //! **Replay mode** — rebuild the scenario from an artifact, replay the
@@ -111,7 +113,10 @@ fn checkrun(args: &Args) -> ExitCode {
     let Some(found) = violations.into_iter().next() else {
         println!("repro: all invariants hold");
         if let Some(path) = emit {
-            write_artifact(Path::new(&path), "[]\n");
+            if let Err(e) = write_artifact(Path::new(&path), "[]\n") {
+                eprintln!("repro: cannot write artifact {path}: {e}");
+                return ExitCode::from(2);
+            }
             println!("repro: empty report written to {path}");
         }
         return ExitCode::SUCCESS;
@@ -164,19 +169,26 @@ fn checkrun(args: &Args) -> ExitCode {
             &report,
             digest,
         );
-        write_artifact(Path::new(&path), &artifact);
+        if let Err(e) = write_artifact(Path::new(&path), &artifact) {
+            eprintln!("repro: cannot write artifact {path}: {e}");
+            return ExitCode::from(2);
+        }
         println!("repro: artifact written to {path}");
     }
     ExitCode::FAILURE
 }
 
-fn write_artifact(path: &Path, content: &str) {
+/// Writes the artifact, creating parent directories as needed. IO
+/// errors flow back to the caller so they can land on exit code 2
+/// (`expect` here would abort with the panic runtime's 101, outside
+/// the documented 0/1/2 contract).
+fn write_artifact(path: &Path, content: &str) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).expect("create artifact directory");
+            std::fs::create_dir_all(parent)?;
         }
     }
-    std::fs::write(path, content).expect("write artifact");
+    std::fs::write(path, content)
 }
 
 // ---------------------------------------------------------------------------
@@ -292,5 +304,38 @@ fn replay(path: &Path) -> ExitCode {
         None => fail(&format!(
             "strict replay did not violate {invariant:?} (witness incomplete or stale artifact)"
         )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::write_artifact;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sde-repro-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn write_artifact_creates_parents_and_writes() {
+        let dir = scratch("ok");
+        let path = dir.join("nested").join("artifact.json");
+        write_artifact(&path, "[]\n").expect("fresh temp path must be writable");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "[]\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_artifact_surfaces_io_errors() {
+        // A regular file where the parent directory should be: both the
+        // create_dir_all and the write must fail as an Err, never panic.
+        let blocker = scratch("blocked");
+        std::fs::write(&blocker, "not a directory").unwrap();
+        let path = blocker.join("artifact.json");
+        assert!(
+            write_artifact(&path, "[]\n").is_err(),
+            "writing under a regular file must report the IO error"
+        );
+        std::fs::remove_file(&blocker).unwrap();
     }
 }

@@ -19,6 +19,7 @@
 //! cargo run -p sde-bench --release --bin table1 -- --cap 500000
 //! cargo run -p sde-bench --release --bin table1 -- --complexity
 //! cargo run -p sde-bench --release --bin table1 -- --workers 4   # parallel engine
+//! cargo run -p sde-bench --release --bin table1 -- --workers 4 --mode shard  # sharded (§13)
 //! cargo run -p sde-bench --release --bin table1 -- --dedup       # duplicate pruning (§10)
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny # CI smoke (3×3)
 //! cargo run -p sde-bench --release --bin table1 -- --preset tiny --faults all
@@ -44,8 +45,8 @@
 use sde_bench::{
     paper_scenario, report_json, run_checkpointed_dedup, run_with_limits_dedup,
     run_with_limits_traced_dedup, symbolic_grid, table_header, testgen_json, trace_file_for,
-    with_fault_axes, write_bench_json, write_trace, Args, Checkpointing, FaultAxis, RunLimits,
-    SolverLayers,
+    with_fault_axes, write_bench_json, write_trace, Args, Checkpointing, FaultAxis, ParMode,
+    RunLimits, SolverLayers,
 };
 use sde_core::complexity::WorstCase;
 use sde_core::Algorithm;
@@ -75,7 +76,10 @@ fn main() {
         .unwrap_or(if tiny { 64 } else { 512 });
     // `--workers N`: run through the parallel engine (reports stay
     // bit-identical; speculative workers warm the solver cache).
+    // `--mode spec|shard` picks which parallel engine: speculative
+    // cache-warming (default) or sharded frontier exploration (§13).
     let workers: Option<usize> = args.get("workers");
+    let mode = ParMode::from_args(&args);
     // `--dedup`: online duplicate-dispatch pruning (DESIGN.md §10) —
     // same states, bugs and test cases, fewer states *executed*.
     let dedup = args.flag("dedup");
@@ -154,7 +158,7 @@ fn main() {
             (Some(ckpt), _) => {
                 let label = format!("table1_{}", alg.name().to_lowercase());
                 match run_checkpointed_dedup(
-                    &scenario, alg, limits, workers, layers, dedup, ckpt, &label,
+                    &scenario, alg, limits, workers, layers, dedup, mode, ckpt, &label,
                 )
                 .expect("checkpointed run")
                 {
@@ -169,12 +173,13 @@ fn main() {
                 }
             }
             (None, None) => (
-                run_with_limits_dedup(&scenario, alg, limits, workers, layers, dedup),
+                run_with_limits_dedup(&scenario, alg, limits, workers, layers, dedup, mode),
                 None,
             ),
             (None, Some(base)) => {
-                let (report, events) =
-                    run_with_limits_traced_dedup(&scenario, alg, limits, workers, layers, dedup);
+                let (report, events) = run_with_limits_traced_dedup(
+                    &scenario, alg, limits, workers, layers, dedup, mode,
+                );
                 let file = trace_file_for(base, &report.algorithm.to_lowercase());
                 write_trace(&file, &events).expect("write trace");
                 let line = format!(

@@ -15,7 +15,7 @@ use sde_core::check::Checker;
 use sde_core::minimize::MinimizeReport;
 use sde_core::oracle::ConformanceReport;
 use sde_core::testgen::TestGenReport;
-use sde_core::{Algorithm, Budget, Engine, EngineSnapshot, RunReport, Scenario};
+use sde_core::{Algorithm, Budget, Engine, EngineSnapshot, RunOutcome, RunReport, Scenario};
 use sde_net::{FailureConfig, FaultPlan, NodeId, Topology};
 use sde_os::apps::collect::{self, CollectConfig};
 use sde_os::apps::persist::{self, PersistConfig};
@@ -358,6 +358,84 @@ pub fn render_artifact(
     format!("[\n{}\n]\n", lines.join(",\n"))
 }
 
+/// Which parallel engine a bench run uses when `--workers` asks for one —
+/// the `--mode` axis of the bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParMode {
+    /// Speculative cache-warming ([`Engine::run_parallel`]): workers warm
+    /// the shared solver, the authoritative pass stays serial.
+    #[default]
+    Spec,
+    /// Sharded frontier exploration ([`Engine::run_sharded`], DESIGN.md
+    /// §13): workers authoritatively execute disjoint subtrees; a
+    /// deterministic merge keeps the report bit-identical to serial.
+    Shard,
+}
+
+impl ParMode {
+    /// Parses a `--mode` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on anything but `spec` or `shard`.
+    pub fn parse(s: &str) -> ParMode {
+        match s {
+            "spec" => ParMode::Spec,
+            "shard" => ParMode::Shard,
+            other => panic!("invalid --mode {other:?} (expected spec or shard)"),
+        }
+    }
+
+    /// Reads `--mode` from the parsed arguments; defaults to `spec`.
+    pub fn from_args(args: &Args) -> ParMode {
+        args.get::<String>("mode")
+            .map(|s| ParMode::parse(&s))
+            .unwrap_or_default()
+    }
+
+    /// Stable name for filenames and labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParMode::Spec => "spec",
+            ParMode::Shard => "shard",
+        }
+    }
+
+    /// Consumes `engine` through this mode's parallel entry point.
+    pub fn run(self, engine: Engine, workers: usize) -> RunReport {
+        match self {
+            ParMode::Spec => engine.run_parallel(workers),
+            ParMode::Shard => engine.run_sharded(workers),
+        }
+    }
+
+    /// Drives `engine` one budgeted segment through this mode's
+    /// resumable entry point.
+    pub fn run_until(self, engine: &mut Engine, workers: usize, budget: Budget) -> RunOutcome {
+        match self {
+            ParMode::Spec => engine.run_until_parallel(workers, budget),
+            ParMode::Shard => engine.run_until_sharded(workers, budget),
+        }
+    }
+}
+
+/// Writes a run's canonical equivalence key (wall times and solver
+/// counters excluded — exactly [`RunReport::equivalence_key`]) to
+/// `path`. The bytes are identical for any worker count and either
+/// parallel mode, so CI can `cmp` the files across a sweep.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing the file.
+pub fn write_equivalence_report(path: &Path, report: &RunReport) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, report.equivalence_key())
+}
+
 /// Per-algorithm run parameters for one experiment.
 #[derive(Debug, Clone, Copy)]
 pub struct RunLimits {
@@ -457,7 +535,15 @@ pub fn run_with_limits_layers(
     workers: Option<usize>,
     layers: SolverLayers,
 ) -> RunReport {
-    run_with_limits_dedup(scenario, algorithm, limits, workers, layers, false)
+    run_with_limits_dedup(
+        scenario,
+        algorithm,
+        limits,
+        workers,
+        layers,
+        false,
+        ParMode::Spec,
+    )
 }
 
 /// The fully-configurable run entry point: [`run_with_limits_layers`]
@@ -466,6 +552,7 @@ pub fn run_with_limits_layers(
 /// dedup-invariant (pinned by `tests/dedup_equivalence.rs`); the payoff
 /// shows up in [`RunReport::states_executed`](sde_core::RunReport) and
 /// [`RunReport::dedup`](sde_core::RunReport).
+#[allow(clippy::too_many_arguments)]
 pub fn run_with_limits_dedup(
     scenario: &Scenario,
     algorithm: Algorithm,
@@ -473,6 +560,7 @@ pub fn run_with_limits_dedup(
     workers: Option<usize>,
     layers: SolverLayers,
     dedup: bool,
+    mode: ParMode,
 ) -> RunReport {
     let s = scenario
         .clone()
@@ -482,7 +570,7 @@ pub fn run_with_limits_dedup(
     layers.apply(engine.solver());
     match workers {
         None => engine.run(),
-        Some(w) => engine.run_parallel(w),
+        Some(w) => mode.run(engine, w),
     }
 }
 
@@ -582,7 +670,15 @@ pub fn run_checkpointed(
     label: &str,
 ) -> std::io::Result<Option<RunReport>> {
     run_checkpointed_dedup(
-        scenario, algorithm, limits, workers, layers, false, ckpt, label,
+        scenario,
+        algorithm,
+        limits,
+        workers,
+        layers,
+        false,
+        ParMode::Spec,
+        ckpt,
+        label,
     )
 }
 
@@ -599,6 +695,7 @@ pub fn run_checkpointed_dedup(
     workers: Option<usize>,
     layers: SolverLayers,
     dedup: bool,
+    mode: ParMode,
     ckpt: &Checkpointing,
     label: &str,
 ) -> std::io::Result<Option<RunReport>> {
@@ -638,7 +735,7 @@ pub fn run_checkpointed_dedup(
     loop {
         let outcome = match workers {
             None => engine.run_until(budget),
-            Some(w) => engine.run_until_parallel(w, budget),
+            Some(w) => mode.run_until(&mut engine, w, budget),
         };
         if outcome.is_complete() {
             return Ok(Some(engine.into_report()));
@@ -667,12 +764,21 @@ pub fn run_with_limits_traced(
     workers: Option<usize>,
     layers: SolverLayers,
 ) -> (RunReport, Vec<sde_trace::TimedEvent>) {
-    run_with_limits_traced_dedup(scenario, algorithm, limits, workers, layers, false)
+    run_with_limits_traced_dedup(
+        scenario,
+        algorithm,
+        limits,
+        workers,
+        layers,
+        false,
+        ParMode::Spec,
+    )
 }
 
 /// [`run_with_limits_traced`] with the `--dedup` axis; pruned dispatches
 /// appear in the trace as `StatePruned` events pointing at the memoized
 /// survivor.
+#[allow(clippy::too_many_arguments)]
 pub fn run_with_limits_traced_dedup(
     scenario: &Scenario,
     algorithm: Algorithm,
@@ -680,6 +786,7 @@ pub fn run_with_limits_traced_dedup(
     workers: Option<usize>,
     layers: SolverLayers,
     dedup: bool,
+    mode: ParMode,
 ) -> (RunReport, Vec<sde_trace::TimedEvent>) {
     let s = scenario
         .clone()
@@ -692,7 +799,7 @@ pub fn run_with_limits_traced_dedup(
     layers.apply(engine.solver());
     let report = match workers {
         None => engine.run(),
-        Some(w) => engine.run_parallel(w),
+        Some(w) => mode.run(engine, w),
     };
     if sink.dropped() > 0 {
         eprintln!(
@@ -849,6 +956,12 @@ pub fn report_json(label: &str, report: &RunReport) -> String {
                 "      \"spec_groups\": {},\n",
                 "      \"spec_events\": {},\n",
                 "      \"spec_instructions\": {},\n",
+                "      \"spec_aborts\": {},\n",
+                "      \"shard_recorded\": {},\n",
+                "      \"shard_applied\": {},\n",
+                "      \"shard_fallback\": {},\n",
+                "      \"shard_skips\": {},\n",
+                "      \"shard_tainted\": {},\n",
                 "      \"utilization\": {:.4}\n",
                 "    }}",
             ),
@@ -858,6 +971,12 @@ pub fn report_json(label: &str, report: &RunReport) -> String {
             p.spec_groups,
             p.spec_events,
             p.spec_instructions,
+            p.spec_aborts,
+            p.shard_recorded,
+            p.shard_applied,
+            p.shard_fallback,
+            p.shard_skips,
+            p.shard_tainted,
             p.utilization(),
         ));
     }

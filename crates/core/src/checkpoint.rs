@@ -43,8 +43,10 @@ pub(crate) const SNAPSHOT_MAGIC: [u8; 8] = *b"SDESNAP1";
 /// ids); version 3 added the fault subsystem (fault-plan fingerprint in
 /// the prelude, four per-state fault budgets plus the partition
 /// deadline, and five more fork counters); version 4 added the
-/// `bugs_found`/`shrink_steps` trace counters of the checking layer.
-pub const SNAPSHOT_VERSION: u32 = 4;
+/// `bugs_found`/`shrink_steps` trace counters of the checking layer;
+/// version 5 added the shard-lineage fields (`root`/`shard_root`) per
+/// state and the engine's `sharded` mode flag.
+pub const SNAPSHOT_VERSION: u32 = 5;
 
 /// Size of the fixed file header (magic + version + digest + prelude
 /// length).
@@ -289,6 +291,9 @@ pub struct EngineSnapshot {
     pub(crate) dedup: bool,
     /// Dedup counters accumulated before the pause.
     pub(crate) dedup_stats: crate::stats::DedupStats,
+    /// Whether any segment of the run used sharded parallel execution
+    /// ([`crate::Engine::run_until_sharded`]); provenance only.
+    pub(crate) sharded: bool,
     /// Ids of states that entered handler execution, sorted ascending.
     pub(crate) executed: Vec<u64>,
 }
@@ -465,6 +470,8 @@ impl EngineSnapshot {
             w.varint(u64::from(s.cor_budget));
             w.varint(u64::from(s.crash_budget));
             w.varint(s.partition_until);
+            w.bool(s.root);
+            w.varint(s.shard_root);
         }
         // Event queue (sorted by sequence number at snapshot time).
         w.varint(self.queue_next_seq);
@@ -510,6 +517,7 @@ impl EngineSnapshot {
         w.varint(self.dedup_stats.collisions);
         w.varint(self.dedup_stats.pruned_states);
         w.varint(self.dedup_stats.saved_instructions);
+        w.bool(self.sharded);
         w.varint(self.executed.len() as u64);
         for id in &self.executed {
             w.varint(*id);
@@ -646,6 +654,7 @@ impl EngineSnapshot {
             self.dedup_stats.saved_instructions,
             self.executed.len()
         );
+        let _ = writeln!(out, "  \"sharded\": {},", self.sharded);
         let _ = writeln!(
             out,
             "  \"trace_key\": \"{}\"",
@@ -1034,6 +1043,8 @@ fn read_main(r: &mut SnapReader<'_>, p: Prelude) -> Result<EngineSnapshot, Codec
         let crash_budget =
             u32::try_from(r.varint()?).map_err(|_| CodecError::Malformed("crash budget"))?;
         let partition_until = r.varint()?;
+        let root = r.bool()?;
+        let shard_root = r.varint()?;
         states.push(SdeState {
             id,
             node,
@@ -1047,6 +1058,8 @@ fn read_main(r: &mut SnapReader<'_>, p: Prelude) -> Result<EngineSnapshot, Codec
             cor_budget,
             crash_budget,
             partition_until,
+            root,
+            shard_root,
         });
     }
     let queue_next_seq = r.varint()?;
@@ -1108,6 +1121,7 @@ fn read_main(r: &mut SnapReader<'_>, p: Prelude) -> Result<EngineSnapshot, Codec
         pruned_states: r.varint()?,
         saved_instructions: r.varint()?,
     };
+    let sharded = r.bool()?;
     let nexecuted = checked_len(r, "executed state count")?;
     let mut executed = Vec::with_capacity(nexecuted);
     for _ in 0..nexecuted {
@@ -1142,6 +1156,7 @@ fn read_main(r: &mut SnapReader<'_>, p: Prelude) -> Result<EngineSnapshot, Codec
         trace,
         dedup,
         dedup_stats,
+        sharded,
         executed,
     })
 }
@@ -1307,10 +1322,11 @@ mod tests {
         let json = engine.snapshot().to_debug_json();
         for needle in [
             "\"algorithm\": \"SDS\"",
-            "\"version\": 4",
+            "\"version\": 5",
             "state_table",
             "trace_key",
             "\"dedup\": {\"enabled\": false",
+            "\"sharded\": false",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

@@ -204,7 +204,13 @@ impl DigestIndex {
 
     /// Records an entry under `key`.
     pub(crate) fn insert(&mut self, key: u64, entry: MemoEntry) {
-        self.entries.entry(key).or_default().push(Arc::new(entry));
+        self.insert_arc(key, Arc::new(entry));
+    }
+
+    /// Records an already-shared entry under `key` — the sharded merge
+    /// path adopts worker-recorded entries without cloning them.
+    pub(crate) fn insert_arc(&mut self, key: u64, entry: Arc<MemoEntry>) {
+        self.entries.entry(key).or_default().push(entry);
     }
 }
 

@@ -20,7 +20,7 @@ use crate::mapping::{Algorithm, StateMapper, StateStore};
 use crate::scenario::Scenario;
 use crate::state::{SdeState, StateId};
 use crate::stats::{BugFound, DedupStats, ParallelStats, RunReport, Sample, TimeSeries};
-use sde_net::{Event, EventQueue, FaultPlan, NodeId, Packet, PacketId};
+use sde_net::{Event, EventQueue, FaultPlan, NodeId, Packet, PacketId, Topology};
 use sde_os::handlers;
 use sde_symbolic::{Expr, ExprRef, Solver, SymbolTable, Width};
 use sde_vm::{
@@ -29,7 +29,7 @@ use sde_vm::{
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// An event a node state reacts to.
@@ -209,6 +209,17 @@ pub struct Engine {
     executed: HashSet<StateId>,
     /// Candidate / confirmed / collision / pruning counters.
     dedup_stats: DedupStats,
+    /// Worker recordings for the batch the merge thread is currently
+    /// committing ([`Engine::run_until_sharded`]); `None` outside
+    /// sharded commits, so the sequential paths pay one `is_some`.
+    shard_entries: Option<HashMap<u64, Vec<ShardEntry>>>,
+    /// Merge-side counters of the current sharded segment, drained into
+    /// [`ParallelStats`] when the segment ends.
+    shard_applied: u64,
+    shard_fallback: u64,
+    /// Whether any segment of this run used [`Engine::run_until_sharded`]
+    /// (provenance; carried by snapshots).
+    sharded: bool,
 }
 
 impl Engine {
@@ -251,6 +262,10 @@ impl Engine {
             recorder: None,
             executed: HashSet::new(),
             dedup_stats: DedupStats::default(),
+            shard_entries: None,
+            shard_applied: 0,
+            shard_fallback: 0,
+            sharded: false,
         }
     }
 
@@ -565,6 +580,7 @@ impl Engine {
                                 events,
                                 program: self.scenario.program(state.node).clone(),
                                 faults: self.scenario.faults.clone(),
+                                topology: self.scenario.topology.clone(),
                                 symbols: self.symbols.forked(),
                             };
                             if job_tx.send(job).is_ok() {
@@ -587,8 +603,11 @@ impl Engine {
                     for _ in 0..jobs_sent {
                         if let Ok(outcome) = done_rx.recv() {
                             pstats.spec_events += outcome.events;
-                            pstats.spec_instructions += outcome.instructions;
+                            pstats.spec_instructions = pstats
+                                .spec_instructions
+                                .saturating_add(outcome.instructions);
                             pstats.spec_busy += outcome.busy;
+                            pstats.spec_aborts += outcome.aborts;
                             outcomes.push(outcome);
                         }
                     }
@@ -656,8 +675,16 @@ impl Engine {
                 speculated_batches: prev.speculated_batches + fresh.speculated_batches,
                 spec_groups: prev.spec_groups + fresh.spec_groups,
                 spec_events: prev.spec_events + fresh.spec_events,
-                spec_instructions: prev.spec_instructions + fresh.spec_instructions,
+                spec_instructions: prev
+                    .spec_instructions
+                    .saturating_add(fresh.spec_instructions),
+                spec_aborts: prev.spec_aborts + fresh.spec_aborts,
                 spec_busy: prev.spec_busy + fresh.spec_busy,
+                shard_recorded: prev.shard_recorded + fresh.shard_recorded,
+                shard_applied: prev.shard_applied + fresh.shard_applied,
+                shard_fallback: prev.shard_fallback + fresh.shard_fallback,
+                shard_skips: prev.shard_skips + fresh.shard_skips,
+                shard_tainted: prev.shard_tainted + fresh.shard_tainted,
                 serial_wall: prev.serial_wall + fresh.serial_wall,
                 dispatch_wall: prev.dispatch_wall + fresh.dispatch_wall,
                 barrier_wall: prev.barrier_wall + fresh.barrier_wall,
@@ -666,6 +693,227 @@ impl Engine {
             None => fresh,
         };
         self.parallel = Some(merged);
+    }
+
+    /// Runs the scenario with `workers` *authoritative* shard workers and
+    /// reports. The report is bit-identical to [`Engine::run`]'s (see
+    /// [`RunReport::equivalence_key`]) at every worker count.
+    pub fn run_sharded(mut self, workers: usize) -> RunReport {
+        self.run_sharded_in_place(workers);
+        self.into_report()
+    }
+
+    /// Like [`Engine::run_in_place`] but with true parallel execution
+    /// (DESIGN.md §13): the frontier is partitioned into disjoint
+    /// subtrees by root-fork lineage ([`SdeState::shard_root`]) and each
+    /// worker *authoritatively* executes the groups of its subtrees —
+    /// VM stepping, solver queries against a worker-local cache, forks —
+    /// recording the dispatch effects exactly as the dedup layer does
+    /// (PR 6 [`MemoEntry`] recordings). The merge thread then replays the
+    /// event queue in serial order, *applying* each recorded entry
+    /// (after an exact congruence check) instead of re-executing it, so
+    /// state ids, packet ids, histories and the report are identical to
+    /// [`Engine::run_in_place`] by construction.
+    ///
+    /// Work a worker cannot execute authoritatively falls back to the
+    /// merge thread, trading speedup — never correctness — away:
+    ///
+    /// - **Symbol-minting dispatches.** Fresh symbolic variables must be
+    ///   minted in serial dispatch order to keep ids and solver queries
+    ///   canonical, so a worker that observes a mint discards the
+    ///   recording and abandons that group's remaining chain
+    ///   (`shard_tainted`).
+    /// - **Sends.** Packet ids (and with them the sender's comm-history
+    ///   digest) are minted at merge time, so a recorded send completes
+    ///   its entry but stops the worker's chain.
+    /// - **Cross-worker duplicates.** Workers publish dispatch keys into
+    ///   a sharded read-mostly table and skip chains another worker
+    ///   already recorded (`shard_skips`); congruence is always
+    ///   re-confirmed on the merge thread before an entry is applied, so
+    ///   a key collision degrades to serial execution, never to a wrong
+    ///   merge.
+    ///
+    /// Traced and preset runs skip offloading entirely and degenerate to
+    /// the serial algorithm on the merge thread (trivially byte-identical
+    /// traces); dedup composes — applied shard entries feed the same
+    /// [`DigestIndex`] the serial run would have populated.
+    pub fn run_sharded_in_place(&mut self, workers: usize) {
+        self.run_until_sharded(workers, Budget::unlimited());
+    }
+
+    /// [`Engine::run_until`] on the sharded path: the budget is checked
+    /// only *between* virtual-time batches (a batch is never split), so a
+    /// pause point here is also a valid pause point of the sequential run
+    /// — checkpoint/resume composes with sharding exactly as with the
+    /// speculative mode (DESIGN.md §8).
+    pub fn run_until_sharded(&mut self, workers: usize, budget: Budget) -> RunOutcome {
+        let _trace_guard = self
+            .traced
+            .then(|| sde_trace::install(Arc::clone(&self.sink)));
+        let workers = workers.max(1);
+        self.started = Instant::now();
+        self.sharded = true;
+        if self.store.next_state == 0 {
+            self.boot();
+            self.trace.boot_wall_us = self.started.elapsed().as_micros() as u64;
+            self.sample();
+        }
+        let events_start = self.events_processed;
+        let instr_start = self.instructions;
+        let mut outcome = RunOutcome::Complete;
+        let mut pstats = ParallelStats {
+            workers,
+            ..ParallelStats::default()
+        };
+
+        // Authoritative offloading needs canonical symbol ids and packet
+        // ids, which only the merge thread can mint — and a recording
+        // sink serializes everything anyway — so traced/preset segments
+        // run the plain serial algorithm below with an idle pool.
+        let offload = !self.traced && self.preset.is_none();
+        let keys = ShardedKeySet::new(workers * 4);
+        let pool = ShardPool::new(workers);
+        let (done_tx, done_rx) = mpsc::channel::<ShardOutcome>();
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let pool = &pool;
+                let keys = &keys;
+                let done_tx = done_tx.clone();
+                scope.spawn(move || {
+                    // Worker-local solver cache: authoritative execution
+                    // is contention-free, and the merge thread still sees
+                    // deterministic witness models because the exact
+                    // solver derives them from the query alone.
+                    let solver = Solver::new();
+                    while let Some(job) = pool.take(w) {
+                        let outcome = run_shard_group(job, &solver, keys);
+                        if done_tx.send(outcome).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(done_tx);
+
+            'run: loop {
+                if self.budget_exhausted(budget, events_start, instr_start) {
+                    outcome = RunOutcome::Paused;
+                    break;
+                }
+                if self.store.total_states > self.scenario.state_cap {
+                    self.aborted = true;
+                    break;
+                }
+                let Some(batch_time) = self.store.events.peek_time() else {
+                    break;
+                };
+                if batch_time > self.scenario.duration_ms {
+                    // Mirror the sequential loop, which pops the
+                    // out-of-window event before breaking.
+                    self.store.events.pop();
+                    break;
+                }
+                pstats.batches += 1;
+
+                // --- phase 1: snapshot the batch, fan groups out to
+                // their subtree owners (`shard_root % workers`, with
+                // work-stealing smoothing the imbalance) ---
+                let dispatch_started = Instant::now();
+                let mut jobs_sent = 0usize;
+                if offload {
+                    let mut batch: Vec<(u64, StateId, NodeEvent)> = self
+                        .store
+                        .events
+                        .iter()
+                        .filter(|e| e.time == batch_time)
+                        .map(|e| (e.seq, e.payload.0, e.payload.1.clone()))
+                        .collect();
+                    batch.sort_unstable_by_key(|(seq, _, _)| *seq);
+                    let mut groups: Vec<(StateId, Vec<NodeEvent>)> = Vec::new();
+                    for (_, sid, ev) in batch {
+                        match groups.iter_mut().find(|(g, _)| *g == sid) {
+                            Some((_, evs)) => evs.push(ev),
+                            None => groups.push((sid, vec![ev])),
+                        }
+                    }
+                    if groups.len() >= 2 {
+                        pstats.speculated_batches += 1;
+                        keys.clear();
+                        for (sid, events) in groups {
+                            let Some(state) = self.store.states.get(&sid) else {
+                                continue;
+                            };
+                            if !state.is_idle() {
+                                continue;
+                            }
+                            let home = (state.shard_root % workers as u64) as usize;
+                            let job = SpecJob {
+                                index: jobs_sent,
+                                now: batch_time,
+                                state: state.clone(),
+                                events,
+                                program: self.scenario.program(state.node).clone(),
+                                faults: self.scenario.faults.clone(),
+                                topology: self.scenario.topology.clone(),
+                                symbols: self.symbols.forked(),
+                            };
+                            pool.submit(home, job);
+                            jobs_sent += 1;
+                            pstats.spec_groups += 1;
+                        }
+                    }
+                }
+                pstats.dispatch_wall += dispatch_started.elapsed();
+
+                // --- phase 2: full barrier — collect every recording of
+                // the batch before any of it is committed ---
+                let barrier_started = Instant::now();
+                let mut entries: HashMap<u64, Vec<ShardEntry>> = HashMap::new();
+                for _ in 0..jobs_sent {
+                    let Ok(o) = done_rx.recv() else { break };
+                    pstats.spec_events += o.events;
+                    pstats.spec_instructions =
+                        pstats.spec_instructions.saturating_add(o.instructions);
+                    pstats.spec_busy += o.busy;
+                    pstats.spec_aborts += o.aborts;
+                    pstats.shard_skips += o.skips;
+                    pstats.shard_tainted += o.tainted;
+                    pstats.shard_recorded += o.records.len() as u64;
+                    for r in o.records {
+                        entries.entry(r.key).or_default().push(ShardEntry {
+                            entry: Arc::new(r.entry),
+                            executed: r.executed,
+                        });
+                    }
+                }
+                pstats.barrier_wall += barrier_started.elapsed();
+
+                // --- phase 3: deterministic merge — the unmodified
+                // serial commit, with `dispatch` applying a recorded
+                // entry whenever one is congruent ---
+                let serial_started = Instant::now();
+                self.shard_entries = (!entries.is_empty()).then_some(entries);
+                self.commit_batch(batch_time);
+                self.shard_entries = None;
+                pstats.serial_wall += serial_started.elapsed();
+
+                if self.aborted {
+                    break 'run;
+                }
+            }
+            pool.shutdown();
+        });
+
+        pstats.shard_applied += std::mem::take(&mut self.shard_applied);
+        pstats.shard_fallback += std::mem::take(&mut self.shard_fallback);
+        if outcome.is_complete() {
+            self.sample();
+        }
+        pstats.run_wall = self.started.elapsed();
+        self.merge_parallel(pstats);
+        self.trace.run_wall_us += self.started.elapsed().as_micros() as u64;
+        outcome
     }
 
     /// Captures the engine's complete configuration as an
@@ -719,6 +967,7 @@ impl Engine {
             trace: self.trace,
             dedup: self.dedup,
             dedup_stats: self.dedup_stats,
+            sharded: self.sharded,
             executed: {
                 // Sorted so the snapshot bytes are a pure function of the
                 // engine state (HashSet order is not).
@@ -819,6 +1068,7 @@ impl Engine {
         engine.trace = snapshot.trace;
         engine.dedup = snapshot.dedup;
         engine.dedup_stats = snapshot.dedup_stats;
+        engine.sharded = snapshot.sharded;
         engine.executed = snapshot.executed.iter().map(|id| StateId(*id)).collect();
         // The memo index is deliberately not serialized (entries hold
         // full VM states; DESIGN.md §10): a resumed dedup run starts
@@ -990,12 +1240,72 @@ impl Engine {
             if self.try_replay(key, state_id, &kind) {
                 return;
             }
+            if self.try_shard_apply(key, state_id, &kind) {
+                return;
+            }
+            if self.shard_entries.is_some() {
+                self.shard_fallback += 1;
+            }
             self.begin_record(key, state_id, kind.clone());
             self.execute_event(state_id, kind);
             self.finish_record();
         } else {
+            if self.shard_entries.is_some() && self.preset.is_none() {
+                let key = {
+                    let s = &self.store.states[&state_id];
+                    memo_key(s.node, s.vm.config_digest(), s.budgets(), self.now, &kind)
+                };
+                if self.try_shard_apply(key, state_id, &kind) {
+                    return;
+                }
+                self.shard_fallback += 1;
+            }
             self.execute_event(state_id, kind);
         }
+    }
+
+    /// Sharded-merge tier ([`Engine::run_until_sharded`]): when the
+    /// batch's worker recordings hold an entry congruent with this
+    /// dispatch, apply it — the worker already executed the dispatch
+    /// authoritatively — instead of executing. Returns `true` on apply.
+    fn try_shard_apply(&mut self, key: u64, state_id: StateId, kind: &NodeEvent) -> bool {
+        let found = {
+            let Some(map) = self.shard_entries.as_ref() else {
+                return false;
+            };
+            let Some(candidates) = map.get(&key) else {
+                return false;
+            };
+            let s = &self.store.states[&state_id];
+            let budgets = s.budgets();
+            // Confirmation-on-owner: the key lookup is advisory, the exact
+            // structural comparison decides. A collision means serial
+            // fallback, never a wrong merge.
+            candidates
+                .iter()
+                .find(|c| c.entry.congruent(s.node, self.now, budgets, &s.vm, kind))
+                .cloned()
+        };
+        let Some(hit) = found else {
+            return false;
+        };
+        let family = self.apply_entry(state_id, &hit.entry, kind);
+        // Bank the worker's execution as if the merge thread had run it:
+        // instruction count and executed-state marks transfer, so
+        // `states_executed` and the instruction totals match the serial
+        // run.
+        self.instructions = self.instructions.saturating_add(hit.entry.instructions);
+        for v in &hit.executed {
+            self.executed.insert(family[*v as usize]);
+        }
+        if self.dedup {
+            // Feed the same memo index the serial run would have
+            // populated at this dispatch, so later congruent dispatches
+            // prune through the ordinary dedup tier.
+            self.dedup_index.insert_arc(key, Arc::clone(&hit.entry));
+        }
+        self.shard_applied += 1;
+        true
     }
 
     /// The actual event execution [`Engine::dispatch`] gates behind the
@@ -1126,6 +1436,28 @@ impl Engine {
     /// dispatch would have produced, modulo SymId numbering inside
     /// shared expressions (DESIGN.md §10 gives the argument).
     fn replay_dispatch(&mut self, root: StateId, entry: &MemoEntry, kind: &NodeEvent) {
+        let family = self.apply_entry(root, entry, kind);
+        self.dedup_stats.pruned_states += family.len() as u64;
+        self.dedup_stats.saved_instructions = self
+            .dedup_stats
+            .saved_instructions
+            .saturating_add(entry.instructions);
+        if self.traced {
+            self.sink.record(sde_trace::TraceEvent::StatePruned {
+                state: root.0,
+                node: entry.node.0,
+                survivor: entry.survivor.0,
+                time: self.now,
+            });
+        }
+    }
+
+    /// The effect-application core shared by dedup replay
+    /// ([`Engine::replay_dispatch`]) and the sharded merge
+    /// ([`Engine::try_shard_apply`]): reproduces the recorded ops,
+    /// overwrites the family's final configurations and re-reports the
+    /// recorded bugs. Returns the family in variant order.
+    fn apply_entry(&mut self, root: StateId, entry: &MemoEntry, kind: &NodeEvent) -> Vec<StateId> {
         let node = entry.node;
         let packet_id = match kind {
             NodeEvent::Deliver(p) => Some(p.id),
@@ -1303,16 +1635,7 @@ impl Engine {
                 report: report.clone(),
             });
         }
-        self.dedup_stats.pruned_states += family.len() as u64;
-        self.dedup_stats.saved_instructions += entry.instructions;
-        if self.traced {
-            self.sink.record(sde_trace::TraceEvent::StatePruned {
-                state: root.0,
-                node: node.0,
-                survivor: entry.survivor.0,
-                time: self.now,
-            });
-        }
+        family
     }
 
     /// Packet delivery: apply the symbolic failure and fault models (each
@@ -2205,6 +2528,9 @@ struct SpecJob {
     /// persistence window) — the deliver mirror needs it to replicate
     /// the fault-model minting order.
     faults: FaultPlan,
+    /// The network topology — shard workers enforce the same
+    /// neighbor-send assertion the authoritative pass would.
+    topology: Topology,
     /// Allocator window continuing the engine's symbol-id sequence
     /// ([`SymbolTable::forked`]), so minted [`sde_symbolic::SymId`]s match
     /// the authoritative pass's and queries share cache entries.
@@ -2219,6 +2545,10 @@ struct SpecOutcome {
     events: u64,
     instructions: u64,
     busy: Duration,
+    /// 1 when the group self-aborted past [`SPEC_INSTRUCTION_CAP`]
+    /// (bugfix: these used to vanish silently; now they surface as
+    /// [`ParallelStats::spec_aborts`]).
+    aborts: u64,
     /// The job's buffered trace events (traced runs only); merged into
     /// the main sink in submission order, erased to `SpecQuery`.
     trace: Vec<sde_trace::TraceEvent>,
@@ -2233,37 +2563,184 @@ struct SpecOutcome {
 fn speculate_group(job: SpecJob, solver: &Solver) -> SpecOutcome {
     let started = Instant::now();
     let index = job.index;
-    let root = job.state.id;
-    let mut spec = Speculator {
-        solver,
-        symbols: job.symbols,
-        program: job.program,
-        faults: job.faults,
-        now: job.now,
-        states: HashMap::from([(root, job.state)]),
-        queue: job.events.into_iter().map(|ev| (root, ev)).collect(),
-        next_local: 1 << 63,
-        instructions: 0,
-        events: 0,
-    };
+    let mut spec = Speculator::new(job, solver, None);
     spec.run();
     SpecOutcome {
         index,
         events: spec.events,
         instructions: spec.instructions,
         busy: started.elapsed(),
+        aborts: spec.aborts,
         trace: Vec::new(),
+    }
+}
+
+// ----- sharded execution (the run_sharded worker side) --------------------
+
+/// One worker-recorded dispatch handed to the merge thread at the batch
+/// barrier.
+#[derive(Debug)]
+struct ShardRecord {
+    /// The worker-computed memo key; the merge thread computes the same
+    /// key at pop time along sendless chains, so a plain map lookup
+    /// finds the entry.
+    key: u64,
+    entry: MemoEntry,
+    /// Family variants that entered handler execution (the worker-side
+    /// image of [`Engine::run_handler`]'s `executed` marks).
+    executed: Vec<u32>,
+}
+
+/// [`ShardRecord`] as the merge thread holds it — the entry shared so a
+/// dedup-index adoption is a pointer copy.
+#[derive(Debug, Clone)]
+struct ShardEntry {
+    entry: Arc<MemoEntry>,
+    executed: Vec<u32>,
+}
+
+/// What a shard worker reports back at the batch barrier.
+#[derive(Debug)]
+struct ShardOutcome {
+    events: u64,
+    instructions: u64,
+    busy: Duration,
+    records: Vec<ShardRecord>,
+    skips: u64,
+    tainted: u64,
+    aborts: u64,
+}
+
+/// The cross-worker duplicate filter: dispatch keys already recorded in
+/// this batch, striped over several mutexes so publishes rarely contend.
+/// Strictly advisory — a hit only tells a worker not to record a chain
+/// some other worker already covered; the merge thread always re-confirms
+/// congruence structurally before applying anything, so a key collision
+/// costs a serial fallback, never correctness.
+#[derive(Debug)]
+struct ShardedKeySet {
+    shards: Vec<Mutex<HashSet<u64>>>,
+}
+
+impl ShardedKeySet {
+    fn new(shards: usize) -> ShardedKeySet {
+        ShardedKeySet {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashSet::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashSet<u64>> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.shard(key).lock().expect("key shard").contains(&key)
+    }
+
+    fn publish(&self, key: u64) {
+        self.shard(key).lock().expect("key shard").insert(key);
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("key shard").clear();
+        }
+    }
+}
+
+/// The shard scheduler: one deque per worker, jobs routed to the owner
+/// of their subtree (`shard_root % workers`), idle workers stealing
+/// round-robin from the others so a skewed frontier still keeps every
+/// core busy.
+#[derive(Debug)]
+struct ShardPool {
+    state: Mutex<PoolState>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+struct PoolState {
+    queues: Vec<VecDeque<SpecJob>>,
+    shutdown: bool,
+}
+
+impl ShardPool {
+    fn new(workers: usize) -> ShardPool {
+        ShardPool {
+            state: Mutex::new(PoolState {
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn submit(&self, home: usize, job: SpecJob) {
+        self.state.lock().expect("pool").queues[home].push_back(job);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until a job is available (own queue first, then stealing)
+    /// or the pool shuts down.
+    fn take(&self, worker: usize) -> Option<SpecJob> {
+        let mut st = self.state.lock().expect("pool");
+        loop {
+            let n = st.queues.len();
+            for i in 0..n {
+                let q = (worker + i) % n;
+                if let Some(job) = st.queues[q].pop_front() {
+                    return Some(job);
+                }
+            }
+            if st.shutdown {
+                return None;
+            }
+            st = self.ready.wait(st).expect("pool");
+        }
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().expect("pool").shutdown = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Authoritatively executes one state's same-time events on a shard
+/// worker, recording each symbol-free dispatch as a [`MemoEntry`] the
+/// merge thread applies in serial order (see
+/// [`Engine::run_sharded_in_place`] for the fallback rules).
+fn run_shard_group(job: SpecJob, solver: &Solver, keys: &ShardedKeySet) -> ShardOutcome {
+    let started = Instant::now();
+    let mut worker = Speculator::new(job, solver, Some(keys));
+    worker.run_shard();
+    ShardOutcome {
+        events: worker.events,
+        instructions: worker.instructions,
+        busy: started.elapsed(),
+        records: worker.records,
+        skips: worker.skips,
+        tainted: worker.tainted,
+        aborts: worker.aborts,
     }
 }
 
 /// The worker-side mirror of the engine: same event dispatch, same
 /// failure-model forking, same handler stepping — against local clones.
+///
+/// Two modes share this mirror. *Speculative* ([`Speculator::run`],
+/// `keys == None`): effects are discarded, only warmed solver-cache
+/// entries escape. *Sharded* ([`Speculator::run_shard`],
+/// `keys == Some`): each symbol-free dispatch is executed
+/// authoritatively and recorded as a [`MemoEntry`] for the merge thread.
 #[derive(Debug)]
 struct Speculator<'a> {
     solver: &'a Solver,
     symbols: SymbolTable,
     program: Program,
     faults: FaultPlan,
+    topology: Topology,
     now: u64,
     states: HashMap<StateId, SdeState>,
     /// FIFO of pending same-time events; forks append their duplicated
@@ -2274,16 +2751,168 @@ struct Speculator<'a> {
     next_local: u64,
     instructions: u64,
     events: u64,
+    /// Sharded mode only: the recorder of the in-flight dispatch, plus
+    /// its bug and executed-state side channels (the worker has no
+    /// engine-level `bugs`/`executed` collections to diff against).
+    rec: Option<DispatchRecorder>,
+    rec_bugs: Vec<(usize, BugReport)>,
+    rec_executed: Vec<u32>,
+    /// Completed recordings awaiting the batch barrier.
+    records: Vec<ShardRecord>,
+    /// The batch's cross-worker duplicate filter (sharded mode only).
+    keys: Option<&'a ShardedKeySet>,
+    /// The in-flight dispatch transmitted a packet: its recording stays
+    /// valid, but the chain must stop (packet ids — and with them the
+    /// sender's history digest — are minted at merge time).
+    sent: bool,
+    /// The in-flight dispatch blew [`SPEC_INSTRUCTION_CAP`].
+    capped: bool,
+    /// The in-flight recording is unusable (e.g. a missing handler the
+    /// authoritative pass will panic on).
+    poisoned: bool,
+    skips: u64,
+    tainted: u64,
+    aborts: u64,
 }
 
-impl Speculator<'_> {
+impl<'a> Speculator<'a> {
+    fn new(job: SpecJob, solver: &'a Solver, keys: Option<&'a ShardedKeySet>) -> Speculator<'a> {
+        let root = job.state.id;
+        Speculator {
+            solver,
+            symbols: job.symbols,
+            program: job.program,
+            faults: job.faults,
+            topology: job.topology,
+            now: job.now,
+            states: HashMap::from([(root, job.state)]),
+            queue: job.events.into_iter().map(|ev| (root, ev)).collect(),
+            next_local: 1 << 63,
+            instructions: 0,
+            events: 0,
+            rec: None,
+            rec_bugs: Vec::new(),
+            rec_executed: Vec::new(),
+            records: Vec::new(),
+            keys,
+            sent: false,
+            capped: false,
+            poisoned: false,
+            skips: 0,
+            tainted: 0,
+            aborts: 0,
+        }
+    }
+
     fn run(&mut self) {
         while let Some((sid, ev)) = self.queue.pop_front() {
-            if self.instructions > SPEC_INSTRUCTION_CAP {
+            if self.capped || self.instructions > SPEC_INSTRUCTION_CAP {
+                // Bugfix: count the self-abort instead of discarding it
+                // silently (one per group — the rest of the chain dies
+                // with it).
+                self.aborts = 1;
                 break;
             }
             self.events += 1;
             self.dispatch(sid, ev);
+        }
+    }
+
+    /// Sharded-mode driver: dispatches record instead of discard, and a
+    /// taint/skip/send clears the queue, ending the chain.
+    fn run_shard(&mut self) {
+        while let Some((sid, ev)) = self.queue.pop_front() {
+            self.events += 1;
+            self.dispatch_shard(sid, ev);
+        }
+    }
+
+    /// Mirrors [`Engine::dispatch`] while recording, with the sharded
+    /// fallback rules: skip chains another worker covers, discard
+    /// recordings that mint symbols or blow the cap, stop the chain
+    /// after a send.
+    fn dispatch_shard(&mut self, state_id: StateId, kind: NodeEvent) {
+        if !self.states.get(&state_id).is_some_and(SdeState::is_idle) {
+            return;
+        }
+        let keys = self.keys.expect("run_shard requires a key set");
+        let key = {
+            let s = &self.states[&state_id];
+            memo_key(s.node, s.vm.config_digest(), s.budgets(), self.now, &kind)
+        };
+        if keys.contains(key) {
+            // Another worker already recorded a congruent chain; the
+            // merge thread will confirm and apply its entries.
+            self.skips += 1;
+            self.queue.clear();
+            return;
+        }
+        let sym_start = self.symbols.len();
+        {
+            let s = &self.states[&state_id];
+            self.rec = Some(DispatchRecorder::new(
+                key,
+                s.node,
+                self.now,
+                s.budgets(),
+                s.vm.clone(),
+                kind.clone(),
+                state_id,
+                0,
+                self.instructions,
+            ));
+        }
+        self.rec_bugs.clear();
+        self.rec_executed.clear();
+        self.sent = false;
+        self.poisoned = false;
+        self.dispatch(state_id, kind);
+        let rec = self.rec.take().expect("recorder active across dispatch");
+        if self.capped {
+            // Bugfix: a self-aborted group is counted, never silent.
+            self.aborts = 1;
+            self.tainted += 1;
+            self.queue.clear();
+            return;
+        }
+        if self.symbols.len() != sym_start || self.poisoned {
+            // The dispatch minted fresh symbolic inputs (or is otherwise
+            // unreplayable): ids must be assigned in serial dispatch
+            // order, so the merge thread executes this chain itself.
+            self.tainted += 1;
+            self.queue.clear();
+            return;
+        }
+        let mut finals = Vec::with_capacity(rec.family.len());
+        for id in &rec.family {
+            let s = self
+                .states
+                .get(id)
+                .expect("family member resident at dispatch end");
+            finals.push((s.vm.clone(), s.budgets()));
+        }
+        let instructions = self.instructions - rec.instr_start;
+        // Only read on traced replays; sharded merges are never traced.
+        let survivor = rec.family[0];
+        keys.publish(key);
+        self.records.push(ShardRecord {
+            key,
+            entry: MemoEntry {
+                node: rec.node,
+                now: rec.now,
+                budgets: rec.budgets,
+                pre_vm: rec.pre_vm,
+                event: rec.event,
+                ops: rec.ops,
+                finals,
+                bugs: std::mem::take(&mut self.rec_bugs),
+                instructions,
+                survivor,
+            },
+            executed: std::mem::take(&mut self.rec_executed),
+        });
+        if self.sent {
+            self.queue.clear();
         }
     }
 
@@ -2318,8 +2947,14 @@ impl Speculator<'_> {
         let receiving = state_id;
         {
             let s = &self.states[&state_id];
-            if self.now < s.partition_until && self.faults.cut_contains(packet.src, s.node) {
-                return; // active partition: silent loss, no symbols
+            let until = s.partition_until;
+            if self.now < until && self.faults.cut_contains(packet.src, s.node) {
+                // Active partition: silent loss, no symbols. Recorded in
+                // sharded mode — the merge replay re-emits the drop.
+                if let Some(rec) = self.rec.as_mut() {
+                    rec.note_partition_drop(state_id, until);
+                }
+                return;
             }
         }
 
@@ -2501,6 +3136,9 @@ impl Speculator<'_> {
         args.push(Expr::const_(u64::from(packet.src.0), Width::W16));
         args.extend(packet.payload.iter().cloned());
         for _ in 0..times {
+            if let Some(rec) = self.rec.as_mut() {
+                rec.note_packet_delivered(state, times > 1);
+            }
             self.run_handler(state, handlers::ON_RECV, &args);
         }
     }
@@ -2517,6 +3155,9 @@ impl Speculator<'_> {
     ) -> StateId {
         let id = self.allocate_id();
         let mut child = self.states[&parent].fork_as(id);
+        if let Some(rec) = self.rec.as_mut() {
+            rec.note_failure_fork(parent, id, kind);
+        }
         child.vm.constrain(cond.clone());
         child.vm.record_external_branch(kind, occurrence, true);
         self.duplicate_queued(parent, id);
@@ -2538,8 +3179,9 @@ impl Speculator<'_> {
     }
 
     /// Mirrors [`Engine::run_handler`]: same LIFO sibling traversal, same
-    /// stepping context — but sends and timers are discarded (they mint
-    /// no symbols and issue no queries) and bugs are merely parked.
+    /// stepping context. Speculative mode discards sends and timers
+    /// (they mint no symbols and issue no queries) and merely parks
+    /// bugs; sharded mode records all three into the active entry.
     fn run_handler(&mut self, state_id: StateId, handler: &str, args: &[ExprRef]) {
         let Some(resident) = self.states.remove(&state_id) else {
             return;
@@ -2549,7 +3191,10 @@ impl Speculator<'_> {
             return;
         }
         let Some(prepared_vm) = resident.vm.prepared(&self.program, handler, args) else {
-            // The authoritative pass will panic on this; nothing to warm.
+            // The authoritative pass panics on a missing handler; poison
+            // any recording so the merge thread reaches that panic
+            // itself. (Speculative mode: nothing to warm.)
+            self.poisoned = true;
             return;
         };
         let mut first = resident;
@@ -2557,9 +3202,14 @@ impl Speculator<'_> {
 
         let mut running: Vec<SdeState> = vec![first];
         while let Some(mut st) = running.pop() {
+            if let Some(rec) = self.rec.as_ref() {
+                let v = rec.variant(st.id) as u32;
+                self.rec_executed.push(v);
+            }
             loop {
                 self.instructions += 1;
                 if self.instructions > SPEC_INSTRUCTION_CAP {
+                    self.capped = true;
                     return;
                 }
                 let result = {
@@ -2575,23 +3225,56 @@ impl Speculator<'_> {
                         let mut sibling = st.fork_as(sib_id);
                         sibling.vm = sibling_vm;
                         self.duplicate_queued(st.id, sib_id);
+                        if let Some(rec) = self.rec.as_mut() {
+                            rec.note_branch_fork(st.id, sib_id);
+                        }
                         if matches!(sibling.vm.status(), Status::Bugged(_)) {
+                            if let Some(rec) = self.rec.as_ref() {
+                                if let Status::Bugged(report) = sibling.vm.status().clone() {
+                                    let v = rec.variant(sib_id);
+                                    self.rec_bugs.push((v, report));
+                                }
+                            }
                             self.states.insert(sib_id, sibling);
                         } else {
                             running.push(sibling);
                         }
                     }
-                    StepResult::Syscall(Syscall::Send { .. })
-                    | StepResult::Syscall(Syscall::SetTimer { .. }) => {
-                        // Sends map states and schedule future deliveries,
-                        // timers schedule future events; neither affects
-                        // this handler's remaining solver queries.
+                    StepResult::Syscall(Syscall::Send { dest, payload }) => {
+                        // Speculative mode: sends map states and schedule
+                        // future deliveries; neither affects this
+                        // handler's remaining solver queries — discard.
+                        if let Some(rec) = self.rec.as_mut() {
+                            let dest = NodeId(dest);
+                            assert!(
+                                self.topology.are_neighbors(st.node, dest),
+                                "{} sent to non-neighbor {dest}",
+                                st.node
+                            );
+                            rec.note_send(st.id, dest, &payload);
+                            self.sent = true;
+                        }
+                    }
+                    StepResult::Syscall(Syscall::SetTimer { delay, timer }) => {
+                        if let Some(rec) = self.rec.as_mut() {
+                            rec.note_timer(st.id, delay, timer);
+                            if delay == 0 {
+                                // A zero-delay timer lands in this very
+                                // batch: keep the chain alive locally,
+                                // mirroring the real queue push.
+                                self.queue.push_back((st.id, NodeEvent::Timer(timer)));
+                            }
+                        }
                     }
                     StepResult::HandlerDone(_) | StepResult::Halted | StepResult::Infeasible => {
                         self.states.insert(st.id, st);
                         break;
                     }
-                    StepResult::Bug(_) => {
+                    StepResult::Bug(report) => {
+                        if let Some(rec) = self.rec.as_ref() {
+                            let v = rec.variant(st.id);
+                            self.rec_bugs.push((v, report));
+                        }
                         self.states.insert(st.id, st);
                         break;
                     }

@@ -55,6 +55,34 @@ pub fn run_parallel(scenario: &Scenario, algorithm: Algorithm, workers: usize) -
     Engine::new(scenario.clone(), algorithm).run_parallel(workers)
 }
 
+/// Runs one scenario through the *sharded* parallel engine with
+/// `workers` authoritative workers — the function-style shorthand for
+/// [`Engine::run_sharded`] (DESIGN.md §13). Unlike the speculative mode,
+/// shard workers really execute their subtrees (worker-local solver
+/// caches, recorded dispatch effects) and the merge thread replays the
+/// recordings in serial order, so the report stays bit-identical to the
+/// sequential one at every worker count while the execution itself
+/// scales with cores.
+///
+/// # Examples
+///
+/// ```
+/// use sde_core::{parallel, run, Algorithm, Scenario};
+/// use sde_net::Topology;
+/// use sde_os::apps::hello::{self, HelloConfig};
+///
+/// let topology = Topology::line(3);
+/// let programs = hello::programs(&topology, &HelloConfig::default());
+/// let scenario = Scenario::new(topology, programs);
+/// let shard = parallel::run_sharded(&scenario, Algorithm::Sds, 2);
+/// let seq = run(&scenario, Algorithm::Sds);
+/// assert_eq!(shard.equivalence_key(), seq.equivalence_key());
+/// assert_eq!(shard.parallel.unwrap().workers, 2);
+/// ```
+pub fn run_sharded(scenario: &Scenario, algorithm: Algorithm, workers: usize) -> RunReport {
+    Engine::new(scenario.clone(), algorithm).run_sharded(workers)
+}
+
 /// Runs `scenario` under every algorithm in `algorithms`, one thread
 /// each, and returns the reports in the same order.
 ///

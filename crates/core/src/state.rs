@@ -45,6 +45,15 @@ pub struct SdeState {
     /// Virtual time (ms) until which this lineage's partition cut is
     /// active; 0 when no partition is active.
     pub partition_until: u64,
+    /// `true` for boot-time states — the anchors of the shard lineage.
+    pub root: bool,
+    /// The subtree this state belongs to for sharded exploration: boot
+    /// states own themselves, each direct child of a boot state starts a
+    /// fresh subtree, and deeper forks inherit their parent's. Purely a
+    /// scheduling hint for [`Engine::run_sharded`]
+    /// (crate::Engine::run_sharded) — it never influences execution
+    /// results.
+    pub shard_root: u64,
 }
 
 impl SdeState {
@@ -70,6 +79,8 @@ impl SdeState {
             cor_budget: faults.corrupt_budget(node),
             crash_budget: faults.crash_budget(node),
             partition_until: 0,
+            root: true,
+            shard_root: id.0,
         }
     }
 
@@ -96,7 +107,23 @@ impl SdeState {
     /// tracking off the history is three plain words — nothing is
     /// deep-cloned either way (asserted by the fork-cost tests).
     pub fn fork_as(&self, id: StateId) -> SdeState {
-        SdeState { id, ..self.clone() }
+        SdeState {
+            id,
+            root: false,
+            shard_root: self.child_shard_root(id),
+            ..self.clone()
+        }
+    }
+
+    /// The shard-lineage key a fork child receives: direct children of a
+    /// boot state open their own subtree (so the frontier fans out into
+    /// more than `|nodes|` shards), deeper forks stay in their parent's.
+    fn child_shard_root(&self, child: StateId) -> u64 {
+        if self.root {
+            child.0
+        } else {
+            self.shard_root
+        }
     }
 
     /// [`SdeState::fork_as`] with the copy's VM state supplied by the
@@ -117,6 +144,8 @@ impl SdeState {
             cor_budget: self.cor_budget,
             crash_budget: self.crash_budget,
             partition_until: self.partition_until,
+            root: false,
+            shard_root: self.child_shard_root(id),
         }
     }
 

@@ -94,8 +94,32 @@ pub struct ParallelStats {
     pub spec_events: u64,
     /// VM instructions executed speculatively.
     pub spec_instructions: u64,
+    /// Worker groups that self-aborted past the speculative instruction
+    /// cap. In speculative mode the group's cache warming is simply lost;
+    /// in sharded mode the group falls back to serial execution. Either
+    /// way the abort is counted, never silent.
+    pub spec_aborts: u64,
     /// Summed busy time across all workers.
     pub spec_busy: Duration,
+    /// Sharded mode: dispatch recordings workers produced and handed to
+    /// the merge thread.
+    pub shard_recorded: u64,
+    /// Sharded mode: dispatches the merge thread satisfied by applying a
+    /// worker recording instead of executing.
+    pub shard_applied: u64,
+    /// Sharded mode: dispatches in offloaded batches the merge thread had
+    /// to execute serially (no congruent recording — minted symbols,
+    /// cross-group traffic, or an aborted worker chain).
+    pub shard_fallback: u64,
+    /// Sharded mode: worker dispatches skipped because another worker had
+    /// already published the same memo key to the shared digest table
+    /// (hash-level advisory; the merge thread still confirms congruence
+    /// before applying anything).
+    pub shard_skips: u64,
+    /// Sharded mode: worker dispatch chains cut short because a dispatch
+    /// minted fresh symbolic variables (its ids would not match the
+    /// serial mint order) or overran the instruction cap.
+    pub shard_tainted: u64,
     /// Main-thread time in the authoritative serial pass.
     pub serial_wall: Duration,
     /// Main-thread time snapshotting batches and enqueueing jobs.
@@ -120,19 +144,31 @@ impl ParallelStats {
 
     /// One-line human summary for bench output.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "workers={} batches={} speculated={} groups={} spec_events={} \
-             util={:.0}% serial={:.1?} dispatch={:.1?} barrier={:.1?}",
+             aborts={} util={:.0}% serial={:.1?} dispatch={:.1?} barrier={:.1?}",
             self.workers,
             self.batches,
             self.speculated_batches,
             self.spec_groups,
             self.spec_events,
+            self.spec_aborts,
             self.utilization() * 100.0,
             self.serial_wall,
             self.dispatch_wall,
             self.barrier_wall,
-        )
+        );
+        if self.shard_recorded + self.shard_applied + self.shard_fallback + self.shard_skips > 0 {
+            line.push_str(&format!(
+                " shard: recorded={} applied={} fallback={} skips={} tainted={}",
+                self.shard_recorded,
+                self.shard_applied,
+                self.shard_fallback,
+                self.shard_skips,
+                self.shard_tainted,
+            ));
+        }
+        line
     }
 }
 

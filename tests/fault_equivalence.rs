@@ -104,6 +104,11 @@ struct Canonical {
 fn canonical_run(scenario: &Scenario, alg: Algorithm, dedup: bool) -> (Canonical, RunReport) {
     let mut engine = Engine::new(scenario.clone(), alg).with_dedup(dedup);
     engine.run_in_place();
+    canonical_finish(engine)
+}
+
+/// Canonicalizes a finished engine and consumes it into its report.
+fn canonical_finish(engine: Engine) -> (Canonical, RunReport) {
     let paths = path_sets(&engine);
     let dscenarios = dscenario_fingerprints(&engine);
     let report = engine.into_report();
@@ -165,6 +170,56 @@ fn checkpoint_resume_mid_partition_matches_straight_run() {
                 straight.equivalence_key(),
                 "[{label}] {alg} diverged across {pauses} mid-fault pauses"
             );
+        }
+    }
+}
+
+/// Combined stress: a fault plan *and* dedup *and* checkpoint/resume
+/// *and* a parallel engine — both the speculative and the sharded mode —
+/// all at once. Resumed runs restart with a cold memo index, so the
+/// comparison is canonical (what was explored), mirroring
+/// `dedup_equivalence.rs`.
+#[test]
+fn interrupted_parallel_dedup_fault_runs_match_straight_runs() {
+    let base = collect_base(Topology::line(4), 1);
+    for (axis, plan) in faults::fault_presets(&base) {
+        let scenario = base.clone().with_faults(plan);
+        for alg in Algorithm::ALL {
+            let (straight, _) = canonical_run(&scenario, alg, true);
+            for sharded in [false, true] {
+                let mode = if sharded { "shard" } else { "spec" };
+                let mut engine = Engine::new(scenario.clone(), alg).with_dedup(true);
+                let mut pauses = 0usize;
+                loop {
+                    let outcome = if sharded {
+                        engine.run_until_sharded(2, Budget::events(7))
+                    } else {
+                        engine.run_until_parallel(2, Budget::events(7))
+                    };
+                    if outcome == RunOutcome::Complete {
+                        break;
+                    }
+                    let snap = if pauses < 2 {
+                        let bytes = engine.snapshot().to_bytes();
+                        EngineSnapshot::from_bytes(&bytes).expect("snapshot bytes must decode")
+                    } else {
+                        engine.snapshot()
+                    };
+                    engine = Engine::resume(scenario.clone(), &snap).expect("snapshot must resume");
+                    assert!(
+                        engine.dedup_enabled(),
+                        "[{axis}] {alg}/{mode}: resume dropped the dedup flag"
+                    );
+                    pauses += 1;
+                }
+                assert!(pauses > 0, "[{axis}] {alg}/{mode}: run too small to pause");
+                let (interrupted, _) = canonical_finish(engine);
+                assert_eq!(
+                    interrupted, straight,
+                    "[{axis}] {alg}/{mode}: interrupted parallel dedup fault \
+                     run diverged after {pauses} pauses"
+                );
+            }
         }
     }
 }

@@ -159,6 +159,13 @@ fn parallel_solver_stats_are_merged_totals() {
     );
     assert!(pstats.spec_events > 0);
     assert!(pstats.spec_instructions > 0);
+    // Satellite (silent-abort bugfix): groups that blow the speculative
+    // instruction cap are *counted*, never silently discarded — and this
+    // workload is far below the cap, so the count must be zero.
+    assert_eq!(
+        pstats.spec_aborts, 0,
+        "no sense group approaches SPEC_INSTRUCTION_CAP"
+    );
     assert!(
         par.solver.queries > seq.solver.queries,
         "speculative queries are merged into the shared totals: {} <= {}",
